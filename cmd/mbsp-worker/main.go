@@ -1,0 +1,60 @@
+// Command mbsp-worker runs one remote DistStream worker: it serves
+// pipeline tasks (assign and local-update stages) over TCP, mirroring the
+// driver's operation and algorithm registries — the role of a Spark
+// executor in the paper's deployment.
+//
+// Start a few workers, then point the driver at them:
+//
+//	mbsp-worker -listen :7101 &
+//	mbsp-worker -listen :7102 &
+//	# driver: diststream.New(diststream.Options{WorkerAddrs: []string{"host:7101", "host:7102"}})
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"diststream"
+	"diststream/internal/core"
+	"diststream/internal/mbsp"
+	"diststream/internal/mbsp/rpcexec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mbsp-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mbsp-worker", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address")
+	id := fs.Int("id", 0, "worker id reported in task metrics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	diststream.RegisterWireTypes()
+	algos, err := diststream.NewAlgorithmRegistry()
+	if err != nil {
+		return err
+	}
+	reg := mbsp.NewRegistry()
+	if err := core.RegisterOps(reg, algos); err != nil {
+		return err
+	}
+	worker, err := rpcexec.NewWorker(*id, *listen, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mbsp-worker %d listening on %s\n", *id, worker.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	return worker.Close()
+}

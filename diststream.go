@@ -1,0 +1,286 @@
+// Package diststream is the public facade of the DistStream library: an
+// order-aware distributed framework for online-offline stream clustering
+// algorithms (Xu et al., ICDCS 2020), reimplemented in pure Go.
+//
+// The framework parallelizes the online phase of stream clustering with a
+// mini-batch update model that preserves record arrival order, running on
+// a built-in mini-batch stream-processing engine (an in-process executor
+// for single-machine use and a TCP executor for real worker processes).
+// Four classic algorithms ship with it: CluStream, DenStream, D-Stream and
+// ClusTree, plus a minimal reference algorithm ("simple") that documents
+// the developer API.
+//
+// Quickstart:
+//
+//	sys, err := diststream.New(diststream.Options{Parallelism: 4})
+//	...
+//	algo, err := sys.NewCluStream(diststream.CluStreamOptions{Dim: 54})
+//	pl, err := sys.NewPipeline(algo, diststream.PipelineOptions{BatchSeconds: 10})
+//	stats, err := pl.Run(source)
+//	clustering, err := pl.Offline()
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package diststream
+
+import (
+	"errors"
+	"fmt"
+
+	"diststream/internal/clustream"
+	"diststream/internal/clustree"
+	"diststream/internal/core"
+	"diststream/internal/denstream"
+	"diststream/internal/dstream"
+	"diststream/internal/mbsp"
+	"diststream/internal/mbsp/rpcexec"
+	"diststream/internal/simple"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// Re-exported core types: users interact with these directly.
+type (
+	// Algorithm is a stream clustering algorithm pluggable into the
+	// pipeline (the paper's four developer APIs).
+	Algorithm = core.Algorithm
+	// MicroCluster is the online-phase sketch unit.
+	MicroCluster = core.MicroCluster
+	// Snapshot is the broadcast search structure.
+	Snapshot = core.Snapshot
+	// Model is the live micro-cluster set.
+	Model = core.Model
+	// Clustering is the offline-phase output.
+	Clustering = core.Clustering
+	// Pipeline is the mini-batch driver loop.
+	Pipeline = core.Pipeline
+	// RunStats summarizes a pipeline run.
+	RunStats = core.RunStats
+	// OrderMode selects order-aware vs unordered updates.
+	OrderMode = core.OrderMode
+	// AdaptiveBatch configures run-time batch-interval adaptation.
+	AdaptiveBatch = core.AdaptiveBatch
+	// Record is one stream element.
+	Record = stream.Record
+	// Source is a pull-based record stream.
+	Source = stream.Source
+	// Time is a virtual timestamp in seconds.
+	Time = vclock.Time
+)
+
+// Order modes.
+const (
+	// OrderAware is the paper's order-preserving update mechanism
+	// (default).
+	OrderAware = core.OrderAware
+	// OrderUnordered is the unordered mini-batch baseline.
+	OrderUnordered = core.OrderUnordered
+)
+
+// Options configures a System.
+type Options struct {
+	// Parallelism is the number of workers (the paper's parallelism
+	// degree p). Default 1.
+	Parallelism int
+	// WorkerAddrs, when set, runs stages on remote TCP workers (started
+	// with cmd/mbsp-worker or rpcexec.NewWorker) instead of in-process
+	// goroutines. Parallelism is then len(WorkerAddrs).
+	WorkerAddrs []string
+}
+
+// System owns the execution engine and the algorithm registry. Create one
+// per process (or per isolated experiment) and build pipelines from it.
+type System struct {
+	engine *mbsp.Engine
+	algos  *core.AlgorithmRegistry
+}
+
+// New builds a System with all four shipped algorithms registered.
+func New(opts Options) (*System, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 1
+	}
+	algos, err := NewAlgorithmRegistry()
+	if err != nil {
+		return nil, err
+	}
+	reg := mbsp.NewRegistry()
+	if err := core.RegisterOps(reg, algos); err != nil {
+		return nil, err
+	}
+	var exec mbsp.Executor
+	if len(opts.WorkerAddrs) > 0 {
+		RegisterWireTypes()
+		exec, err = rpcexec.Dial(opts.WorkerAddrs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		exec, err = mbsp.NewLocalExecutor(mbsp.LocalConfig{
+			Parallelism: opts.Parallelism,
+			Registry:    reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	engine, err := mbsp.NewEngine(exec)
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: engine, algos: algos}, nil
+}
+
+// Close releases the engine (and closes worker connections in TCP mode).
+func (s *System) Close() error { return s.engine.Close() }
+
+// Parallelism returns the configured worker count.
+func (s *System) Parallelism() int { return s.engine.Parallelism() }
+
+// NewAlgorithmRegistry returns a registry with the shipped algorithms
+// (clustream, denstream, dstream, clustree, simple). Most callers use
+// System instead; worker binaries use this to mirror the driver.
+func NewAlgorithmRegistry() (*core.AlgorithmRegistry, error) {
+	algos := core.NewAlgorithmRegistry()
+	for _, register := range []func(*core.AlgorithmRegistry) error{
+		clustream.Register,
+		denstream.Register,
+		dstream.Register,
+		clustree.Register,
+		simple.Register,
+	} {
+		if err := register(algos); err != nil {
+			return nil, err
+		}
+	}
+	return algos, nil
+}
+
+// RegisterWireTypes registers every gob payload with the TCP transport.
+// Both driver and worker processes must call it before exchanging tasks.
+func RegisterWireTypes() {
+	core.RegisterWireTypes()
+	clustream.RegisterWireTypes()
+	denstream.RegisterWireTypes()
+	dstream.RegisterWireTypes()
+	clustree.RegisterWireTypes()
+	simple.RegisterWireTypes()
+}
+
+// PipelineOptions configures a pipeline run.
+type PipelineOptions struct {
+	// BatchSeconds is the mini-batch interval in virtual seconds.
+	// Default 10 (the paper's setting).
+	BatchSeconds float64
+	// Order defaults to OrderAware.
+	Order OrderMode
+	// InitRecords is the warm-up sample for model initialization.
+	// Default 500.
+	InitRecords int
+	// DisablePreMerge turns off the outlier pre-merge optimization.
+	DisablePreMerge bool
+	// DecayAlpha/DecayBeta, when both set, enforce the paper's §IV-D
+	// maximum batch interval log_beta(1/alpha).
+	DecayAlpha, DecayBeta float64
+	// Adaptive, when set, adjusts the batch interval at run time toward a
+	// target records-per-batch (the paper's §VII-D3 future work).
+	Adaptive *AdaptiveBatch
+	// OnBatch, when set, runs on the driver after each batch.
+	OnBatch func(batch stream.Batch, model *Model) error
+}
+
+// NewPipeline builds a DistStream pipeline for the given algorithm.
+func (s *System) NewPipeline(algo Algorithm, opts PipelineOptions) (*Pipeline, error) {
+	if algo == nil {
+		return nil, errors.New("diststream: nil algorithm")
+	}
+	if opts.BatchSeconds <= 0 {
+		opts.BatchSeconds = 10
+	}
+	return core.NewPipeline(core.Config{
+		Algorithm:       algo,
+		Engine:          s.engine,
+		BatchInterval:   vclock.Duration(opts.BatchSeconds),
+		Order:           opts.Order,
+		InitRecords:     opts.InitRecords,
+		DisablePreMerge: opts.DisablePreMerge,
+		DecayAlpha:      opts.DecayAlpha,
+		DecayBeta:       opts.DecayBeta,
+		Adaptive:        opts.Adaptive,
+		OnBatch:         opts.OnBatch,
+	})
+}
+
+// NewAlgorithm constructs a registered algorithm from serialized params —
+// the path remote workers use. Local callers prefer the typed
+// constructors below.
+func (s *System) NewAlgorithm(params core.Params) (Algorithm, error) {
+	return s.algos.New(params)
+}
+
+// RegisterAlgorithm installs a custom algorithm factory. Pipelines
+// reconstruct the algorithm from its Params() on every task, so any
+// algorithm run through this System — including the one passed to
+// NewPipeline directly — must be registered under its Params().Name.
+// See examples/customalgo.
+func (s *System) RegisterAlgorithm(name string, factory func(core.Params) (Algorithm, error)) error {
+	return s.algos.Register(name, factory)
+}
+
+// CluStreamOptions mirrors clustream.Config.
+type CluStreamOptions = clustream.Config
+
+// NewCluStream builds a CluStream instance.
+func (s *System) NewCluStream(opts CluStreamOptions) (Algorithm, error) {
+	if opts.Dim <= 0 {
+		return nil, fmt.Errorf("diststream: clustream needs Dim > 0")
+	}
+	return clustream.New(opts), nil
+}
+
+// DenStreamOptions mirrors denstream.Config.
+type DenStreamOptions = denstream.Config
+
+// NewDenStream builds a DenStream instance.
+func (s *System) NewDenStream(opts DenStreamOptions) (Algorithm, error) {
+	if opts.Dim <= 0 {
+		return nil, fmt.Errorf("diststream: denstream needs Dim > 0")
+	}
+	return denstream.New(opts), nil
+}
+
+// DStreamOptions mirrors dstream.Config.
+type DStreamOptions = dstream.Config
+
+// NewDStream builds a D-Stream instance.
+func (s *System) NewDStream(opts DStreamOptions) (Algorithm, error) {
+	if opts.Dim <= 0 {
+		return nil, fmt.Errorf("diststream: dstream needs Dim > 0")
+	}
+	return dstream.New(opts), nil
+}
+
+// ClusTreeOptions mirrors clustree.Config.
+type ClusTreeOptions = clustree.Config
+
+// NewClusTree builds a ClusTree instance.
+func (s *System) NewClusTree(opts ClusTreeOptions) (Algorithm, error) {
+	if opts.Dim <= 0 {
+		return nil, fmt.Errorf("diststream: clustree needs Dim > 0")
+	}
+	return clustree.New(opts), nil
+}
+
+// SimpleOptions mirrors simple.Config.
+type SimpleOptions = simple.Config
+
+// NewSimple builds the reference algorithm.
+func (s *System) NewSimple(opts SimpleOptions) Algorithm {
+	return simple.New(opts)
+}
+
+// MaxBatchSeconds exposes the paper's §IV-D bound: the largest batch
+// interval keeping per-record decay above alpha for decay base beta.
+func MaxBatchSeconds(alpha, beta float64) (float64, error) {
+	d, err := core.MaxBatchSeconds(alpha, beta)
+	return float64(d), err
+}

@@ -1,0 +1,190 @@
+package diststream_test
+
+import (
+	"testing"
+
+	"diststream"
+	"diststream/internal/core"
+	"diststream/internal/mbsp"
+	"diststream/internal/mbsp/rpcexec"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+func blobStream(n int, dim int) []diststream.Record {
+	recs := make([]diststream.Record, n)
+	for i := range recs {
+		v := vector.New(dim)
+		if i%2 == 0 {
+			v[0], v[1] = 0.1*float64(i%5), 0
+		} else {
+			v[0], v[1] = 20+0.1*float64(i%5), 20
+		}
+		recs[i] = diststream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) / 100),
+			Values:    v,
+			Label:     i % 2,
+		}
+	}
+	return recs
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys, err := diststream.New(diststream.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Parallelism() != 4 {
+		t.Errorf("Parallelism = %d", sys.Parallelism())
+	}
+	algo, err := sys.NewCluStream(diststream.CluStreamOptions{
+		Dim:              4,
+		MaxMicroClusters: 20,
+		NumMacro:         2,
+		NewRadius:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sys.NewPipeline(algo, diststream.PipelineOptions{
+		BatchSeconds: 1,
+		InitRecords:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(blobStream(1000, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 900 {
+		t.Errorf("Records = %d", stats.Records)
+	}
+	clustering, err := pl.Offline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := clustering.Assign(vector.Vector{0, 0, 0, 0})
+	b := clustering.Assign(vector.Vector{20, 20, 0, 0})
+	if a < 0 || b < 0 || a == b {
+		t.Errorf("blobs not separated: %d vs %d", a, b)
+	}
+}
+
+func TestFacadeAllConstructors(t *testing.T) {
+	sys, err := diststream.New(diststream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Parallelism() != 1 {
+		t.Errorf("default parallelism = %d", sys.Parallelism())
+	}
+	if _, err := sys.NewCluStream(diststream.CluStreamOptions{}); err == nil {
+		t.Error("clustream without Dim accepted")
+	}
+	if _, err := sys.NewDenStream(diststream.DenStreamOptions{}); err == nil {
+		t.Error("denstream without Dim accepted")
+	}
+	if _, err := sys.NewDStream(diststream.DStreamOptions{}); err == nil {
+		t.Error("dstream without Dim accepted")
+	}
+	if _, err := sys.NewClusTree(diststream.ClusTreeOptions{}); err == nil {
+		t.Error("clustree without Dim accepted")
+	}
+	for name, build := range map[string]func() (diststream.Algorithm, error){
+		"clustream": func() (diststream.Algorithm, error) {
+			return sys.NewCluStream(diststream.CluStreamOptions{Dim: 3})
+		},
+		"denstream": func() (diststream.Algorithm, error) {
+			return sys.NewDenStream(diststream.DenStreamOptions{Dim: 3})
+		},
+		"dstream": func() (diststream.Algorithm, error) {
+			return sys.NewDStream(diststream.DStreamOptions{Dim: 3})
+		},
+		"clustree": func() (diststream.Algorithm, error) {
+			return sys.NewClusTree(diststream.ClusTreeOptions{Dim: 3})
+		},
+	} {
+		algo, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if algo.Name() != name {
+			t.Errorf("algorithm name = %q, want %q", algo.Name(), name)
+		}
+		// Round-trip through the registry (the remote-worker path).
+		rebuilt, err := sys.NewAlgorithm(algo.Params())
+		if err != nil {
+			t.Errorf("%s: registry round trip: %v", name, err)
+		} else if rebuilt.Name() != name {
+			t.Errorf("%s: rebuilt name %q", name, rebuilt.Name())
+		}
+	}
+	if a := sys.NewSimple(diststream.SimpleOptions{}); a.Name() != "simple" {
+		t.Errorf("simple name = %q", a.Name())
+	}
+	if _, err := sys.NewPipeline(nil, diststream.PipelineOptions{}); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+}
+
+func TestFacadeOverTCPWorkers(t *testing.T) {
+	diststream.RegisterWireTypes()
+	algos, err := diststream.NewAlgorithmRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mbsp.NewRegistry()
+	if err := core.RegisterOps(reg, algos); err != nil {
+		t.Fatal(err)
+	}
+	workers, addrs, err := rpcexec.StartLocalCluster(2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	}()
+	sys, err := diststream.New(diststream.Options{WorkerAddrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Parallelism() != 2 {
+		t.Fatalf("Parallelism = %d", sys.Parallelism())
+	}
+	algo, err := sys.NewDenStream(diststream.DenStreamOptions{Dim: 4, Epsilon: 2, Mu: 4, Beta: 0.5, Lambda: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sys.NewPipeline(algo, diststream.PipelineOptions{BatchSeconds: 1, InitRecords: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(blobStream(500, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 400 {
+		t.Errorf("Records = %d", stats.Records)
+	}
+}
+
+func TestMaxBatchSecondsFacade(t *testing.T) {
+	got, err := diststream.MaxBatchSeconds(0.01, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 25 || got > 26 {
+		t.Errorf("MaxBatchSeconds = %v", got)
+	}
+	if _, err := diststream.MaxBatchSeconds(0, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Quickstart: cluster a synthetic evolving stream with DistStream-CluStream
+// on 4 in-process workers, then run the offline phase and print the
+// macro-clusters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"diststream"
+	"diststream/internal/datagen"
+	"diststream/internal/stream"
+	"diststream/internal/vector"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A stream with three moving Gaussian clusters, 20k records at
+	// 200 records/second of virtual time.
+	spec := datagen.Spec{
+		Name:    "quickstart",
+		Records: 20000,
+		Dim:     8,
+		Clusters: []datagen.ClusterSpec{
+			{Center: center(8, -6, 0), Std: 0.5, BaseWeight: 0.5},
+			{Center: center(8, 6, 6), Std: 0.5, BaseWeight: 0.3},
+			{Center: center(8, 0, -7), Std: 0.5, BaseWeight: 0.2},
+		},
+		Rate: 200,
+		Seed: 7,
+	}
+	records, err := datagen.Generate(spec)
+	if err != nil {
+		return err
+	}
+
+	// A System owns the execution engine; Parallelism is the paper's p.
+	sys, err := diststream.New(diststream.Options{Parallelism: 4})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	algo, err := sys.NewCluStream(diststream.CluStreamOptions{
+		Dim:              8,
+		MaxMicroClusters: 30, // 10x the real cluster count, per the paper
+		NumMacro:         3,
+		NewRadius:        1.5,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The pipeline consumes the stream in 10-second mini-batches,
+	// preserving arrival order in every update step.
+	pl, err := sys.NewPipeline(algo, diststream.PipelineOptions{
+		BatchSeconds: 10,
+		InitRecords:  500,
+	})
+	if err != nil {
+		return err
+	}
+	stats, err := pl.Run(stream.NewSliceSource(records))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("processed %d records in %d mini-batches (%.0f records/s)\n",
+		stats.Records, stats.Batches, stats.Throughput())
+	fmt.Printf("model holds %d micro-clusters; %d created from outliers\n",
+		pl.Model().Len(), stats.CreatedMCs)
+
+	// Offline phase: weighted k-means over the micro-clusters.
+	clustering, err := pl.Offline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline phase found %d macro-clusters:\n", clustering.NumClusters())
+	for _, macro := range clustering.Macros {
+		fmt.Printf("  cluster %d: weight %.0f, %d micro-clusters, center[0..1] = (%.2f, %.2f)\n",
+			macro.Label, macro.Weight, len(macro.Members), macro.Center[0], macro.Center[1])
+	}
+
+	// Classify a few fresh points against the clustering.
+	for _, probe := range []vector.Vector{center(8, -6, 0), center(8, 6, 6), center(8, 0, -7)} {
+		fmt.Printf("  point (%.0f, %.0f, ...) -> cluster %d\n",
+			probe[0], probe[1], clustering.Assign(probe))
+	}
+	return nil
+}
+
+// center builds an 8-dim point with the first two coordinates set.
+func center(dim int, x, y float64) vector.Vector {
+	v := vector.New(dim)
+	v[0], v[1] = x, y
+	return v
+}

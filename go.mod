@@ -1,0 +1,3 @@
+module diststream
+
+go 1.22

@@ -1,0 +1,309 @@
+package clustream
+
+import (
+	"math"
+	"testing"
+
+	"diststream/internal/algotest"
+	"diststream/internal/core"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+func testConfig() Config {
+	return Config{
+		Dim:              4,
+		MaxMicroClusters: 10,
+		NumMacro:         2,
+		Horizon:          50,
+		NewRadius:        2,
+		Seed:             1,
+	}
+}
+
+func TestConformance(t *testing.T) {
+	algotest.Run(t, algotest.Suite{
+		New:            func() core.Algorithm { return New(testConfig()) },
+		Register:       Register,
+		RegisterWire:   RegisterWireTypes,
+		Dim:            4,
+		SeparatesBlobs: true,
+	})
+}
+
+func rec(seq uint64, ts vclock.Time, vals ...float64) stream.Record {
+	return stream.Record{Seq: seq, Timestamp: ts, Values: vals}
+}
+
+func TestMCStatistics(t *testing.T) {
+	a := New(testConfig())
+	mc := a.Create(rec(0, 10, 1, 1, 0, 0)).(*MC)
+	a.Update(mc, rec(1, 20, 3, 3, 0, 0))
+	if mc.N != 2 {
+		t.Fatalf("N = %v", mc.N)
+	}
+	// Center = mean of (1,1) and (3,3) in first two dims.
+	c := mc.Center()
+	if c[0] != 2 || c[1] != 2 {
+		t.Errorf("center = %v", c)
+	}
+	// Per-dim variance of {1,3} is 1 in each of the two varying dims:
+	// full-norm deviation sqrt(1+1) = sqrt(2).
+	if got := mc.RMSDeviation(); math.Abs(got-math.Sqrt2) > 1e-9 {
+		t.Errorf("RMSDeviation = %v, want %v", got, math.Sqrt2)
+	}
+	if got := mc.MeanTime(); got != 15 {
+		t.Errorf("MeanTime = %v", got)
+	}
+	if got := mc.StdTime(); got != 5 {
+		t.Errorf("StdTime = %v", got)
+	}
+	if mc.Last != 20 || mc.Born != 10 {
+		t.Errorf("Born=%v Last=%v", mc.Born, mc.Last)
+	}
+}
+
+func TestMCMergeAdditivity(t *testing.T) {
+	a := New(testConfig())
+	m1 := a.Create(rec(0, 1, 1, 0, 0, 0)).(*MC)
+	a.Update(m1, rec(1, 2, 2, 0, 0, 0))
+	m2 := a.Create(rec(2, 3, 10, 0, 0, 0)).(*MC)
+
+	// Merge must equal absorbing all three records into one MC.
+	all := a.Create(rec(0, 1, 1, 0, 0, 0)).(*MC)
+	a.Update(all, rec(1, 2, 2, 0, 0, 0))
+	a.Update(all, rec(2, 3, 10, 0, 0, 0))
+
+	m1.Merge(m2)
+	if m1.N != all.N || !m1.CF1X.ApproxEqual(all.CF1X, 1e-12) ||
+		!m1.CF2X.ApproxEqual(all.CF2X, 1e-12) ||
+		math.Abs(m1.CF1T-all.CF1T) > 1e-12 || math.Abs(m1.CF2T-all.CF2T) > 1e-12 {
+		t.Error("merge violates CF additivity")
+	}
+	if m1.Last != 3 || m1.Born != 1 {
+		t.Errorf("merged Born=%v Last=%v", m1.Born, m1.Last)
+	}
+}
+
+func TestRelevanceStampSmallCluster(t *testing.T) {
+	a := New(testConfig())
+	mc := a.Create(rec(0, 10, 0, 0, 0, 0)).(*MC)
+	a.Update(mc, rec(1, 20, 0, 0, 0, 0))
+	// N=2 < 2m for m=10: stamp falls back to the mean time.
+	if got := mc.RelevanceStamp(10); got != 15 {
+		t.Errorf("RelevanceStamp = %v, want mean 15", got)
+	}
+}
+
+func TestRelevanceStampLargeClusterFavorsRecent(t *testing.T) {
+	a := New(testConfig())
+	// 100 records at t = 0..99.
+	mc := a.Create(rec(0, 0, 0, 0, 0, 0)).(*MC)
+	for i := 1; i < 100; i++ {
+		a.Update(mc, rec(uint64(i), vclock.Time(i), 0, 0, 0, 0))
+	}
+	stamp := mc.RelevanceStamp(10)
+	// The m/(2N) = 5th-percentile-from-the-top arrival time must be well
+	// above the mean (49.5) for a uniform arrival history.
+	if stamp <= 60 || stamp > 110 {
+		t.Errorf("RelevanceStamp = %v, want in (60, 110]", stamp)
+	}
+}
+
+func TestBudgetEnforcedByDeletion(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxMicroClusters = 3
+	cfg.Horizon = 5 // tight horizon: old MCs deletable
+	a := New(cfg)
+	model := core.NewModel()
+	// Three old micro-clusters (t=0..2), then a new one at t=1000.
+	for i := 0; i < 3; i++ {
+		model.Add(a.Create(rec(uint64(i), vclock.Time(i), float64(20*i), 0, 0, 0)))
+	}
+	created := a.Create(rec(9, 1000, 100, 100, 0, 0))
+	err := a.GlobalUpdate(model, []core.Update{
+		{Kind: core.KindCreated, MC: created, OrderTime: 1000, OrderSeq: 9},
+	}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 3 {
+		t.Fatalf("model size = %d, want 3", model.Len())
+	}
+	// The oldest MC (t=0) must be gone; the new one must be present.
+	if model.Get(created.ID()) == nil {
+		t.Error("created MC not admitted")
+	}
+	if model.Get(1) != nil {
+		t.Error("oldest MC survived deletion")
+	}
+}
+
+func TestBudgetEnforcedByMerge(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxMicroClusters = 3
+	cfg.Horizon = 1e12 // nothing is old enough to delete: must merge
+	a := New(cfg)
+	model := core.NewModel()
+	// Two close MCs and one far, all recent.
+	model.Add(a.Create(rec(0, 99, 0, 0, 0, 0)))
+	model.Add(a.Create(rec(1, 99, 0.5, 0, 0, 0)))
+	model.Add(a.Create(rec(2, 99, 100, 0, 0, 0)))
+	created := a.Create(rec(3, 100, -100, 0, 0, 0))
+	err := a.GlobalUpdate(model, []core.Update{
+		{Kind: core.KindCreated, MC: created, OrderTime: 100, OrderSeq: 3},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 3 {
+		t.Fatalf("model size = %d, want 3", model.Len())
+	}
+	// The two close MCs must have merged: one of ids 1,2 gone, and the
+	// merged MC holds weight 2.
+	var mergedWeight float64
+	for _, mc := range model.List() {
+		if mc.Weight() == 2 {
+			mergedWeight = 2
+		}
+	}
+	if mergedWeight != 2 {
+		t.Error("no merged micro-cluster of weight 2 found")
+	}
+	if model.Get(created.ID()) == nil {
+		t.Error("created MC lost")
+	}
+}
+
+func TestUpdatedMCReAdmittedAfterMerge(t *testing.T) {
+	// A KindUpdated whose base was merged away earlier in the same global
+	// update must be re-admitted, not dropped.
+	cfg := testConfig()
+	cfg.MaxMicroClusters = 100
+	a := New(cfg)
+	model := core.NewModel()
+	mc := a.Create(rec(0, 1, 5, 5, 0, 0))
+	model.Add(mc)
+	ghost := mc.Clone()
+	model.Remove(mc.ID()) // simulate deletion by an earlier operation
+	err := a.GlobalUpdate(model, []core.Update{
+		{Kind: core.KindUpdated, MC: ghost, OrderTime: 2, OrderSeq: 1},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 1 {
+		t.Fatalf("model size = %d, want 1 (re-admitted)", model.Len())
+	}
+}
+
+func TestInitKMeansGrouping(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxMicroClusters = 4
+	a := New(cfg)
+	recs := algotest.TwoBlobStream(200, 4, 100)
+	mcs, err := a.Init(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcs) == 0 || len(mcs) > 4 {
+		t.Fatalf("init produced %d MCs", len(mcs))
+	}
+	var total float64
+	for _, mc := range mcs {
+		total += mc.Weight()
+	}
+	if total != 200 {
+		t.Errorf("init lost records: total weight %v", total)
+	}
+	if _, err := a.Init(nil); err == nil {
+		t.Error("empty init accepted")
+	}
+}
+
+func TestSingletonBoundaryIsNearestNeighborDistance(t *testing.T) {
+	a := New(testConfig())
+	m1 := a.Create(rec(0, 1, 0, 0, 0, 0))
+	m2 := a.Create(rec(1, 1, 6, 0, 0, 0))
+	m1.SetID(1)
+	m2.SetID(2)
+	snap := a.NewSnapshot([]core.MicroCluster{m1, m2}).(*Snapshot)
+	// Singleton boundary = distance to the closest other MC = 6.
+	if snap.Boundaries[0] != 6 || snap.Boundaries[1] != 6 {
+		t.Errorf("boundaries = %v, want [6 6]", snap.Boundaries)
+	}
+	// A record 5 away from MC1 is inside its boundary.
+	if _, absorbable, _ := snap.Nearest(rec(2, 2, 2.9, 0, 0, 0)); !absorbable {
+		t.Error("record within singleton boundary not absorbable")
+	}
+}
+
+func TestOfflineWeightedKMeans(t *testing.T) {
+	a := New(testConfig())
+	model := core.NewModel()
+	// Micro-clusters around two blobs.
+	for i := 0; i < 4; i++ {
+		base := 0.0
+		if i >= 2 {
+			base = 20
+		}
+		mc := a.Create(rec(uint64(i), 1, base+float64(i%2), base, 0, 0))
+		model.Add(mc)
+	}
+	clustering, err := a.Offline(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustering.NumClusters() != 2 {
+		t.Fatalf("NumClusters = %d", clustering.NumClusters())
+	}
+	p0 := vector.Vector{0, 0, 0, 0}
+	p1 := vector.Vector{20, 20, 0, 0}
+	if clustering.Assign(p0) == clustering.Assign(p1) {
+		t.Error("offline failed to separate blobs")
+	}
+	// Macro weights must sum to total MC weight.
+	var w float64
+	for _, m := range clustering.Macros {
+		w += m.Weight
+	}
+	if w != model.TotalWeight() {
+		t.Errorf("macro weight %v != model weight %v", w, model.TotalWeight())
+	}
+	// Empty model: empty clustering.
+	emptyC, err := a.Offline(core.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emptyC.NumClusters() != 0 {
+		t.Error("empty model produced clusters")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.84134, 0.99998}, // ~1 sigma
+		{0.001, -3.090232},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("extremes not infinite")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	a := New(Config{})
+	if a.cfg.MaxMicroClusters != 100 || a.cfg.NumMacro != 5 ||
+		a.cfg.RadiusFactor != 2 || a.cfg.Horizon != 100 ||
+		a.cfg.MLast != 10 || a.cfg.NewRadius != 1 {
+		t.Errorf("defaults = %+v", a.cfg)
+	}
+}

@@ -1,0 +1,222 @@
+package clustree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diststream/internal/algotest"
+	"diststream/internal/core"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+func testConfig() Config {
+	return Config{
+		Dim:       4,
+		MaxLeaves: 20,
+		Fanout:    3,
+		Lambda:    0.1,
+		NewRadius: 2,
+		NumMacro:  2,
+		Seed:      1,
+	}
+}
+
+func TestConformance(t *testing.T) {
+	algotest.Run(t, algotest.Suite{
+		New:            func() core.Algorithm { return New(testConfig()) },
+		Register:       Register,
+		RegisterWire:   RegisterWireTypes,
+		Dim:            4,
+		SeparatesBlobs: true,
+	})
+}
+
+func rec(seq uint64, ts vclock.Time, vals ...float64) stream.Record {
+	return stream.Record{Seq: seq, Timestamp: ts, Values: vals}
+}
+
+func TestTreeBuildAndDescent(t *testing.T) {
+	a := New(testConfig())
+	rng := rand.New(rand.NewSource(3))
+	// 50 micro-clusters scattered over 5 far-apart anchors.
+	anchors := []float64{0, 100, 200, 300, 400}
+	var mcs []core.MicroCluster
+	for i := 0; i < 50; i++ {
+		anchor := anchors[i%5]
+		mc := a.Create(rec(uint64(i), 1, anchor+rng.Float64(), rng.Float64(), 0, 0))
+		mc.SetID(uint64(i + 1))
+		mcs = append(mcs, mc)
+	}
+	snap := a.NewSnapshot(mcs).(*Snapshot)
+	if snap.Root == nil {
+		t.Fatal("no tree built")
+	}
+	if len(snap.Root.Children) < 2 {
+		t.Errorf("root has %d children, want a real split", len(snap.Root.Children))
+	}
+	// Greedy descent must find a micro-cluster at the probed anchor.
+	for _, anchor := range anchors {
+		id, _, ok := snap.Nearest(rec(999, 2, anchor+0.5, 0.5, 0, 0))
+		if !ok {
+			t.Fatalf("Nearest failed at anchor %v", anchor)
+		}
+		mc := snap.Get(id)
+		if d := math.Abs(mc.Center()[0] - anchor); d > 5 {
+			t.Errorf("descent at anchor %v found MC %v away", anchor, d)
+		}
+	}
+}
+
+func TestTreeExactMatchSmallSets(t *testing.T) {
+	// With <= fanout micro-clusters the tree is a single leaf and search
+	// is exact.
+	a := New(testConfig())
+	m1 := a.Create(rec(0, 1, 0, 0, 0, 0))
+	m2 := a.Create(rec(1, 1, 10, 0, 0, 0))
+	m1.SetID(1)
+	m2.SetID(2)
+	snap := a.NewSnapshot([]core.MicroCluster{m1, m2})
+	id, _, ok := snap.Nearest(rec(9, 2, 9, 0, 0, 0))
+	if !ok || id != 2 {
+		t.Errorf("Nearest = (%d, %v)", id, ok)
+	}
+}
+
+func TestBuildNodeDegenerateIdenticalPoints(t *testing.T) {
+	// Identical centers cannot be split by k-means: must fall back to a
+	// flat leaf, not recurse forever.
+	centers := make([]vector.Vector, 10)
+	idx := make([]int, 10)
+	for i := range centers {
+		centers[i] = vector.Vector{1, 1}
+		idx[i] = i
+	}
+	node := buildNode(centers, idx, 3, 1)
+	if len(node.Items) != 10 {
+		t.Errorf("degenerate build: %d items at root", len(node.Items))
+	}
+}
+
+func TestBudgetMergesClosestPair(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxLeaves = 2
+	a := New(cfg)
+	model := core.NewModel()
+	model.Add(a.Create(rec(0, 1, 0, 0, 0, 0)))
+	model.Add(a.Create(rec(1, 1, 0.5, 0, 0, 0)))
+	created := a.Create(rec(2, 2, 100, 0, 0, 0))
+	err := a.GlobalUpdate(model, []core.Update{
+		{Kind: core.KindCreated, MC: created, OrderTime: 2, OrderSeq: 2},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 2 {
+		t.Fatalf("model size = %d, want 2", model.Len())
+	}
+	// The two close MCs merged (weight ~2 at center ~0.25); the new far
+	// MC survived.
+	if model.Get(created.ID()) == nil {
+		t.Error("created MC lost")
+	}
+	var foundMerged bool
+	for _, mc := range model.List() {
+		if mc.Weight() > 1.5 && mc.Center()[0] < 1 {
+			foundMerged = true
+		}
+	}
+	if !foundMerged {
+		t.Error("closest pair not merged")
+	}
+}
+
+func TestDecayAndDeletion(t *testing.T) {
+	a := New(testConfig())
+	model := core.NewModel()
+	model.Add(a.Create(rec(0, 0, 0, 0, 0, 0)))
+	// lambda=0.1: weight 2^-(0.1*50) ~ 0.03 < 0.05 => deleted.
+	if err := a.GlobalUpdate(model, nil, 50); err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 0 {
+		t.Errorf("faded leaf survived")
+	}
+}
+
+func TestMergeAdditivity(t *testing.T) {
+	a := New(testConfig())
+	m1 := a.Create(rec(0, 1, 1, 0, 0, 0)).(*MC)
+	m2 := a.Create(rec(1, 1, 3, 0, 0, 0)).(*MC)
+	m1.Merge(m2)
+	if m1.W != 2 {
+		t.Errorf("merged W = %v", m1.W)
+	}
+	if c := m1.Center(); math.Abs(c[0]-2) > 1e-12 {
+		t.Errorf("merged center = %v", c[0])
+	}
+	if m1.Radius() <= 0 {
+		t.Error("merged radius not positive")
+	}
+}
+
+func TestOfflineKMeans(t *testing.T) {
+	a := New(testConfig())
+	model := core.NewModel()
+	for i := 0; i < 6; i++ {
+		base := 0.0
+		if i >= 3 {
+			base = 50
+		}
+		model.Add(a.Create(rec(uint64(i), 1, base+float64(i%3), base, 0, 0)))
+	}
+	clustering, err := a.Offline(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustering.NumClusters() != 2 {
+		t.Fatalf("NumClusters = %d", clustering.NumClusters())
+	}
+	if clustering.Assign(vector.Vector{0, 0, 0, 0}) == clustering.Assign(vector.Vector{50, 50, 0, 0}) {
+		t.Error("offline failed to separate")
+	}
+	empty, err := a.Offline(core.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumClusters() != 0 {
+		t.Error("empty model produced clusters")
+	}
+}
+
+func TestInitRespectsLeafBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxLeaves = 5
+	a := New(cfg)
+	// 100 records in wildly different places would create 100 leaves
+	// without the budget.
+	recs := make([]stream.Record, 100)
+	for i := range recs {
+		recs[i] = rec(uint64(i), vclock.Time(float64(i)*0.01), float64(i*10), 0, 0, 0)
+	}
+	mcs, err := a.Init(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcs) > 5 {
+		t.Errorf("init produced %d leaves, budget 5", len(mcs))
+	}
+	if _, err := a.Init(nil); err == nil {
+		t.Error("empty init accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	a := New(Config{})
+	if a.cfg.MaxLeaves != 100 || a.cfg.Fanout != 3 || a.cfg.Lambda != 0.25 ||
+		a.cfg.RadiusFactor != 2 || a.cfg.NewRadius != 1 || a.cfg.NumMacro != 5 {
+		t.Errorf("defaults = %+v", a.cfg)
+	}
+}

@@ -1,0 +1,36 @@
+package cmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// BenchmarkEvaluate measures one CMM evaluation over a 600-point window —
+// the per-batch cost of the Figure 6 quality loop.
+func BenchmarkEvaluate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	points := make([]Point, 600)
+	for i := range points {
+		class := i % 5
+		v := vector.New(16)
+		v[0] = float64(class * 10)
+		for d := 1; d < len(v); d++ {
+			v[d] = rng.NormFloat64()
+		}
+		assigned := class
+		if i%17 == 0 {
+			assigned = (class + 1) % 5 // some misplaced records
+		}
+		points[i] = Point{Values: v, Class: class, Assigned: assigned, Time: vclock.Time(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(points, 600, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package cmm implements the Cluster Mapping Measure (Kremer et al., KDD
+// 2011), the stream clustering quality criterion the paper evaluates with
+// (§VII-B: "CMM … is more accurate than batch-oriented metrics such as
+// SSQ, Purity, and F-measure"). CMM decays the weight of aging records
+// and penalizes the three error classes of evolving streams — missed
+// records, misplaced records, and noise inclusion — normalizing to [0,1]
+// where larger is better.
+//
+// The implementation follows the published measure: k-nearest-neighbor
+// connectivity con(o, C), a weight-maximal cluster-to-class mapping, and
+// penalties pen(o) = con(o, Cl(o)) · (1 − con(o, map(C(o)))) for
+// misplaced objects, con(o, Cl(o)) for missed objects, and
+// 1 − con(o, map(C(o))) for noise objects swallowed by a cluster.
+// One deliberate choice: the penalty mass is normalized over the whole
+// evaluation window (Σ over all objects of w(o)·con(o, Cl(o))) rather
+// than over the fault set alone, so the measure degrades smoothly with
+// the weighted fraction of faulty records — the behaviour the paper's
+// Figure 6 curves exhibit — instead of collapsing to 0 as soon as any
+// fault reaches its maximal penalty. Purity and SSQ are provided for
+// comparison.
+package cmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// Noise is the class/cluster id for noise (matches stream.Record.Label
+// semantics and Clustering.Assign's "no cluster").
+const Noise = -1
+
+// Point is one evaluated record: ground truth class, assigned cluster,
+// and its arrival time (for age decay).
+type Point struct {
+	Values   vector.Vector
+	Class    int // ground truth; Noise for noise records
+	Assigned int // clustering output; Noise when unassigned
+	Time     vclock.Time
+}
+
+// Config parameterizes the measure.
+type Config struct {
+	// K is the neighborhood size for connectivity. Default 3.
+	K int
+	// Lambda is the age-decay exponent: w(o) = 2^(-Lambda·(now-t_o)).
+	// Default 0.01 (records a full window old still count substantially).
+	Lambda float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.K <= 0 {
+		out.K = 3
+	}
+	if out.Lambda < 0 {
+		out.Lambda = 0
+	} else if out.Lambda == 0 {
+		out.Lambda = 0.01
+	}
+	return out
+}
+
+// Result is the outcome of one CMM evaluation.
+type Result struct {
+	// CMM is the measure in [0, 1]; 1 means no penalized faults.
+	CMM float64
+	// Missed counts class records the clustering assigned to noise.
+	Missed int
+	// Misplaced counts records assigned to a cluster mapped to a
+	// different class.
+	Misplaced int
+	// NoiseIncluded counts noise records swallowed by a cluster.
+	NoiseIncluded int
+	// Faults is the total fault-set size.
+	Faults int
+	// Evaluated is the number of points scored.
+	Evaluated int
+	// Purity is the weight fraction of records whose cluster maps to
+	// their class (batch-style comparison metric).
+	Purity float64
+	// SSQ is the sum of squared distances from each clustered record to
+	// the mean of its assigned cluster.
+	SSQ float64
+}
+
+// Evaluate scores the clustering at time now.
+func Evaluate(points []Point, now vclock.Time, cfg Config) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, errors.New("cmm: no points")
+	}
+	c := cfg.withDefaults()
+	dim := len(points[0].Values)
+	for i, p := range points {
+		if len(p.Values) != dim {
+			return Result{}, fmt.Errorf("cmm: point %d has dim %d, want %d", i, len(p.Values), dim)
+		}
+	}
+
+	weights := make([]float64, len(points))
+	for i, p := range points {
+		age := float64(now - p.Time)
+		if age < 0 {
+			age = 0
+		}
+		weights[i] = math.Exp2(-c.Lambda * age)
+	}
+
+	byClass := groupBy(points, func(p Point) int { return p.Class })
+	byCluster := groupBy(points, func(p Point) int { return p.Assigned })
+
+	mapping := mapClustersToClasses(points, weights, byCluster)
+
+	// Average kNN distance per class (the connectivity reference).
+	classKnn := make(map[int]float64, len(byClass))
+	for class, members := range byClass {
+		if class == Noise {
+			continue
+		}
+		classKnn[class] = avgKnnDist(points, members, c.K)
+	}
+
+	res := Result{Evaluated: len(points)}
+	var penaltySum, normSum, purityHit, weightSum float64
+	for i, p := range points {
+		w := weights[i]
+		weightSum += w
+		mapped, hasMapped := mappedClass(mapping, p.Assigned)
+		if hasMapped && p.Class != Noise && mapped == p.Class {
+			purityHit += w
+		}
+		// Every object contributes its maximal possible penalty to the
+		// normalization (see package comment).
+		if p.Class != Noise {
+			normSum += w * connectivity(points, byClass[p.Class], classKnn[p.Class], i, c.K)
+		} else {
+			normSum += w
+		}
+		switch {
+		case p.Class != Noise && p.Assigned == Noise:
+			// Missed record.
+			res.Missed++
+			conOwn := connectivity(points, byClass[p.Class], classKnn[p.Class], i, c.K)
+			penaltySum += w * conOwn
+		case p.Class == Noise && p.Assigned != Noise && hasMapped && mapped != Noise:
+			// Noise record swallowed by a cluster.
+			res.NoiseIncluded++
+			conMap := connectivity(points, byClass[mapped], classKnn[mapped], i, c.K)
+			penaltySum += w * (1 - conMap)
+		case p.Class != Noise && p.Assigned != Noise && hasMapped && mapped != p.Class && mapped != Noise:
+			// Misplaced record.
+			res.Misplaced++
+			conOwn := connectivity(points, byClass[p.Class], classKnn[p.Class], i, c.K)
+			conMap := connectivity(points, byClass[mapped], classKnn[mapped], i, c.K)
+			penaltySum += w * conOwn * (1 - conMap)
+		}
+	}
+	res.Faults = res.Missed + res.Misplaced + res.NoiseIncluded
+	if normSum <= 0 {
+		res.CMM = 1
+	} else {
+		res.CMM = 1 - penaltySum/normSum
+		if res.CMM < 0 {
+			res.CMM = 0
+		}
+	}
+	if weightSum > 0 {
+		res.Purity = purityHit / weightSum
+	}
+	res.SSQ = ssq(points, byCluster)
+	return res, nil
+}
+
+// groupBy indexes points by a key function.
+func groupBy(points []Point, key func(Point) int) map[int][]int {
+	out := map[int][]int{}
+	for i, p := range points {
+		k := key(p)
+		out[k] = append(out[k], i)
+	}
+	return out
+}
+
+// mapClustersToClasses maps each cluster to the class holding maximal
+// weight inside it (Kremer's cluster-to-class surjection). Clusters whose
+// dominant content is noise map to Noise.
+func mapClustersToClasses(points []Point, weights []float64, byCluster map[int][]int) map[int]int {
+	mapping := make(map[int]int, len(byCluster))
+	for cluster, members := range byCluster {
+		if cluster == Noise {
+			continue
+		}
+		classWeight := map[int]float64{}
+		for _, i := range members {
+			classWeight[points[i].Class] += weights[i]
+		}
+		bestClass, bestW := Noise, -1.0
+		// Deterministic tie-break: smallest class id wins.
+		classes := make([]int, 0, len(classWeight))
+		for class := range classWeight {
+			classes = append(classes, class)
+		}
+		sort.Ints(classes)
+		for _, class := range classes {
+			if classWeight[class] > bestW {
+				bestClass, bestW = class, classWeight[class]
+			}
+		}
+		mapping[cluster] = bestClass
+	}
+	return mapping
+}
+
+func mappedClass(mapping map[int]int, cluster int) (int, bool) {
+	if cluster == Noise {
+		return Noise, false
+	}
+	class, ok := mapping[cluster]
+	return class, ok
+}
+
+// knnDist returns the average distance from points[i] to its k nearest
+// neighbors among members (excluding itself).
+func knnDist(points []Point, members []int, i, k int) float64 {
+	dists := make([]float64, 0, len(members))
+	for _, j := range members {
+		if j == i {
+			continue
+		}
+		dists = append(dists, vector.Distance(points[i].Values, points[j].Values))
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	sort.Float64s(dists)
+	if k > len(dists) {
+		k = len(dists)
+	}
+	var sum float64
+	for _, d := range dists[:k] {
+		sum += d
+	}
+	return sum / float64(k)
+}
+
+// avgKnnDist is the class-level connectivity reference: the mean kNN
+// distance over the class members.
+func avgKnnDist(points []Point, members []int, k int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range members {
+		sum += knnDist(points, members, i, k)
+	}
+	return sum / float64(len(members))
+}
+
+// connectivity computes con(o, C): 1 when the object is at least as close
+// to the class as the class is to itself; the ratio otherwise.
+func connectivity(points []Point, members []int, classAvg float64, i, k int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	d := knnDist(points, members, i, k)
+	if d <= classAvg || classAvg == 0 && d == 0 {
+		return 1
+	}
+	if classAvg == 0 {
+		return 0
+	}
+	return classAvg / d
+}
+
+// ssq is the sum of squared distances to assigned-cluster means.
+func ssq(points []Point, byCluster map[int][]int) float64 {
+	var total float64
+	for cluster, members := range byCluster {
+		if cluster == Noise || len(members) == 0 {
+			continue
+		}
+		mean := vector.New(len(points[members[0]].Values))
+		for _, i := range members {
+			mean.Add(points[i].Values)
+		}
+		mean.Scale(1 / float64(len(members)))
+		for _, i := range members {
+			total += vector.SquaredDistance(points[i].Values, mean)
+		}
+	}
+	return total
+}

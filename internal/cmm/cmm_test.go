@@ -1,0 +1,292 @@
+package cmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// mkBlobs builds n points per class at the given 1-D anchors, assigned by
+// the given function.
+func mkBlobs(anchors []float64, n int, assign func(class, i int) int) []Point {
+	rng := rand.New(rand.NewSource(1))
+	var out []Point
+	for class, anchor := range anchors {
+		for i := 0; i < n; i++ {
+			out = append(out, Point{
+				Values:   vector.Vector{anchor + rng.NormFloat64()*0.2, rng.NormFloat64() * 0.2},
+				Class:    class,
+				Assigned: assign(class, i),
+				Time:     vclock.Time(float64(len(out)) * 0.01),
+			})
+		}
+	}
+	return out
+}
+
+func TestPerfectClusteringScoresOne(t *testing.T) {
+	points := mkBlobs([]float64{0, 10, 20}, 30, func(class, _ int) int { return class + 5 })
+	res, err := Evaluate(points, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CMM != 1 {
+		t.Errorf("CMM = %v, want 1", res.CMM)
+	}
+	if res.Faults != 0 || res.Missed != 0 || res.Misplaced != 0 || res.NoiseIncluded != 0 {
+		t.Errorf("faults = %+v", res)
+	}
+	if math.Abs(res.Purity-1) > 1e-12 {
+		t.Errorf("Purity = %v", res.Purity)
+	}
+	if res.Evaluated != 90 {
+		t.Errorf("Evaluated = %d", res.Evaluated)
+	}
+}
+
+func TestAllNoiseAssignmentPenalizesMissed(t *testing.T) {
+	points := mkBlobs([]float64{0, 10}, 20, func(_, _ int) int { return Noise })
+	res, err := Evaluate(points, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed != 40 {
+		t.Errorf("Missed = %d, want 40", res.Missed)
+	}
+	// Every record penalized at full connectivity: CMM = 0.
+	if res.CMM > 1e-9 {
+		t.Errorf("CMM = %v, want 0", res.CMM)
+	}
+}
+
+func TestMisplacedRecordsPenalized(t *testing.T) {
+	// Class 0 → cluster 0, class 1 → cluster 1, except 5 class-0 records
+	// stuffed into cluster 1.
+	misplacedCount := 0
+	points := mkBlobs([]float64{0, 10}, 30, func(class, i int) int {
+		if class == 0 && i < 5 {
+			misplacedCount++
+			return 1
+		}
+		return class
+	})
+	res, err := Evaluate(points, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misplaced != misplacedCount {
+		t.Errorf("Misplaced = %d, want %d", res.Misplaced, misplacedCount)
+	}
+	if res.CMM >= 1 || res.CMM <= 0 {
+		t.Errorf("CMM = %v, want in (0,1)", res.CMM)
+	}
+	if res.Purity >= 1 {
+		t.Errorf("Purity = %v, want < 1", res.Purity)
+	}
+}
+
+func TestNoiseInclusionPenalized(t *testing.T) {
+	points := mkBlobs([]float64{0}, 30, func(_, _ int) int { return 0 })
+	// Distant noise records stuffed into cluster 0.
+	for i := 0; i < 5; i++ {
+		points = append(points, Point{
+			Values:   vector.Vector{100 + float64(i), 100},
+			Class:    Noise,
+			Assigned: 0,
+			Time:     1,
+		})
+	}
+	res, err := Evaluate(points, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoiseIncluded != 5 {
+		t.Errorf("NoiseIncluded = %d, want 5", res.NoiseIncluded)
+	}
+	if res.CMM >= 1 {
+		t.Errorf("CMM = %v, want < 1", res.CMM)
+	}
+}
+
+func TestNoiseLeftAsNoiseIsFree(t *testing.T) {
+	points := mkBlobs([]float64{0}, 20, func(_, _ int) int { return 0 })
+	points = append(points, Point{
+		Values: vector.Vector{50, 50}, Class: Noise, Assigned: Noise, Time: 1,
+	})
+	res, err := Evaluate(points, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CMM != 1 || res.Faults != 0 {
+		t.Errorf("noise-as-noise penalized: %+v", res)
+	}
+}
+
+func TestAgeDecayReducesOldFaultImpact(t *testing.T) {
+	// Same fault set, but in run A the misplaced records are recent and
+	// in run B they are old: B must score higher (old faults matter less).
+	build := func(faultTime vclock.Time) []Point {
+		points := mkBlobs([]float64{0, 10}, 30, func(class, _ int) int { return class })
+		for i := range points {
+			points[i].Time = 99 // everything recent by default
+		}
+		for i := 0; i < 8; i++ {
+			points[i].Assigned = 1 // misplace some class-0 records
+			points[i].Time = faultTime
+		}
+		return points
+	}
+	now := vclock.Time(100)
+	recent, err := Evaluate(build(99), now, Config{Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Evaluate(build(0), now, Config{Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.CMM <= recent.CMM {
+		t.Errorf("old faults (CMM %v) should hurt less than recent (CMM %v)", old.CMM, recent.CMM)
+	}
+}
+
+func TestCMMOrderingMatchesErrorSeverity(t *testing.T) {
+	// More misplaced records => lower CMM.
+	run := func(misplaced int) float64 {
+		points := mkBlobs([]float64{0, 10}, 40, func(class, i int) int {
+			if class == 0 && i < misplaced {
+				return 1
+			}
+			return class
+		})
+		res, err := Evaluate(points, 1, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CMM
+	}
+	c0, c5, c20 := run(0), run(5), run(20)
+	if !(c0 > c5 && c5 > c20) {
+		t.Errorf("CMM not monotone in error count: %v %v %v", c0, c5, c20)
+	}
+}
+
+func TestSSQComputed(t *testing.T) {
+	points := []Point{
+		{Values: vector.Vector{0, 0}, Class: 0, Assigned: 0, Time: 0},
+		{Values: vector.Vector{2, 0}, Class: 0, Assigned: 0, Time: 0},
+	}
+	res, err := Evaluate(points, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean (1,0); each point 1 away: SSQ = 2.
+	if math.Abs(res.SSQ-2) > 1e-12 {
+		t.Errorf("SSQ = %v, want 2", res.SSQ)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, 0, Config{}); err == nil {
+		t.Error("empty points accepted")
+	}
+	bad := []Point{
+		{Values: vector.Vector{1, 2}},
+		{Values: vector.Vector{1}},
+	}
+	if _, err := Evaluate(bad, 0, Config{}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestKnnDist(t *testing.T) {
+	points := []Point{
+		{Values: vector.Vector{0}},
+		{Values: vector.Vector{1}},
+		{Values: vector.Vector{3}},
+		{Values: vector.Vector{10}},
+	}
+	members := []int{0, 1, 2, 3}
+	// From point 0: neighbors at 1, 3, 10; k=2 nearest: 1 and 3 => 2.
+	if got := knnDist(points, members, 0, 2); got != 2 {
+		t.Errorf("knnDist = %v, want 2", got)
+	}
+	// Singleton member set: distance 0.
+	if got := knnDist(points, []int{0}, 0, 2); got != 0 {
+		t.Errorf("singleton knnDist = %v", got)
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWindow(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	for i := 0; i < 5; i++ {
+		w.Push(stream.Record{Seq: uint64(i), Timestamp: vclock.Time(i), Values: vector.Vector{float64(i)}, Label: 0})
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	recs := w.Records()
+	if recs[0].Seq != 2 || recs[2].Seq != 4 {
+		t.Errorf("window order wrong: %v %v", recs[0].Seq, recs[2].Seq)
+	}
+}
+
+func TestWindowPartialFill(t *testing.T) {
+	w, err := NewWindow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Push(stream.Record{Seq: 7, Values: vector.Vector{1}})
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if got := w.Records(); len(got) != 1 || got[0].Seq != 7 {
+		t.Errorf("Records = %v", got)
+	}
+}
+
+func TestWindowScore(t *testing.T) {
+	w, err := NewWindow(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		label := i % 2
+		base := float64(label) * 10
+		w.Push(stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) * 0.01),
+			Values:    vector.Vector{base + rng.NormFloat64()*0.2, 0},
+			Label:     label,
+		})
+	}
+	// Perfect assignment by threshold.
+	res, err := w.Score(func(rec stream.Record) int {
+		if rec.Values[0] > 5 {
+			return 1
+		}
+		return 0
+	}, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CMM != 1 {
+		t.Errorf("CMM = %v, want 1", res.CMM)
+	}
+	// Empty window errors.
+	w2, _ := NewWindow(5)
+	if _, err := w2.Score(func(stream.Record) int { return 0 }, 1, Config{}); err == nil {
+		t.Error("empty window scored")
+	}
+}

@@ -1,0 +1,76 @@
+package cmm
+
+import (
+	"errors"
+
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// Window is the sliding evaluation window: it retains the most recent
+// records and scores a clustering against them, the way the paper
+// computes "CMM values at the end of each batch using the clustering
+// results generated offline".
+type Window struct {
+	capacity int
+	buf      []stream.Record
+	pos      int
+	full     bool
+}
+
+// NewWindow returns a window retaining up to capacity records.
+func NewWindow(capacity int) (*Window, error) {
+	if capacity <= 0 {
+		return nil, errors.New("cmm: window capacity must be positive")
+	}
+	return &Window{capacity: capacity, buf: make([]stream.Record, capacity)}, nil
+}
+
+// Push appends a record, evicting the oldest when full.
+func (w *Window) Push(rec stream.Record) {
+	w.buf[w.pos] = rec
+	w.pos = (w.pos + 1) % w.capacity
+	if w.pos == 0 {
+		w.full = true
+	}
+}
+
+// Len returns the number of retained records.
+func (w *Window) Len() int {
+	if w.full {
+		return w.capacity
+	}
+	return w.pos
+}
+
+// Records returns the retained records in arrival order.
+func (w *Window) Records() []stream.Record {
+	if !w.full {
+		out := make([]stream.Record, w.pos)
+		copy(out, w.buf[:w.pos])
+		return out
+	}
+	out := make([]stream.Record, 0, w.capacity)
+	out = append(out, w.buf[w.pos:]...)
+	out = append(out, w.buf[:w.pos]...)
+	return out
+}
+
+// Score evaluates a clustering assignment function over the window
+// (typically rec → Clustering.Assign(rec.Values)).
+func (w *Window) Score(assign func(rec stream.Record) int, now vclock.Time, cfg Config) (Result, error) {
+	records := w.Records()
+	if len(records) == 0 {
+		return Result{}, errors.New("cmm: empty window")
+	}
+	points := make([]Point, len(records))
+	for i, rec := range records {
+		points[i] = Point{
+			Values:   rec.Values,
+			Class:    rec.Label,
+			Assigned: assign(rec),
+			Time:     rec.Timestamp,
+		}
+	}
+	return Evaluate(points, now, cfg)
+}

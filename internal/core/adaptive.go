@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"diststream/internal/vclock"
+)
+
+// AdaptiveBatch enables adaptive batch sizing — the extension the paper
+// names as future work in §VII-D3 ("Currently, we configure batch size
+// statically based on a user-defined threshold but will explore adaptive
+// batch sizing approaches in future work").
+//
+// The controller is backpressure-style: after each batch it compares the
+// observed record count against TargetRecords and scales the next batch
+// interval multiplicatively (bounded to a factor of 2 per step), clamped
+// to [MinSeconds, MaxSeconds]. When the pipeline's DecayAlpha/DecayBeta
+// are set, MaxSeconds is additionally clamped to the §IV-D decay bound
+// log_beta(1/alpha), preserving the quality guarantee while adapting.
+type AdaptiveBatch struct {
+	// TargetRecords is the desired records per batch. Required.
+	TargetRecords int
+	// MinSeconds and MaxSeconds bound the interval. Defaults: 1 and 30.
+	MinSeconds, MaxSeconds float64
+}
+
+func (a *AdaptiveBatch) validate(alpha, beta float64) (AdaptiveBatch, error) {
+	out := *a
+	if out.TargetRecords <= 0 {
+		return out, fmt.Errorf("core: adaptive batch needs TargetRecords > 0")
+	}
+	if out.MinSeconds <= 0 {
+		out.MinSeconds = 1
+	}
+	if out.MaxSeconds <= 0 {
+		out.MaxSeconds = 30
+	}
+	if out.MaxSeconds < out.MinSeconds {
+		return out, fmt.Errorf("core: adaptive batch bounds inverted: [%v, %v]",
+			out.MinSeconds, out.MaxSeconds)
+	}
+	if alpha != 0 || beta != 0 {
+		limit, err := MaxBatchSeconds(alpha, beta)
+		if err != nil {
+			return out, err
+		}
+		if out.MaxSeconds > float64(limit) {
+			out.MaxSeconds = float64(limit)
+		}
+	}
+	return out, nil
+}
+
+// next returns the interval for the following batch given the observed
+// record count of the last one.
+func (a AdaptiveBatch) next(current vclock.Duration, observedRecords int) vclock.Duration {
+	if observedRecords <= 0 {
+		return current
+	}
+	factor := float64(a.TargetRecords) / float64(observedRecords)
+	// Bound the step so a single outlier batch cannot whipsaw the
+	// interval.
+	if factor > 2 {
+		factor = 2
+	}
+	if factor < 0.5 {
+		factor = 0.5
+	}
+	out := vclock.Duration(float64(current) * factor)
+	if out < vclock.Duration(a.MinSeconds) {
+		out = vclock.Duration(a.MinSeconds)
+	}
+	if out > vclock.Duration(a.MaxSeconds) {
+		out = vclock.Duration(a.MaxSeconds)
+	}
+	return out
+}

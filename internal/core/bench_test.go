@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"diststream/internal/stream"
+)
+
+// BenchmarkPipelineBatch measures full mini-batch processing (assign,
+// shuffle + local update, global update) on the reference workload at
+// parallelism 4.
+func BenchmarkPipelineBatch(b *testing.B) {
+	recs := twoBlobStream(2000, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := newToyEngine(b, 4)
+		pl, err := NewPipeline(Config{
+			Algorithm:     newToyAlgo(),
+			Engine:        eng,
+			BatchInterval: 1,
+			InitRecords:   100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pl.Run(stream.NewSliceSource(recs)); err != nil {
+			b.Fatal(err)
+		}
+		_ = eng.Close()
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}

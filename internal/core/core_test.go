@@ -1,0 +1,909 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// --- toy algorithm -------------------------------------------------------
+//
+// A deliberately simple algorithm that still exercises every pipeline
+// mechanism: micro-clusters are decayed centroids with a fixed absorb
+// radius; the decay makes update order observable; global update replaces
+// updated MCs, admits created ones, decays untouched ones and deletes
+// those below a weight threshold.
+
+type toyMC struct {
+	Id      uint64
+	Sum     vector.Vector // decayed weighted sum
+	W       float64       // decayed weight
+	Created vclock.Time
+	Updated vclock.Time
+	UpdLog  []uint64 // seq numbers folded in, records observed update order
+}
+
+func (m *toyMC) ID() uint64               { return m.Id }
+func (m *toyMC) SetID(id uint64)          { m.Id = id }
+func (m *toyMC) Weight() float64          { return m.W }
+func (m *toyMC) CreatedAt() vclock.Time   { return m.Created }
+func (m *toyMC) LastUpdated() vclock.Time { return m.Updated }
+func (m *toyMC) Center() vector.Vector {
+	if m.W == 0 {
+		return m.Sum.Clone()
+	}
+	return m.Sum.Clone().Scale(1 / m.W)
+}
+func (m *toyMC) Clone() MicroCluster {
+	out := *m
+	out.Sum = m.Sum.Clone()
+	out.UpdLog = append([]uint64(nil), m.UpdLog...)
+	return &out
+}
+
+type toyAlgo struct {
+	radius    float64
+	beta      float64 // decay base, >1
+	minWeight float64
+}
+
+func newToyAlgo() *toyAlgo {
+	return &toyAlgo{radius: 2.0, beta: 1.2, minWeight: 0.05}
+}
+
+func (a *toyAlgo) Name() string { return "toy" }
+func (a *toyAlgo) Params() Params {
+	return Params{Name: "toy", Floats: map[string]float64{
+		"radius": a.radius, "beta": a.beta, "minWeight": a.minWeight,
+	}}
+}
+
+func (a *toyAlgo) Init(records []stream.Record) ([]MicroCluster, error) {
+	var out []MicroCluster
+	for _, rec := range records {
+		absorbed := false
+		for _, mc := range out {
+			if vector.Distance(rec.Values, mc.Center()) <= a.radius {
+				a.Update(mc, rec)
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, a.Create(rec))
+		}
+	}
+	return out, nil
+}
+
+func (a *toyAlgo) NewSnapshot(mcs []MicroCluster) Snapshot {
+	return &toySnapshot{mcs: mcs, radius: a.radius}
+}
+
+func (a *toyAlgo) Update(mc MicroCluster, rec stream.Record) {
+	m := mc.(*toyMC)
+	dt := float64(rec.Timestamp - m.Updated)
+	if dt < 0 {
+		dt = 0 // the unordered baseline hits this: stale records don't decay
+	}
+	lambda := math.Pow(a.beta, -dt)
+	m.Sum.Scale(lambda).Add(rec.Values)
+	m.W = m.W*lambda + 1
+	if rec.Timestamp > m.Updated {
+		m.Updated = rec.Timestamp
+	}
+	m.UpdLog = append(m.UpdLog, rec.Seq)
+}
+
+func (a *toyAlgo) Create(rec stream.Record) MicroCluster {
+	return &toyMC{
+		Sum:     rec.Values.Clone(),
+		W:       1,
+		Created: rec.Timestamp,
+		Updated: rec.Timestamp,
+		UpdLog:  []uint64{rec.Seq},
+	}
+}
+
+func (a *toyAlgo) AbsorbIntoNew(mc MicroCluster, rec stream.Record) bool {
+	return vector.Distance(rec.Values, mc.Center()) <= a.radius
+}
+
+func (a *toyAlgo) GlobalUpdate(model *Model, updates []Update, now vclock.Time) error {
+	touched := map[uint64]bool{}
+	for _, u := range updates {
+		switch u.Kind {
+		case KindUpdated:
+			if model.Get(u.MC.ID()) == nil {
+				model.Add(u.MC) // base was deleted meanwhile; re-admit
+			} else if err := model.Replace(u.MC); err != nil {
+				return err
+			}
+			touched[u.MC.ID()] = true
+		case KindCreated:
+			model.Add(u.MC)
+			touched[u.MC.ID()] = true
+		default:
+			return fmt.Errorf("toy: unknown update kind %d", u.Kind)
+		}
+	}
+	// Decay untouched micro-clusters and delete the faded.
+	for _, mc := range model.List() {
+		m := mc.(*toyMC)
+		if !touched[m.Id] {
+			dt := float64(now - m.Updated)
+			if dt > 0 {
+				lambda := math.Pow(a.beta, -dt)
+				m.Sum.Scale(lambda)
+				m.W *= lambda
+				m.Updated = now
+			}
+		}
+		if m.W < a.minWeight {
+			model.Remove(m.Id)
+		}
+	}
+	return nil
+}
+
+func (a *toyAlgo) Offline(model *Model) (*Clustering, error) {
+	mcs := model.List()
+	centers := make([]vector.Vector, len(mcs))
+	labels := make([]int, len(mcs))
+	macros := make([]MacroCluster, len(mcs))
+	for i, mc := range mcs {
+		centers[i] = mc.Center()
+		labels[i] = i
+		macros[i] = MacroCluster{
+			Label:   i,
+			Members: []uint64{mc.ID()},
+			Center:  mc.Center(),
+			Weight:  mc.Weight(),
+		}
+	}
+	return NewClustering(macros, centers, labels), nil
+}
+
+type toySnapshot struct {
+	mcs    []MicroCluster
+	radius float64
+}
+
+func (s *toySnapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
+	best := -1
+	bestD := math.Inf(1)
+	for i, mc := range s.mcs {
+		if d := vector.Distance(rec.Values, mc.Center()); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return 0, false, false
+	}
+	return s.mcs[best].ID(), bestD <= s.radius, true
+}
+
+func (s *toySnapshot) Get(id uint64) MicroCluster {
+	for _, mc := range s.mcs {
+		if mc.ID() == id {
+			return mc
+		}
+	}
+	return nil
+}
+
+func (s *toySnapshot) Len() int { return len(s.mcs) }
+
+// --- helpers -------------------------------------------------------------
+
+func newToyEngine(t testing.TB, p int) *mbsp.Engine {
+	t.Helper()
+	reg := mbsp.NewRegistry()
+	algos := NewAlgorithmRegistry()
+	if err := algos.Register("toy", func(params Params) (Algorithm, error) {
+		return &toyAlgo{
+			radius:    params.Float("radius", 2),
+			beta:      params.Float("beta", 1.2),
+			minWeight: params.Float("minWeight", 0.05),
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterOps(reg, algos); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := mbsp.NewLocalExecutor(mbsp.LocalConfig{Parallelism: p, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	eng, err := mbsp.NewEngine(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// twoBlobStream emits records alternating between two well-separated
+// blobs at the given rate.
+func twoBlobStream(n int, rate float64) []stream.Record {
+	recs := make([]stream.Record, n)
+	for i := range recs {
+		var v vector.Vector
+		label := i % 2
+		if label == 0 {
+			v = vector.Vector{0 + 0.1*float64(i%5), 0}
+		} else {
+			v = vector.Vector{20 + 0.1*float64(i%5), 20}
+		}
+		recs[i] = stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) / rate),
+			Values:    v,
+			Label:     label,
+		}
+	}
+	return recs
+}
+
+// --- tests ----------------------------------------------------------------
+
+func TestPipelineConfigValidation(t *testing.T) {
+	eng := newToyEngine(t, 2)
+	algo := newToyAlgo()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no algorithm", Config{Engine: eng, BatchInterval: 1}},
+		{"no engine", Config{Algorithm: algo, BatchInterval: 1}},
+		{"bad interval", Config{Algorithm: algo, Engine: eng}},
+		{"bad order", Config{Algorithm: algo, Engine: eng, BatchInterval: 1, Order: OrderMode(9)}},
+		{"batch exceeds decay bound", Config{
+			Algorithm: algo, Engine: eng, BatchInterval: 60,
+			DecayAlpha: 0.01, DecayBeta: 1.2,
+		}},
+	}
+	for _, c := range cases {
+		if _, err := NewPipeline(c.cfg); err == nil {
+			t.Errorf("%s: config accepted", c.name)
+		}
+	}
+	// Valid config with defaults.
+	pl, err := NewPipeline(Config{Algorithm: algo, Engine: eng, BatchInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.cfg.Order != OrderAware || pl.cfg.InitRecords != 500 {
+		t.Errorf("defaults not applied: %+v", pl.cfg)
+	}
+}
+
+func TestPipelineRunClustersTwoBlobs(t *testing.T) {
+	eng := newToyEngine(t, 4)
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := twoBlobStream(1000, 100)
+	stats, err := pl.Run(stream.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Initialized() {
+		t.Fatal("pipeline not initialized")
+	}
+	if stats.Records != 950 {
+		t.Errorf("Records = %d, want 950 (1000 - 50 init)", stats.Records)
+	}
+	if stats.InitRecords != 50 {
+		t.Errorf("InitRecords = %d", stats.InitRecords)
+	}
+	if stats.Batches < 5 {
+		t.Errorf("Batches = %d", stats.Batches)
+	}
+	// The model should hold roughly two micro-clusters (one per blob).
+	if n := pl.Model().Len(); n < 2 || n > 6 {
+		t.Errorf("model size = %d, want ~2", n)
+	}
+	// Offline clustering should separate the blobs.
+	clustering, err := pl.Offline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := clustering.Assign(vector.Vector{0, 0})
+	b := clustering.Assign(vector.Vector{20, 20})
+	if a == b {
+		t.Errorf("blobs not separated: both assigned %d", a)
+	}
+	if stats.Throughput() <= 0 {
+		t.Errorf("Throughput = %v", stats.Throughput())
+	}
+}
+
+func TestPipelineOrderAwareLocalUpdateOrder(t *testing.T) {
+	// All records map to one micro-cluster; the update log must be in
+	// arrival order even with parallelism > 1.
+	eng := newToyEngine(t, 4)
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 10,
+		InitRecords:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]stream.Record, 100)
+	for i := range recs {
+		recs[i] = stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) * 0.05),
+			Values:    vector.Vector{0.01 * float64(i%7), 0},
+		}
+	}
+	if _, err := pl.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Model().Len() != 1 {
+		t.Fatalf("model size = %d, want 1", pl.Model().Len())
+	}
+	log := pl.Model().List()[0].(*toyMC).UpdLog
+	if len(log) != 100 {
+		t.Fatalf("update log has %d entries", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i] != log[i-1]+1 {
+			t.Fatalf("update order broken at %d: %d after %d", i, log[i], log[i-1])
+		}
+	}
+}
+
+func TestPipelineUnorderedScramblesUpdates(t *testing.T) {
+	eng := newToyEngine(t, 4)
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 10,
+		InitRecords:   1,
+		Order:         OrderUnordered,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]stream.Record, 100)
+	for i := range recs {
+		recs[i] = stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) * 0.05),
+			Values:    vector.Vector{0.01 * float64(i%7), 0},
+		}
+	}
+	if _, err := pl.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	log := pl.Model().List()[0].(*toyMC).UpdLog
+	inOrder := true
+	for i := 1; i < len(log); i++ {
+		if log[i] < log[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("unordered mode still processed records in arrival order")
+	}
+}
+
+func TestPipelineOutliersCreateMicroClusters(t *testing.T) {
+	eng := newToyEngine(t, 2)
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 5,
+		InitRecords:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 10 records at origin (init), then a burst at (50, 50).
+	var recs []stream.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, stream.Record{
+			Seq: uint64(i), Timestamp: vclock.Time(float64(i) * 0.1),
+			Values: vector.Vector{0, 0},
+		})
+	}
+	for i := 10; i < 40; i++ {
+		recs = append(recs, stream.Record{
+			Seq: uint64(i), Timestamp: vclock.Time(float64(i) * 0.1),
+			Values: vector.Vector{50, 50},
+		})
+	}
+	stats, err := pl.Run(stream.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CreatedMCs == 0 {
+		t.Error("no outlier micro-clusters created")
+	}
+	if stats.OutlierRecords != 30 {
+		t.Errorf("OutlierRecords = %d, want 30", stats.OutlierRecords)
+	}
+	// Pre-merge should coalesce the burst into few MCs, not 30.
+	if stats.CreatedMCs > 8 {
+		t.Errorf("CreatedMCs = %d; pre-merge ineffective", stats.CreatedMCs)
+	}
+}
+
+func TestPipelinePreMergeAblation(t *testing.T) {
+	run := func(disable bool) RunStats {
+		eng := newToyEngine(t, 2)
+		pl, err := NewPipeline(Config{
+			Algorithm:       newToyAlgo(),
+			Engine:          eng,
+			BatchInterval:   100, // single batch
+			InitRecords:     1,
+			DisablePreMerge: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []stream.Record
+		recs = append(recs, stream.Record{Seq: 0, Timestamp: 0, Values: vector.Vector{0, 0}})
+		for i := 1; i <= 20; i++ {
+			recs = append(recs, stream.Record{
+				Seq: uint64(i), Timestamp: vclock.Time(float64(i) * 0.01),
+				Values: vector.Vector{50, 50},
+			})
+		}
+		stats, err := pl.Run(stream.NewSliceSource(recs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	with := run(false)
+	without := run(true)
+	if without.CreatedMCs != 20 {
+		t.Errorf("without pre-merge CreatedMCs = %d, want 20 (one per outlier)", without.CreatedMCs)
+	}
+	if with.CreatedMCs >= without.CreatedMCs {
+		t.Errorf("pre-merge did not reduce created MCs: %d vs %d", with.CreatedMCs, without.CreatedMCs)
+	}
+}
+
+func TestPipelineDeterministicAcrossParallelism(t *testing.T) {
+	// Order-aware mode must give identical models for p=1 and p=8.
+	finalModel := func(p int) []MicroCluster {
+		eng := newToyEngine(t, p)
+		pl, err := NewPipeline(Config{
+			Algorithm:     newToyAlgo(),
+			Engine:        eng,
+			BatchInterval: 2,
+			InitRecords:   20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pl.Run(stream.NewSliceSource(twoBlobStream(600, 50))); err != nil {
+			t.Fatal(err)
+		}
+		mcs := pl.Model().List()
+		sort.Slice(mcs, func(i, j int) bool { return mcs[i].ID() < mcs[j].ID() })
+		return mcs
+	}
+	a := finalModel(1)
+	b := finalModel(8)
+	if len(a) != len(b) {
+		t.Fatalf("model sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		am, bm := a[i].(*toyMC), b[i].(*toyMC)
+		if am.W != bm.W || !am.Sum.ApproxEqual(bm.Sum, 1e-9) {
+			t.Errorf("mc %d differs across parallelism: W %v vs %v", i, am.W, bm.W)
+		}
+	}
+}
+
+func TestPipelineBatchHook(t *testing.T) {
+	eng := newToyEngine(t, 2)
+	var hookBatches []int
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   10,
+		OnBatch: func(batch stream.Batch, model *Model) error {
+			hookBatches = append(hookBatches, batch.Index)
+			if model.Len() == 0 {
+				return errors.New("empty model in hook")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(twoBlobStream(300, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hookBatches) != stats.Batches {
+		t.Errorf("hook ran %d times, %d batches", len(hookBatches), stats.Batches)
+	}
+	// Hook error propagates.
+	eng2 := newToyEngine(t, 2)
+	pl2, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng2,
+		BatchInterval: 1,
+		InitRecords:   10,
+		OnBatch: func(stream.Batch, *Model) error {
+			return errors.New("stop")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl2.Run(stream.NewSliceSource(twoBlobStream(300, 100))); err == nil {
+		t.Error("hook error not propagated")
+	}
+}
+
+func TestPipelineInitShorterThanStream(t *testing.T) {
+	// Stream ends before warm-up fills: model still initializes at EOF.
+	eng := newToyEngine(t, 2)
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(twoBlobStream(100, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Initialized() {
+		t.Error("pipeline not initialized at EOF")
+	}
+	if stats.Batches != 0 || stats.Records != 0 {
+		t.Errorf("stats = %+v, want all records consumed by init", stats)
+	}
+	if pl.Model().Len() != 2 {
+		t.Errorf("model size = %d, want 2", pl.Model().Len())
+	}
+}
+
+func TestMaxBatchSeconds(t *testing.T) {
+	// Paper example: alpha=0.01, beta=1.2 => ~25 seconds.
+	got, err := MaxBatchSeconds(0.01, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 25 || got > 26 {
+		t.Errorf("MaxBatchSeconds(0.01, 1.2) = %v, want ~25.3", got)
+	}
+	if _, err := MaxBatchSeconds(0, 1.2); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := MaxBatchSeconds(1, 1.2); err == nil {
+		t.Error("alpha 1 accepted")
+	}
+	if _, err := MaxBatchSeconds(0.01, 1); err == nil {
+		t.Error("beta 1 accepted")
+	}
+	if err := ValidateBatchInterval(10, 0, 0); err != nil {
+		t.Errorf("disabled bound rejected: %v", err)
+	}
+	if err := ValidateBatchInterval(10, 0.01, 1.2); err != nil {
+		t.Errorf("10s under 25s bound rejected: %v", err)
+	}
+	if err := ValidateBatchInterval(30, 0.01, 1.2); err == nil {
+		t.Error("30s over 25s bound accepted")
+	}
+	if err := ValidateBatchInterval(10, -1, 1.2); err == nil {
+		t.Error("invalid alpha accepted by ValidateBatchInterval")
+	}
+}
+
+func TestModelBasics(t *testing.T) {
+	m := NewModel()
+	if m.Len() != 0 || m.TotalWeight() != 0 {
+		t.Fatal("empty model not empty")
+	}
+	algo := newToyAlgo()
+	mc1 := algo.Create(stream.Record{Seq: 1, Timestamp: 1, Values: vector.Vector{1, 1}})
+	mc2 := algo.Create(stream.Record{Seq: 2, Timestamp: 2, Values: vector.Vector{2, 2}})
+	id1 := m.Add(mc1)
+	id2 := m.Add(mc2)
+	if id1 == id2 {
+		t.Fatal("duplicate ids")
+	}
+	if m.Get(id1) != mc1 || m.Get(id2) != mc2 {
+		t.Fatal("Get broken")
+	}
+	if m.Get(999) != nil {
+		t.Fatal("Get(999) != nil")
+	}
+	if got := m.IDs(); len(got) != 2 || got[0] != id1 || got[1] != id2 {
+		t.Errorf("IDs = %v", got)
+	}
+	if m.TotalWeight() != 2 {
+		t.Errorf("TotalWeight = %v", m.TotalWeight())
+	}
+	// Replace.
+	repl := mc1.Clone()
+	algo.Update(repl, stream.Record{Seq: 3, Timestamp: 3, Values: vector.Vector{1, 1}})
+	if err := m.Replace(repl); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(id1).Weight() <= 1 {
+		t.Error("Replace did not take effect")
+	}
+	ghost := mc2.Clone()
+	ghost.SetID(777)
+	if err := m.Replace(ghost); err == nil {
+		t.Error("Replace of unknown id accepted")
+	}
+	// Remove preserves order of the rest.
+	if !m.Remove(id1) {
+		t.Fatal("Remove failed")
+	}
+	if m.Remove(id1) {
+		t.Fatal("double Remove succeeded")
+	}
+	if m.Len() != 1 || m.List()[0].ID() != id2 {
+		t.Errorf("after remove: len=%d", m.Len())
+	}
+	// Clones are deep.
+	clones := m.CloneList()
+	clones[0].(*toyMC).Sum[0] = 999
+	if m.Get(id2).(*toyMC).Sum[0] == 999 {
+		t.Error("CloneList returned shallow copies")
+	}
+	// Time is monotone.
+	m.SetNow(5)
+	m.SetNow(3)
+	if m.Now() != 5 {
+		t.Errorf("Now = %v", m.Now())
+	}
+}
+
+func TestSortUpdatesByOrderTime(t *testing.T) {
+	updates := []Update{
+		{OrderTime: 3, OrderSeq: 1},
+		{OrderTime: 1, OrderSeq: 2},
+		{OrderTime: 1, OrderSeq: 1},
+		{OrderTime: 2, OrderSeq: 9},
+	}
+	SortUpdatesByOrderTime(updates)
+	wantTimes := []vclock.Time{1, 1, 2, 3}
+	wantSeqs := []uint64{1, 2, 9, 1}
+	for i := range updates {
+		if updates[i].OrderTime != wantTimes[i] || updates[i].OrderSeq != wantSeqs[i] {
+			t.Fatalf("position %d: %+v", i, updates[i])
+		}
+	}
+}
+
+func TestScrambleUpdatesDeterministicButUnordered(t *testing.T) {
+	mk := func() []Update {
+		out := make([]Update, 50)
+		for i := range out {
+			out[i] = Update{OrderTime: vclock.Time(i), OrderSeq: uint64(i)}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	ScrambleUpdates(a)
+	ScrambleUpdates(b)
+	inOrder := true
+	for i := range a {
+		if a[i].OrderSeq != b[i].OrderSeq {
+			t.Fatal("scramble not deterministic")
+		}
+		if i > 0 && a[i].OrderSeq < a[i-1].OrderSeq {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Error("scramble preserved order")
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := Params{
+		Name:   "x",
+		Dim:    3,
+		Floats: map[string]float64{"a": 1.5},
+		Ints:   map[string]int{"k": 7},
+	}
+	if p.Float("a", 0) != 1.5 || p.Float("b", 9) != 9 {
+		t.Error("Float lookup broken")
+	}
+	if p.Int("k", 0) != 7 || p.Int("z", 4) != 4 {
+		t.Error("Int lookup broken")
+	}
+	c := p.Clone()
+	c.Floats["a"] = 99
+	c.Ints["k"] = 99
+	if p.Floats["a"] != 1.5 || p.Ints["k"] != 7 {
+		t.Error("Clone shares maps")
+	}
+	empty := Params{}.Clone()
+	if empty.Floats != nil || empty.Ints != nil {
+		t.Error("Clone of empty params allocated maps")
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	r := NewAlgorithmRegistry()
+	if err := r.Register("", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register("a", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	f := func(Params) (Algorithm, error) { return newToyAlgo(), nil }
+	if err := r.Register("a", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("a", f); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := r.New(Params{Name: "missing"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	algo, err := r.New(Params{Name: "a"})
+	if err != nil || algo.Name() != "toy" {
+		t.Errorf("New: %v %v", algo, err)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "a" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRegisterOpsErrors(t *testing.T) {
+	if err := RegisterOps(nil, nil); err == nil {
+		t.Error("nil registries accepted")
+	}
+	reg := mbsp.NewRegistry()
+	algos := NewAlgorithmRegistry()
+	if err := RegisterOps(reg, algos); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterOps(reg, algos); err == nil {
+		t.Error("double registration accepted")
+	}
+}
+
+func TestClusteringAssign(t *testing.T) {
+	c := NewClustering(
+		[]MacroCluster{{Label: 0}, {Label: 1}},
+		[]vector.Vector{{0, 0}, {1, 1}, {10, 10}},
+		[]int{0, 0, 1},
+	)
+	if got := c.Assign(vector.Vector{0.4, 0.4}); got != 0 {
+		t.Errorf("Assign near origin = %d", got)
+	}
+	if got := c.Assign(vector.Vector{9, 9}); got != 1 {
+		t.Errorf("Assign near (10,10) = %d", got)
+	}
+	if c.NumClusters() != 2 {
+		t.Errorf("NumClusters = %d", c.NumClusters())
+	}
+	empty := NewClustering(nil, nil, nil)
+	if got := empty.Assign(vector.Vector{1}); got != -1 {
+		t.Errorf("empty Assign = %d", got)
+	}
+}
+
+func TestOrderModeString(t *testing.T) {
+	if OrderAware.String() != "ordered" || OrderUnordered.String() != "unordered" {
+		t.Error("mode names wrong")
+	}
+	if OrderMode(5).String() == "" {
+		t.Error("unknown mode empty")
+	}
+}
+
+func TestAdaptiveBatchController(t *testing.T) {
+	a := AdaptiveBatch{TargetRecords: 1000, MinSeconds: 1, MaxSeconds: 30}
+	// Too few records: interval doubles (bounded step).
+	if got := a.next(5, 100); got != 10 {
+		t.Errorf("grow step = %v, want 10", got)
+	}
+	// Too many: halves.
+	if got := a.next(8, 4000); got != 4 {
+		t.Errorf("shrink step = %v, want 4", got)
+	}
+	// Near target: proportional.
+	if got := a.next(10, 2000); got != 5 {
+		t.Errorf("proportional step = %v, want 5", got)
+	}
+	// Bounds respected.
+	if got := a.next(1.2, 100000); got != 1 {
+		t.Errorf("min bound = %v", got)
+	}
+	if got := a.next(29, 10); got != 30 {
+		t.Errorf("max bound = %v", got)
+	}
+	// Zero observations: unchanged.
+	if got := a.next(7, 0); got != 7 {
+		t.Errorf("zero-record step = %v", got)
+	}
+}
+
+func TestAdaptiveBatchValidation(t *testing.T) {
+	if _, err := (&AdaptiveBatch{}).validate(0, 0); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := (&AdaptiveBatch{TargetRecords: 10, MinSeconds: 5, MaxSeconds: 2}).validate(0, 0); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	// The §IV-D decay bound clamps MaxSeconds.
+	v, err := (&AdaptiveBatch{TargetRecords: 10, MaxSeconds: 100}).validate(0.01, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MaxSeconds > 26 {
+		t.Errorf("MaxSeconds = %v, want clamped to ~25.3", v.MaxSeconds)
+	}
+	if _, err := (&AdaptiveBatch{TargetRecords: 10}).validate(-1, 1.2); err == nil {
+		t.Error("invalid decay params accepted")
+	}
+}
+
+func TestPipelineAdaptiveBatchSizing(t *testing.T) {
+	// A slow stream (1 rec/s) with a 2000-record target: the controller
+	// must grow the interval from 1s toward the max.
+	eng := newToyEngine(t, 2)
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   10,
+		Adaptive:      &AdaptiveBatch{TargetRecords: 2000, MinSeconds: 1, MaxSeconds: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]stream.Record, 400)
+	for i := range recs {
+		recs[i] = stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(i), // 1 record per second
+			Values:    vector.Vector{0.01 * float64(i%5), 0},
+		}
+	}
+	stats, err := pl.Run(stream.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AdaptiveAdjustments == 0 {
+		t.Error("controller never adjusted")
+	}
+	if stats.FinalBatchSeconds != 20 {
+		t.Errorf("final interval = %v, want max 20", stats.FinalBatchSeconds)
+	}
+	// Adaptation reduces batch count versus the fixed 1s interval.
+	if stats.Batches >= 390 {
+		t.Errorf("batches = %d; interval never grew", stats.Batches)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"diststream/internal/vclock"
+)
+
+// MaxBatchSeconds returns the maximum batch interval derived in §IV-D: to
+// bound the decay a record's increment suffers within one batch, require
+// beta^-dt > alpha, i.e. dt < log_beta(1/alpha). With alpha = 0.01 and
+// beta = 1.2 this is ≈ 25 seconds, the paper's example.
+func MaxBatchSeconds(alpha, beta float64) (vclock.Duration, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("core: alpha %v must be in (0,1)", alpha)
+	}
+	if beta <= 1 {
+		return 0, fmt.Errorf("core: beta %v must be > 1", beta)
+	}
+	return vclock.Duration(math.Log(1/alpha) / math.Log(beta)), nil
+}
+
+// ValidateBatchInterval checks a batch interval against the §IV-D bound.
+// It returns nil when alpha/beta are unset (0), treating the bound as
+// disabled.
+func ValidateBatchInterval(interval vclock.Duration, alpha, beta float64) error {
+	if alpha == 0 && beta == 0 {
+		return nil
+	}
+	limit, err := MaxBatchSeconds(alpha, beta)
+	if err != nil {
+		return err
+	}
+	if interval > limit {
+		return fmt.Errorf("core: batch interval %.3gs exceeds decay-bounded maximum %.3gs (alpha=%v, beta=%v)",
+			float64(interval), float64(limit), alpha, beta)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"diststream/internal/vclock"
+)
+
+// Model is the live micro-cluster set Q_t plus identifier allocation. It
+// lives on the driver; tasks only ever see frozen snapshots of it. The
+// model is not safe for concurrent use — the batch loop is sequential by
+// design (the batch-by-batch feedback loop of §IV-A).
+type Model struct {
+	mcs     []MicroCluster // in admission order (stable, deterministic)
+	index   map[uint64]int // id -> position in mcs
+	next    uint64         // next id to allocate
+	now     vclock.Time    // time of the last completed global update
+	version uint64         // bumped on structural change (add/remove/new pointer)
+	meta    map[string]float64
+}
+
+// NewModel returns an empty model whose first allocated id is 1.
+func NewModel() *Model {
+	return &Model{index: make(map[uint64]int), next: 1}
+}
+
+// AllocID returns a fresh micro-cluster id.
+func (m *Model) AllocID() uint64 {
+	id := m.next
+	m.next++
+	return id
+}
+
+// Add admits mc to the model, assigning it a fresh id. It returns the id.
+func (m *Model) Add(mc MicroCluster) uint64 {
+	id := m.AllocID()
+	mc.SetID(id)
+	m.index[id] = len(m.mcs)
+	m.mcs = append(m.mcs, mc)
+	m.version++
+	return id
+}
+
+// Version returns a counter that changes whenever the model's structure
+// changes: a micro-cluster is added, removed, or replaced by a different
+// object. In-place mutation of a live micro-cluster does not bump it. The
+// sequential runner uses this to cache search snapshots between records.
+func (m *Model) Version() uint64 { return m.version }
+
+// Get returns the micro-cluster with the given id, or nil.
+func (m *Model) Get(id uint64) MicroCluster {
+	pos, ok := m.index[id]
+	if !ok {
+		return nil
+	}
+	return m.mcs[pos]
+}
+
+// Replace substitutes the micro-cluster with updated's id. It returns an
+// error when the id is not live (e.g. it was deleted earlier in the same
+// global update — a case the caller must handle by re-admitting or
+// dropping the update).
+func (m *Model) Replace(updated MicroCluster) error {
+	pos, ok := m.index[updated.ID()]
+	if !ok {
+		return fmt.Errorf("core: replace: micro-cluster %d not in model", updated.ID())
+	}
+	if m.mcs[pos] != updated {
+		m.version++
+	}
+	m.mcs[pos] = updated
+	return nil
+}
+
+// Remove deletes the micro-cluster with the given id. It reports whether
+// the id was live.
+func (m *Model) Remove(id uint64) bool {
+	pos, ok := m.index[id]
+	if !ok {
+		return false
+	}
+	// Preserve admission order: shift the tail. The model is small (n
+	// micro-clusters), so O(n) removal is irrelevant next to the per-batch
+	// O(m*n) assign work.
+	copy(m.mcs[pos:], m.mcs[pos+1:])
+	m.mcs = m.mcs[:len(m.mcs)-1]
+	delete(m.index, id)
+	m.version++
+	for i := pos; i < len(m.mcs); i++ {
+		m.index[m.mcs[i].ID()] = i
+	}
+	return true
+}
+
+// Len returns the number of live micro-clusters.
+func (m *Model) Len() int { return len(m.mcs) }
+
+// List returns the live micro-clusters in admission order. The slice is a
+// copy; the elements are the live objects.
+func (m *Model) List() []MicroCluster {
+	out := make([]MicroCluster, len(m.mcs))
+	copy(out, m.mcs)
+	return out
+}
+
+// CloneList returns deep copies of the live micro-clusters in admission
+// order — the frozen view broadcast to assign tasks.
+func (m *Model) CloneList() []MicroCluster {
+	out := make([]MicroCluster, len(m.mcs))
+	for i, mc := range m.mcs {
+		out[i] = mc.Clone()
+	}
+	return out
+}
+
+// IDs returns the live ids in admission order.
+func (m *Model) IDs() []uint64 {
+	out := make([]uint64, len(m.mcs))
+	for i, mc := range m.mcs {
+		out[i] = mc.ID()
+	}
+	return out
+}
+
+// Now returns the time of the last completed global update.
+func (m *Model) Now() vclock.Time { return m.now }
+
+// SetNow records the completion time of a global update. Time is
+// monotone; earlier values are ignored.
+func (m *Model) SetNow(t vclock.Time) {
+	if t > m.now {
+		m.now = t
+	}
+}
+
+// MetaFloat reads algorithm-owned scalar state attached to the model
+// (e.g. the time of the last periodic maintenance sweep — DenStream's Tp
+// bookkeeping). Algorithms are stateless; durable state belongs to the
+// model they operate on.
+func (m *Model) MetaFloat(key string) (float64, bool) {
+	v, ok := m.meta[key]
+	return v, ok
+}
+
+// SetMetaFloat stores algorithm-owned scalar state on the model.
+func (m *Model) SetMetaFloat(key string, v float64) {
+	if m.meta == nil {
+		m.meta = make(map[string]float64, 4)
+	}
+	m.meta[key] = v
+}
+
+// TotalWeight sums the live micro-cluster weights.
+func (m *Model) TotalWeight() float64 {
+	var total float64
+	for _, mc := range m.mcs {
+		total += mc.Weight()
+	}
+	return total
+}
+
+// SortUpdatesByOrderTime sorts updates by (OrderTime, OrderSeq) — the
+// order-aware global update rule (§IV-C2: operations are performed on
+// micro-clusters by the order of their updated/created time, because
+// deletion and merging are irreversible).
+func SortUpdatesByOrderTime(updates []Update) {
+	sort.SliceStable(updates, func(i, j int) bool {
+		if updates[i].OrderTime != updates[j].OrderTime {
+			return updates[i].OrderTime < updates[j].OrderTime
+		}
+		return updates[i].OrderSeq < updates[j].OrderSeq
+	})
+}
+
+// ScrambleUpdates deterministically permutes updates by a hash of their
+// order keys — the unordered baseline's arbitrary application order.
+func ScrambleUpdates(updates []Update) {
+	sort.SliceStable(updates, func(i, j int) bool {
+		return scrambleKey(updates[i].OrderSeq) < scrambleKey(updates[j].OrderSeq)
+	})
+}
+
+// scrambleKey is an integer hash (splitmix64 finalizer) giving a
+// deterministic but order-destroying permutation key.
+func scrambleKey(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

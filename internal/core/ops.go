@@ -1,0 +1,269 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// Broadcast ids and op names used by the pipeline. They are fixed so that
+// remote workers, which register the same ops, resolve identically.
+const (
+	// BroadcastModel carries the frozen model snapshot for the batch.
+	BroadcastModel = "diststream.model"
+	// BroadcastConfig carries the TaskConfig.
+	BroadcastConfig = "diststream.config"
+	// OpAssign is the record-parallel closest-micro-cluster stage (§V-A).
+	OpAssign = "diststream.assign"
+	// OpLocalUpdate is the model-parallel local update stage (§V-B).
+	OpLocalUpdate = "diststream.local-update"
+)
+
+// OutlierKeyBase marks shuffle keys that carry outlier records rather
+// than micro-cluster ids: keys >= OutlierKeyBase route to outlier groups.
+const OutlierKeyBase = uint64(1) << 63
+
+// TaskConfig is the per-pipeline configuration broadcast to workers.
+type TaskConfig struct {
+	// Params reconstructs the algorithm on the worker.
+	Params Params
+	// Ordered selects the order-aware update mechanism; false runs the
+	// unordered baseline.
+	Ordered bool
+	// PreMerge enables the §V-C outlier pre-merge optimization.
+	PreMerge bool
+	// OutlierGroups is the number of round-robin outlier key groups
+	// (normally the parallelism degree).
+	OutlierGroups uint64
+}
+
+// RegisterWireTypes registers the core types that cross executor
+// boundaries with gob. Algorithm packages register their own
+// micro-cluster and snapshot types.
+func RegisterWireTypes() {
+	gob.Register(TaskConfig{})
+	gob.Register(Update{})
+	gob.Register(Params{})
+}
+
+// RegisterOps installs the two pipeline operations into an mbsp registry,
+// resolving algorithms against algos. Both the driver process and every
+// worker binary must call this with identically configured registries.
+func RegisterOps(reg *mbsp.Registry, algos *AlgorithmRegistry) error {
+	if reg == nil || algos == nil {
+		return fmt.Errorf("core: RegisterOps requires registries")
+	}
+	if err := reg.Register(OpAssign, makeAssignOp()); err != nil {
+		return err
+	}
+	return reg.Register(OpLocalUpdate, makeLocalUpdateOp(algos))
+}
+
+// taskEnv resolves the broadcasts both ops need.
+func taskEnv(ctx *mbsp.TaskContext) (Snapshot, TaskConfig, error) {
+	sv, err := ctx.Broadcast(BroadcastModel)
+	if err != nil {
+		return nil, TaskConfig{}, err
+	}
+	snap, ok := sv.(Snapshot)
+	if !ok {
+		return nil, TaskConfig{}, fmt.Errorf("core: model broadcast is %T, want Snapshot", sv)
+	}
+	cv, err := ctx.Broadcast(BroadcastConfig)
+	if err != nil {
+		return nil, TaskConfig{}, err
+	}
+	cfg, ok := cv.(TaskConfig)
+	if !ok {
+		return nil, TaskConfig{}, fmt.Errorf("core: config broadcast is %T, want TaskConfig", cv)
+	}
+	if cfg.OutlierGroups == 0 {
+		cfg.OutlierGroups = 1
+	}
+	return snap, cfg, nil
+}
+
+// makeAssignOp builds the assign stage: for each record of the task's
+// partition, find the closest micro-cluster in the (stale) snapshot and
+// emit (micro-cluster id, record); records outside every maximum boundary
+// become outliers, dealt round-robin across outlier key groups.
+func makeAssignOp() mbsp.OpFunc {
+	return func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		snap, cfg, err := taskEnv(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make(mbsp.Partition, 0, len(in))
+		for i, item := range in {
+			rec, ok := item.(stream.Record)
+			if !ok {
+				return nil, fmt.Errorf("core: assign input %d is %T, want stream.Record", i, item)
+			}
+			id, absorbable, found := snap.Nearest(rec)
+			if found && absorbable {
+				out = append(out, mbsp.KeyedItem{Key: id, Item: rec})
+				continue
+			}
+			key := OutlierKeyBase | (rec.Seq % cfg.OutlierGroups)
+			out = append(out, mbsp.KeyedItem{Key: key, Item: rec})
+		}
+		return out, nil
+	}
+}
+
+// makeLocalUpdateOp builds the local-update stage: each task receives
+// groups of records keyed by micro-cluster id (or outlier group), orders
+// each group's records by arrival (order-aware mode), folds increments
+// into a clone of the stale micro-cluster, and emits Update values. For
+// outlier groups it creates new micro-clusters, pre-merging within the
+// group when enabled.
+func makeLocalUpdateOp(algos *AlgorithmRegistry) mbsp.OpFunc {
+	return func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		snap, cfg, err := taskEnv(ctx)
+		if err != nil {
+			return nil, err
+		}
+		algo, err := algos.New(cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		var out mbsp.Partition
+		for gi, item := range in {
+			group, ok := item.(mbsp.Group)
+			if !ok {
+				return nil, fmt.Errorf("core: local-update input %d is %T, want mbsp.Group", gi, item)
+			}
+			records, err := groupRecords(group)
+			if err != nil {
+				return nil, err
+			}
+			orderRecords(records, cfg.Ordered)
+			if group.Key >= OutlierKeyBase {
+				out = append(out, createOutlierMCs(algo, records, cfg.PreMerge)...)
+				continue
+			}
+			update, err := updateExisting(algo, snap, group.Key, records)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, update)
+		}
+		return out, nil
+	}
+}
+
+// groupRecords extracts and type-checks a group's records.
+func groupRecords(group mbsp.Group) ([]stream.Record, error) {
+	records := make([]stream.Record, len(group.Items))
+	for i, item := range group.Items {
+		rec, ok := item.(stream.Record)
+		if !ok {
+			return nil, fmt.Errorf("core: group %d item %d is %T, want stream.Record", group.Key, i, item)
+		}
+		records[i] = rec
+	}
+	return records, nil
+}
+
+// orderRecords sorts records by arrival in order-aware mode. In unordered
+// mode it models the baseline of [13], which "does not distinguish the
+// data arrival orders": processing order is scrambled deterministically
+// and timestamps are coarsened to the group's latest arrival, so decay is
+// applied at batch granularity and no record is favored for recency
+// within a batch — the update "fails to favor recent records" (§VII-B2).
+//
+// Why coarsening rather than leaving the scrambled true timestamps in
+// place: with the naive λ = β^(-|Δt|) update, the total decay applied to
+// a group is β^(-Σ|Δt_i|), and Σ|Δt_i| over a permutation of the group's
+// arrival times is minimized by sorted order (where it telescopes to the
+// window span) — any substantial permutation makes Σ|Δt| grow linearly in
+// the group size and annihilates the micro-cluster regardless of the
+// data. No published unordered implementation behaves that way; batch-
+// granularity timestamps are the realistic reading. EXPERIMENTS.md
+// discusses this at length.
+func orderRecords(records []stream.Record, ordered bool) {
+	if ordered {
+		sort.SliceStable(records, func(i, j int) bool {
+			return stream.ByArrival(records[i], records[j]) < 0
+		})
+		return
+	}
+	var latest vclock.Time
+	for _, r := range records {
+		if r.Timestamp > latest {
+			latest = r.Timestamp
+		}
+	}
+	for i := range records {
+		records[i].Timestamp = latest
+	}
+	sort.SliceStable(records, func(i, j int) bool {
+		return scrambleKey(records[i].Seq) < scrambleKey(records[j].Seq)
+	})
+}
+
+// updateExisting folds records into a clone of the stale micro-cluster.
+func updateExisting(algo Algorithm, snap Snapshot, key uint64, records []stream.Record) (Update, error) {
+	base := snap.Get(key)
+	if base == nil {
+		return Update{}, fmt.Errorf("core: micro-cluster %d not in snapshot", key)
+	}
+	mc := base.Clone()
+	for _, rec := range records {
+		algo.Update(mc, rec)
+	}
+	last := records[len(records)-1]
+	return Update{
+		Kind:      KindUpdated,
+		MC:        mc,
+		Absorbed:  len(records),
+		OrderTime: last.Timestamp,
+		OrderSeq:  last.Seq,
+	}, nil
+}
+
+// createOutlierMCs turns an outlier group's records into new
+// micro-clusters. With pre-merge, each record is first offered to the
+// micro-clusters already created in this group (§V-C: "many outlier
+// micro-clusters are from the same new cluster when data distribution is
+// evolving"); without it, every record becomes its own micro-cluster.
+func createOutlierMCs(algo Algorithm, records []stream.Record, preMerge bool) mbsp.Partition {
+	type pending struct {
+		mc       MicroCluster
+		absorbed int
+		first    stream.Record
+	}
+	var created []pending
+	for _, rec := range records {
+		if preMerge {
+			merged := false
+			for i := range created {
+				if algo.AbsorbIntoNew(created[i].mc, rec) {
+					algo.Update(created[i].mc, rec)
+					created[i].absorbed++
+					merged = true
+					break
+				}
+			}
+			if merged {
+				continue
+			}
+		}
+		created = append(created, pending{mc: algo.Create(rec), absorbed: 1, first: rec})
+	}
+	out := make(mbsp.Partition, len(created))
+	for i, p := range created {
+		out[i] = Update{
+			Kind:      KindCreated,
+			MC:        p.mc,
+			Absorbed:  p.absorbed,
+			OrderTime: p.first.Timestamp,
+			OrderSeq:  p.first.Seq,
+		}
+	}
+	return out
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// OrderMode selects between the paper's order-aware update mechanism and
+// the unordered mini-batch baseline.
+type OrderMode int
+
+// Order modes.
+const (
+	// OrderAware preserves arrival order in local updates and
+	// created/updated-time order in the global update (the DistStream
+	// design, §IV-C).
+	OrderAware OrderMode = iota + 1
+	// OrderUnordered processes records and updates in an arbitrary
+	// (deterministically scrambled) order — the baseline of [13].
+	OrderUnordered
+)
+
+// String renders the mode name used in experiment reports.
+func (m OrderMode) String() string {
+	switch m {
+	case OrderAware:
+		return "ordered"
+	case OrderUnordered:
+		return "unordered"
+	default:
+		return fmt.Sprintf("ordermode(%d)", int(m))
+	}
+}
+
+// BatchHook runs on the driver after each batch's global update; quality
+// evaluation and offline-clustering triggers hang off it. Returning an
+// error aborts the run.
+type BatchHook func(batch stream.Batch, model *Model) error
+
+// Config configures a DistStream pipeline.
+type Config struct {
+	// Algorithm is the stream clustering algorithm to parallelize.
+	Algorithm Algorithm
+	// Engine executes the parallel stages.
+	Engine *mbsp.Engine
+	// BatchInterval is the mini-batch window in virtual seconds.
+	BatchInterval vclock.Duration
+	// Order defaults to OrderAware.
+	Order OrderMode
+	// InitRecords is the warm-up sample size used to initialize the
+	// micro-clusters with batch-mode clustering. Default 500.
+	InitRecords int
+	// DisablePreMerge turns off the §V-C outlier pre-merge optimization
+	// (used by the ablation benchmark).
+	DisablePreMerge bool
+	// DecayAlpha/DecayBeta, when both set, enforce the §IV-D maximum
+	// batch interval log_beta(1/alpha).
+	DecayAlpha, DecayBeta float64
+	// Adaptive, when set, adjusts the batch interval at run time toward
+	// a target records-per-batch (the paper's §VII-D3 future work). The
+	// BatchInterval is then only the starting point.
+	Adaptive *AdaptiveBatch
+	// OnBatch, when set, runs after every batch's global update.
+	OnBatch BatchHook
+}
+
+// StageStats accumulates wall time spent in one pipeline stage.
+type StageStats struct {
+	Wall  time.Duration
+	Count int
+}
+
+// RunStats summarizes a pipeline run.
+type RunStats struct {
+	Batches        int
+	Records        int
+	InitRecords    int
+	UpdatedMCs     int
+	CreatedMCs     int
+	OutlierRecords int
+	Assign         StageStats
+	Shuffle        StageStats
+	LocalUpdate    StageStats
+	GlobalUpdate   StageStats
+	TotalWall      time.Duration
+	// StragglerTasks and TotalTasks aggregate over all parallel stages.
+	StragglerTasks, TotalTasks int
+	// AdaptiveAdjustments counts batch-interval changes made by the
+	// adaptive controller; FinalBatchSeconds is the interval it settled
+	// on (0 when adaptation is off).
+	AdaptiveAdjustments int
+	FinalBatchSeconds   float64
+}
+
+// Throughput returns processed records per wall-clock second.
+func (s RunStats) Throughput() float64 {
+	if s.TotalWall <= 0 {
+		return 0
+	}
+	return float64(s.Records) / s.TotalWall.Seconds()
+}
+
+// StragglerFraction returns the fraction of parallel tasks that were
+// stragglers (>1.2x stage mean).
+func (s RunStats) StragglerFraction() float64 {
+	if s.TotalTasks == 0 {
+		return 0
+	}
+	return float64(s.StragglerTasks) / float64(s.TotalTasks)
+}
+
+// Pipeline is a running DistStream instance: the driver-side batch loop
+// over an mbsp engine.
+type Pipeline struct {
+	cfg   Config
+	model *Model
+	stats RunStats
+
+	initBuf     []stream.Record
+	initialized bool
+	configSent  bool
+}
+
+// NewPipeline validates cfg and builds a pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Algorithm == nil {
+		return nil, errors.New("core: config needs an Algorithm")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("core: config needs an Engine")
+	}
+	if cfg.BatchInterval <= 0 {
+		return nil, fmt.Errorf("core: batch interval %v must be positive", cfg.BatchInterval)
+	}
+	if cfg.Order == 0 {
+		cfg.Order = OrderAware
+	}
+	if cfg.Order != OrderAware && cfg.Order != OrderUnordered {
+		return nil, fmt.Errorf("core: invalid order mode %d", int(cfg.Order))
+	}
+	if cfg.InitRecords <= 0 {
+		cfg.InitRecords = 500
+	}
+	if err := ValidateBatchInterval(cfg.BatchInterval, cfg.DecayAlpha, cfg.DecayBeta); err != nil {
+		return nil, err
+	}
+	if cfg.Adaptive != nil {
+		validated, err := cfg.Adaptive.validate(cfg.DecayAlpha, cfg.DecayBeta)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Adaptive = &validated
+	}
+	return &Pipeline{cfg: cfg, model: NewModel()}, nil
+}
+
+// Model returns the live model (driver-side view).
+func (p *Pipeline) Model() *Model { return p.model }
+
+// Stats returns a copy of the accumulated run statistics.
+func (p *Pipeline) Stats() RunStats { return p.stats }
+
+// Initialized reports whether the warm-up phase has completed.
+func (p *Pipeline) Initialized() bool { return p.initialized }
+
+// Offline runs the algorithm's offline phase on the current model.
+func (p *Pipeline) Offline() (*Clustering, error) {
+	return p.cfg.Algorithm.Offline(p.model)
+}
+
+// Run consumes the source to exhaustion, cutting it into mini-batches of
+// the configured interval and processing each.
+func (p *Pipeline) Run(src stream.Source) (RunStats, error) {
+	start := time.Now()
+	batcher, err := stream.NewBatcher(src, p.cfg.BatchInterval)
+	if err != nil {
+		return p.stats, err
+	}
+	for {
+		batch, err := batcher.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return p.stats, err
+		}
+		if err := p.ProcessBatch(batch); err != nil {
+			return p.stats, err
+		}
+		if p.cfg.Adaptive != nil {
+			next := p.cfg.Adaptive.next(batcher.Interval(), len(batch.Records))
+			if next != batcher.Interval() {
+				if err := batcher.SetInterval(next); err != nil {
+					return p.stats, err
+				}
+				p.stats.AdaptiveAdjustments++
+			}
+			p.stats.FinalBatchSeconds = float64(batcher.Interval())
+		}
+	}
+	if err := p.finishInit(); err != nil {
+		return p.stats, err
+	}
+	p.stats.TotalWall = time.Since(start)
+	return p.stats, nil
+}
+
+// ProcessBatch runs one mini-batch through the three pipeline steps.
+// Records consumed by warm-up initialization do not flow through the
+// parallel stages.
+func (p *Pipeline) ProcessBatch(batch stream.Batch) error {
+	records := batch.Records
+	if !p.initialized {
+		var err error
+		records, err = p.absorbInit(records)
+		if err != nil {
+			return err
+		}
+		if len(records) == 0 {
+			return nil
+		}
+	}
+	p.stats.Batches++
+	p.stats.Records += len(records)
+
+	if err := p.broadcastBatchState(); err != nil {
+		return err
+	}
+
+	// Step 1: record-parallel assign (§V-A).
+	items := make([]mbsp.Item, len(records))
+	for i, rec := range records {
+		items[i] = rec
+	}
+	parts, err := mbsp.RoundRobin(items, p.cfg.Engine.Parallelism())
+	if err != nil {
+		return err
+	}
+	assignStart := time.Now()
+	keyed, err := p.cfg.Engine.MapStage("assign", OpAssign, parts)
+	if err != nil {
+		return fmt.Errorf("core: assign stage: %w", err)
+	}
+	p.stats.Assign.Wall += time.Since(assignStart)
+	p.stats.Assign.Count++
+
+	// Shuffle by micro-cluster id.
+	shuffleStart := time.Now()
+	grouped, err := mbsp.ShuffleByKey(keyed, p.cfg.Engine.Parallelism())
+	if err != nil {
+		return fmt.Errorf("core: shuffle: %w", err)
+	}
+	p.stats.Shuffle.Wall += time.Since(shuffleStart)
+	p.stats.Shuffle.Count++
+
+	// Step 2: model-parallel local update (§V-B).
+	localStart := time.Now()
+	updateParts, err := p.cfg.Engine.MapStage("local-update", OpLocalUpdate, grouped)
+	if err != nil {
+		return fmt.Errorf("core: local-update stage: %w", err)
+	}
+	p.stats.LocalUpdate.Wall += time.Since(localStart)
+	p.stats.LocalUpdate.Count++
+
+	updates, err := collectUpdates(updateParts)
+	if err != nil {
+		return err
+	}
+
+	// Step 3: single-node global update (§V-C) with order-aware
+	// application (§IV-C2).
+	if p.cfg.Order == OrderAware {
+		SortUpdatesByOrderTime(updates)
+	} else {
+		ScrambleUpdates(updates)
+	}
+	globalStart := time.Now()
+	if err := p.cfg.Algorithm.GlobalUpdate(p.model, updates, batch.End); err != nil {
+		return fmt.Errorf("core: global update: %w", err)
+	}
+	p.stats.GlobalUpdate.Wall += time.Since(globalStart)
+	p.stats.GlobalUpdate.Count++
+	p.model.SetNow(batch.End)
+
+	p.accountUpdates(updates)
+	p.accountStragglers()
+
+	if p.cfg.OnBatch != nil {
+		if err := p.cfg.OnBatch(batch, p.model); err != nil {
+			return fmt.Errorf("core: batch hook: %w", err)
+		}
+	}
+	return nil
+}
+
+// absorbInit feeds records into the warm-up buffer and initializes the
+// model once full. It returns the records left over for normal
+// processing.
+func (p *Pipeline) absorbInit(records []stream.Record) ([]stream.Record, error) {
+	need := p.cfg.InitRecords - len(p.initBuf)
+	if need > len(records) {
+		need = len(records)
+	}
+	p.initBuf = append(p.initBuf, records[:need]...)
+	records = records[need:]
+	if len(p.initBuf) < p.cfg.InitRecords {
+		return records, nil
+	}
+	if err := p.runInit(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// finishInit initializes from a partial buffer when the stream ends
+// before the warm-up sample fills.
+func (p *Pipeline) finishInit() error {
+	if p.initialized || len(p.initBuf) == 0 {
+		return nil
+	}
+	return p.runInit()
+}
+
+func (p *Pipeline) runInit() error {
+	mcs, err := p.cfg.Algorithm.Init(p.initBuf)
+	if err != nil {
+		return fmt.Errorf("core: init: %w", err)
+	}
+	for _, mc := range mcs {
+		p.model.Add(mc)
+	}
+	p.stats.InitRecords = len(p.initBuf)
+	p.model.SetNow(p.initBuf[len(p.initBuf)-1].Timestamp)
+	p.initBuf = nil
+	p.initialized = true
+	return nil
+}
+
+// broadcastBatchState ships the frozen model snapshot (every batch) and
+// the task config (once) to the workers.
+func (p *Pipeline) broadcastBatchState() error {
+	snap := p.cfg.Algorithm.NewSnapshot(p.model.CloneList())
+	if err := p.cfg.Engine.Broadcast(BroadcastModel, snap); err != nil {
+		return fmt.Errorf("core: broadcast model: %w", err)
+	}
+	if p.configSent {
+		return nil
+	}
+	cfg := TaskConfig{
+		Params:        p.cfg.Algorithm.Params(),
+		Ordered:       p.cfg.Order == OrderAware,
+		PreMerge:      !p.cfg.DisablePreMerge,
+		OutlierGroups: uint64(p.cfg.Engine.Parallelism()),
+	}
+	if err := p.cfg.Engine.Broadcast(BroadcastConfig, cfg); err != nil {
+		return fmt.Errorf("core: broadcast config: %w", err)
+	}
+	p.configSent = true
+	return nil
+}
+
+func collectUpdates(parts []mbsp.Partition) ([]Update, error) {
+	items := mbsp.Collect(parts)
+	updates := make([]Update, len(items))
+	for i, item := range items {
+		u, ok := item.(Update)
+		if !ok {
+			return nil, fmt.Errorf("core: local-update output %d is %T, want Update", i, item)
+		}
+		updates[i] = u
+	}
+	return updates, nil
+}
+
+func (p *Pipeline) accountUpdates(updates []Update) {
+	for _, u := range updates {
+		switch u.Kind {
+		case KindUpdated:
+			p.stats.UpdatedMCs++
+		case KindCreated:
+			p.stats.CreatedMCs++
+			p.stats.OutlierRecords += u.Absorbed
+		}
+	}
+}
+
+func (p *Pipeline) accountStragglers() {
+	// Fold the engine's per-stage task metrics into run totals, then
+	// clear them so the next batch starts fresh.
+	for _, sm := range p.cfg.Engine.Metrics() {
+		p.stats.StragglerTasks += sm.Stragglers()
+		p.stats.TotalTasks += len(sm.Tasks)
+	}
+	p.cfg.Engine.ResetMetrics()
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Factory constructs an algorithm from its serialized parameters. Remote
+// workers use factories to rebuild the driver's algorithm.
+type Factory func(p Params) (Algorithm, error)
+
+// AlgorithmRegistry maps algorithm names to factories. The driver and
+// every worker binary must register the same factories (the facade's
+// RegisterBuiltins does this for the four shipped algorithms).
+type AlgorithmRegistry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewAlgorithmRegistry returns an empty registry.
+func NewAlgorithmRegistry() *AlgorithmRegistry {
+	return &AlgorithmRegistry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory under name; duplicates are an error.
+func (r *AlgorithmRegistry) Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("core: empty algorithm name")
+	}
+	if f == nil {
+		return fmt.Errorf("core: nil factory for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("core: algorithm %q already registered", name)
+	}
+	r.factories[name] = f
+	return nil
+}
+
+// New constructs the algorithm described by p.
+func (r *AlgorithmRegistry) New(p Params) (Algorithm, error) {
+	r.mu.RLock()
+	f, ok := r.factories[p.Name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", p.Name)
+	}
+	return f(p)
+}
+
+// Names returns the registered algorithm names (order unspecified).
+func (r *AlgorithmRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	return out
+}

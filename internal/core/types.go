@@ -1,0 +1,251 @@
+// Package core implements DistStream's contribution: the order-aware
+// mini-batch update model (paper §IV) and its parallelization (§V).
+//
+// A batch of records is processed in three steps on an mbsp engine:
+//
+//  1. assign — record-based parallelism: the micro-cluster model is
+//     broadcast, records are dealt round-robin to tasks, and each task
+//     finds the closest micro-cluster for its records (§V-A);
+//  2. local update — model-based parallelism: (micro-cluster, record)
+//     pairs are shuffled by micro-cluster id, each task sorts a
+//     micro-cluster's absorbed records by arrival order and folds their
+//     increments one at a time (§IV-C1, §V-B); outlier records create new
+//     micro-clusters, pre-merged within the task (§V-C);
+//  3. global update — a single driver step that applies the collected
+//     updates to the live model in created/updated-time order (§IV-C2)
+//     via the algorithm's GlobalUpdate.
+//
+// The four developer APIs the paper names — micro-cluster representation,
+// distance computation, local update, global update — correspond to the
+// MicroCluster interface, Snapshot.Nearest, Algorithm.Update/Create, and
+// Algorithm.GlobalUpdate.
+package core
+
+import (
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// MicroCluster is the algorithm-specific sketch unit q = {S, T, N}: a
+// statistical summary with spatial locality, temporal locality, and a
+// record count. Implementations must have exported fields (they travel
+// over gob to remote workers).
+type MicroCluster interface {
+	// ID returns the model-assigned identifier.
+	ID() uint64
+	// SetID assigns the identifier; called by the model when a
+	// micro-cluster created in a worker task is admitted at the driver.
+	SetID(id uint64)
+	// Center returns the current centroid.
+	Center() vector.Vector
+	// Weight returns the (possibly decayed) record mass N.
+	Weight() float64
+	// CreatedAt returns the creation time.
+	CreatedAt() vclock.Time
+	// LastUpdated returns the timestamp of the last absorbed record or
+	// decay application.
+	LastUpdated() vclock.Time
+	// Clone returns a deep copy.
+	Clone() MicroCluster
+}
+
+// Snapshot is an immutable view of the micro-cluster set, broadcast to
+// assign tasks at the start of each batch. Implementations embed whatever
+// search structure the algorithm uses: a linear scan for CluStream and
+// DenStream, the grid map for D-Stream, the CF tree for ClusTree.
+type Snapshot interface {
+	// Nearest returns the closest micro-cluster's id and whether rec
+	// falls within its maximum boundary (i.e. can be absorbed). ok is
+	// false when the snapshot is empty.
+	Nearest(rec stream.Record) (id uint64, absorbable bool, ok bool)
+	// Get returns the micro-cluster with the given id, or nil.
+	Get(id uint64) MicroCluster
+	// Len returns the number of micro-clusters in the snapshot.
+	Len() int
+}
+
+// UpdateKind discriminates local-update outputs.
+type UpdateKind int
+
+// The two kinds of local-update output (paper Figure 5: updated
+// micro-clusters q' and newly created outlier micro-clusters q”).
+const (
+	// KindUpdated marks an existing micro-cluster updated with absorbed
+	// records.
+	KindUpdated UpdateKind = iota + 1
+	// KindCreated marks a new micro-cluster created from outlier records.
+	KindCreated
+)
+
+// Update is one local-update result shipped to the global update step.
+type Update struct {
+	Kind UpdateKind
+	// MC is the updated clone (KindUpdated, carrying the stale base plus
+	// this batch's increments) or the new outlier micro-cluster
+	// (KindCreated, with id still unassigned).
+	MC MicroCluster
+	// Absorbed counts the records folded into MC during this batch.
+	Absorbed int
+	// OrderTime is the order-aware global update key (§IV-C2): the last
+	// absorbed record's timestamp for updates, the first (creating)
+	// record's timestamp for creations.
+	OrderTime vclock.Time
+	// OrderSeq breaks OrderTime ties with the arrival sequence number of
+	// the record that determined OrderTime.
+	OrderSeq uint64
+}
+
+// Params is the serializable algorithm configuration. It travels to
+// remote workers, which reconstruct the algorithm from it via the
+// algorithm registry — the analogue of Spark shipping the application
+// configuration alongside the job.
+type Params struct {
+	// Name selects the algorithm factory.
+	Name string
+	// Dim is the record dimensionality.
+	Dim int
+	// Floats and Ints hold algorithm-specific settings.
+	Floats map[string]float64
+	Ints   map[string]int
+}
+
+// Float returns the named float parameter or def when absent.
+func (p Params) Float(key string, def float64) float64 {
+	if v, ok := p.Floats[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the named int parameter or def when absent.
+func (p Params) Int(key string, def int) int {
+	if v, ok := p.Ints[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Clone deep-copies the params.
+func (p Params) Clone() Params {
+	out := Params{Name: p.Name, Dim: p.Dim}
+	if p.Floats != nil {
+		out.Floats = make(map[string]float64, len(p.Floats))
+		for k, v := range p.Floats {
+			out.Floats[k] = v
+		}
+	}
+	if p.Ints != nil {
+		out.Ints = make(map[string]int, len(p.Ints))
+		for k, v := range p.Ints {
+			out.Ints[k] = v
+		}
+	}
+	return out
+}
+
+// Algorithm is the strategy object a stream clustering algorithm
+// implements to run on DistStream. Implementations are stateless: all
+// mutable state lives in micro-clusters and the Model, so the same
+// algorithm value (or a reconstruction from Params) can serve any task.
+type Algorithm interface {
+	// Name returns the registry name (e.g. "clustream").
+	Name() string
+	// Params returns the serializable configuration sufficient to
+	// reconstruct this algorithm on a remote worker.
+	Params() Params
+	// Init builds the initial micro-clusters from the warm-up sample
+	// (the paper: batch-mode clustering such as k-means over the first m
+	// records). IDs are assigned by the caller's model afterwards.
+	Init(records []stream.Record) ([]MicroCluster, error)
+	// NewSnapshot wraps micro-clusters in the algorithm's search
+	// structure. The caller decides whether mcs are live references (the
+	// sequential runner) or frozen clones (the mini-batch pipeline).
+	NewSnapshot(mcs []MicroCluster) Snapshot
+	// Update folds one record into mc, applying the algorithm's decay
+	// and additivity rule q' = λq + Δx (§II-B). The caller guarantees
+	// arrival order in order-aware mode.
+	Update(mc MicroCluster, rec stream.Record)
+	// Create builds a new micro-cluster seeded by an outlier record.
+	Create(rec stream.Record) MicroCluster
+	// AbsorbIntoNew reports whether rec may be folded into the freshly
+	// created micro-cluster mc; used by the pre-merge optimization to
+	// coalesce a batch's outliers (§V-C).
+	AbsorbIntoNew(mc MicroCluster, rec stream.Record) bool
+	// GlobalUpdate applies the batch's updates to the live model at
+	// batch end: decay untouched micro-clusters, admit/replace the
+	// updated ones, delete outdated ones, merge where the algorithm's
+	// budget requires. updates arrive already ordered (or deliberately
+	// unordered for the baseline).
+	GlobalUpdate(model *Model, updates []Update, now vclock.Time) error
+	// Offline computes the final macro-clustering from the model (the
+	// paper's offline phase).
+	Offline(model *Model) (*Clustering, error)
+}
+
+// MacroCluster is one offline-phase output cluster.
+type MacroCluster struct {
+	// Label is the macro-cluster id, 0-based.
+	Label int
+	// Members lists the micro-cluster ids grouped into this macro.
+	Members []uint64
+	// Center is the weight-weighted centroid of the members.
+	Center vector.Vector
+	// Weight is the summed member weight.
+	Weight float64
+}
+
+// Clustering is the offline phase result: macro-clusters plus a
+// nearest-member assignment function used by quality evaluation.
+type Clustering struct {
+	Macros []MacroCluster
+
+	// flattened member view for assignment
+	memberCenters []vector.Vector
+	memberLabels  []int
+	// noiseCutoff, when positive, marks points farther than this from
+	// every member center as noise (-1). Algorithms set it to their
+	// absorb-boundary scale so the offline assignment mirrors the online
+	// outlier decision — the channel through which lagging models produce
+	// the paper's "missed records".
+	noiseCutoff float64
+}
+
+// NewClustering builds a Clustering from macro clusters and the member
+// micro-cluster centers backing them. centers[i] belongs to the macro
+// with label labels[i].
+func NewClustering(macros []MacroCluster, centers []vector.Vector, labels []int) *Clustering {
+	return &Clustering{Macros: macros, memberCenters: centers, memberLabels: labels}
+}
+
+// SetNoiseCutoff configures the maximum assignment distance; points
+// farther than cutoff from every member center are assigned -1 (noise).
+// A non-positive cutoff disables the check.
+func (c *Clustering) SetNoiseCutoff(cutoff float64) { c.noiseCutoff = cutoff }
+
+// NoiseCutoff returns the configured maximum assignment distance.
+func (c *Clustering) NoiseCutoff() float64 { return c.noiseCutoff }
+
+// NumClusters returns the number of macro-clusters.
+func (c *Clustering) NumClusters() int { return len(c.Macros) }
+
+// Assign returns the macro-cluster label of the nearest member center;
+// -1 when the clustering is empty or the point is beyond the noise
+// cutoff.
+func (c *Clustering) Assign(v vector.Vector) int {
+	best := -1
+	bestD := -1.0
+	for i, center := range c.memberCenters {
+		d := vector.SquaredDistance(v, center)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	if c.noiseCutoff > 0 && bestD > c.noiseCutoff*c.noiseCutoff {
+		return -1
+	}
+	return c.memberLabels[best]
+}

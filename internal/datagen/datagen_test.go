@@ -1,0 +1,376 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"diststream/internal/stream"
+	"diststream/internal/vector"
+)
+
+func baseSpec() Spec {
+	return Spec{
+		Name:    "test",
+		Records: 1000,
+		Dim:     4,
+		Clusters: []ClusterSpec{
+			{Center: vector.Vector{-5, -5, 0, 0}, Std: 0.3, BaseWeight: 0.7},
+			{Center: vector.Vector{5, 5, 0, 0}, Std: 0.3, BaseWeight: 0.3},
+		},
+		Rate: 100,
+		Seed: 1,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	recs, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1000 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("seq %d != %d", r.Seq, i)
+		}
+		if r.Dim() != 4 {
+			t.Fatalf("dim = %d", r.Dim())
+		}
+		if !r.Values.IsFinite() {
+			t.Fatalf("non-finite record %d", i)
+		}
+		if i > 0 && r.Timestamp <= recs[i-1].Timestamp {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+	// At rate 100, record 999 arrives at ~9.99s.
+	last := recs[999].Timestamp.Seconds()
+	if math.Abs(last-9.99) > 1e-9 {
+		t.Errorf("last timestamp = %v, want 9.99", last)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Values.Equal(b[i].Values) || a[i].Label != b[i].Label {
+			t.Fatalf("record %d differs across runs with same seed", i)
+		}
+	}
+	spec := baseSpec()
+	spec.Seed = 2
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if !a[i].Values.Equal(c[i].Values) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateWeightsRespected(t *testing.T) {
+	recs, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, r := range recs {
+		counts[r.Label]++
+	}
+	f0 := float64(counts[0]) / float64(len(recs))
+	if f0 < 0.6 || f0 > 0.8 {
+		t.Errorf("cluster 0 share = %v, want ~0.7", f0)
+	}
+}
+
+func TestGenerateClustersSeparated(t *testing.T) {
+	spec := baseSpec()
+	recs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records labeled 0 should be much closer to center 0 than center 1.
+	for _, r := range recs[:200] {
+		if r.Label < 0 {
+			continue
+		}
+		d0 := vector.Distance(r.Values, spec.Clusters[0].Center)
+		d1 := vector.Distance(r.Values, spec.Clusters[1].Center)
+		if r.Label == 0 && d0 > d1 {
+			t.Fatalf("label-0 record closer to cluster 1")
+		}
+		if r.Label == 1 && d1 > d0 {
+			t.Fatalf("label-1 record closer to cluster 0")
+		}
+	}
+}
+
+func TestGenerateNoise(t *testing.T) {
+	spec := baseSpec()
+	spec.NoiseFrac = 0.2
+	spec.Records = 5000
+	recs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := 0
+	for _, r := range recs {
+		if r.Label == -1 {
+			noise++
+		}
+	}
+	frac := float64(noise) / float64(len(recs))
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("noise fraction = %v, want ~0.2", frac)
+	}
+}
+
+func TestGenerateNormalize(t *testing.T) {
+	spec := baseSpec()
+	spec.Normalize = true
+	spec.Records = 2000
+	recs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 0 over the whole dataset should have ~zero mean, ~unit std.
+	var sum, sumSq float64
+	for _, r := range recs {
+		sum += r.Values[0]
+		sumSq += r.Values[0] * r.Values[0]
+	}
+	n := float64(len(recs))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 1e-9 {
+		t.Errorf("normalized mean = %v", mean)
+	}
+	if math.Abs(std-1) > 0.01 {
+		t.Errorf("normalized std = %v", std)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []func(*Spec){
+		func(s *Spec) { s.Records = 0 },
+		func(s *Spec) { s.Dim = 0 },
+		func(s *Spec) { s.Clusters = nil },
+		func(s *Spec) { s.Rate = 0 },
+		func(s *Spec) { s.NoiseFrac = 1 },
+		func(s *Spec) { s.NoiseFrac = -0.1 },
+		func(s *Spec) { s.Clusters[0].Center = vector.Vector{1} },
+		func(s *Spec) { s.Clusters[0].Std = 0 },
+		func(s *Spec) { s.Clusters[0].BaseWeight = -1 },
+		func(s *Spec) { s.Clusters[0].BaseWeight, s.Clusters[1].BaseWeight = 0, 0 },
+	}
+	for i, mutate := range cases {
+		spec := baseSpec()
+		mutate(&spec)
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBurstDrift(t *testing.T) {
+	b := Burst{Events: []BurstEvent{{Cluster: 1, Start: 0.4, End: 0.6, Peak: 10}}}
+	w := []float64{1, 0.1}
+	b.Evolve(0.5, w, nil)
+	if w[1] != 10 {
+		t.Errorf("peak weight = %v, want 10", w[1])
+	}
+	w = []float64{1, 0.1}
+	b.Evolve(0.1, w, nil)
+	if w[1] != 0.1 {
+		t.Errorf("outside event weight changed: %v", w[1])
+	}
+	w = []float64{1, 0.1}
+	b.Evolve(0.45, w, nil) // halfway up the ramp: 10*0.5 = 5
+	if math.Abs(w[1]-5) > 1e-9 {
+		t.Errorf("ramp weight = %v, want 5", w[1])
+	}
+	// Out-of-range cluster index and degenerate window are ignored.
+	bad := Burst{Events: []BurstEvent{
+		{Cluster: 9, Start: 0, End: 1, Peak: 5},
+		{Cluster: 0, Start: 0.5, End: 0.5, Peak: 5},
+	}}
+	w = []float64{1}
+	bad.Evolve(0.5, w, nil)
+	if w[0] != 1 {
+		t.Errorf("degenerate events modified weights: %v", w)
+	}
+}
+
+func TestGradualDrift(t *testing.T) {
+	g := Gradual{
+		Velocity:    []vector.Vector{{10, 0}},
+		WeightShift: 0.5,
+	}
+	w := []float64{1, 1}
+	off := []vector.Vector{vector.New(2), vector.New(2)}
+	g.Evolve(0.5, w, off)
+	if off[0][0] != 5 {
+		t.Errorf("offset = %v, want 5", off[0][0])
+	}
+	if w[0] == 1 && w[1] == 1 {
+		t.Error("weights unchanged under WeightShift")
+	}
+	for _, x := range w {
+		if x < 0 {
+			t.Errorf("negative weight %v", x)
+		}
+	}
+}
+
+func TestStableDriftNoop(t *testing.T) {
+	w := []float64{0.3, 0.7}
+	off := []vector.Vector{vector.New(1), vector.New(1)}
+	Stable{}.Evolve(0.5, w, off)
+	if w[0] != 0.3 || w[1] != 0.7 || off[0][0] != 0 {
+		t.Error("Stable drift modified state")
+	}
+	if (Stable{}).Name() != "stable" || (Burst{}).Name() != "burst" || (Gradual{}).Name() != "gradual" {
+		t.Error("drift names wrong")
+	}
+}
+
+func TestPresetsMatchTable1(t *testing.T) {
+	cases := []struct {
+		preset   Preset
+		clusters int
+		dim      int
+		top1Min  float64
+		top1Max  float64
+	}{
+		{KDD99Sim, 23, 54, 0.30, 0.65}, // bursts steal share from the head
+		{CovTypeSim, 7, 54, 0.30, 0.60},
+		{KDD98Sim, 5, 315, 0.90, 0.98},
+	}
+	for _, c := range cases {
+		recs, err := GeneratePreset(c.preset, 8000, 1000, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", c.preset, err)
+		}
+		sum, err := Summarize(c.preset.String(), recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Dim != c.dim {
+			t.Errorf("%v: dim = %d, want %d", c.preset, sum.Dim, c.dim)
+		}
+		if sum.Clusters < c.clusters-2 || sum.Clusters > c.clusters {
+			t.Errorf("%v: clusters = %d, want ~%d", c.preset, sum.Clusters, c.clusters)
+		}
+		if sum.Top3Share[0] < c.top1Min || sum.Top3Share[0] > c.top1Max {
+			t.Errorf("%v: top cluster share = %v, want [%v,%v]",
+				c.preset, sum.Top3Share[0], c.top1Min, c.top1Max)
+		}
+	}
+}
+
+func TestPresetStability(t *testing.T) {
+	kdd99, err := GeneratePreset(KDD99Sim, 20000, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdd98, err := GeneratePreset(KDD98Sim, 20000, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s99 := StabilityIndex(kdd99, 10)
+	s98 := StabilityIndex(kdd98, 10)
+	// The paper: KDD-98 is "more stable" than KDD-99. Our substitute must
+	// preserve that ordering with a clear margin.
+	if s98*2 > s99 {
+		t.Errorf("stability ordering violated: kdd99=%v kdd98=%v", s99, s98)
+	}
+}
+
+func TestPresetMetadata(t *testing.T) {
+	if KDD99Sim.FullRecords() != 494021 || CovTypeSim.FullRecords() != 581012 || KDD98Sim.FullRecords() != 95412 {
+		t.Error("full record counts wrong")
+	}
+	if KDD99Sim.NumClusters() != 23 || CovTypeSim.NumClusters() != 7 || KDD98Sim.NumClusters() != 5 {
+		t.Error("cluster counts wrong")
+	}
+	if KDD99Sim.String() != "kdd99-sim" {
+		t.Errorf("name = %q", KDD99Sim.String())
+	}
+	if _, err := NewSpec(Preset(99), 10, 1, 1); err == nil {
+		t.Error("unknown preset should error")
+	}
+	// records <= 0 defaults to full scale.
+	spec, err := NewSpec(KDD98Sim, 0, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Records != 95412 {
+		t.Errorf("defaulted records = %d", spec.Records)
+	}
+	if Preset(99).String() == "" || Preset(99).FullRecords() != 0 ||
+		Preset(99).NumClusters() != 0 || Preset(99).Dim() != 0 {
+		t.Error("unknown preset metadata should be zero-valued")
+	}
+}
+
+func TestStabilityIndexEdgeCases(t *testing.T) {
+	if StabilityIndex(nil, 10) != 0 {
+		t.Error("empty stream should have stability 0")
+	}
+	recs := []stream.Record{{Label: 1}, {Label: 1}}
+	if StabilityIndex(recs, 1) != 0 {
+		t.Error("single window should have stability 0")
+	}
+	// A stream that switches label completely at the midpoint has TV = 1.
+	recs = make([]stream.Record, 100)
+	for i := range recs {
+		if i < 50 {
+			recs[i].Label = 0
+		} else {
+			recs[i].Label = 1
+		}
+	}
+	if got := StabilityIndex(recs, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("full switch stability = %v, want 1", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize("x", nil); err == nil {
+		t.Error("expected error for empty dataset")
+	}
+}
+
+func TestSmallTailWeights(t *testing.T) {
+	w := smallTailWeights(5, []float64{0.5, 0.3})
+	if w[0] != 0.5 || w[1] != 0.3 {
+		t.Errorf("heads = %v", w[:2])
+	}
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("weights sum to %v", total)
+	}
+	// heads longer than k
+	w = smallTailWeights(1, []float64{0.5, 0.3})
+	if len(w) != 1 || w[0] != 0.5 {
+		t.Errorf("truncated heads = %v", w)
+	}
+}

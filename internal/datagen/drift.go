@@ -1,0 +1,112 @@
+package datagen
+
+import (
+	"math"
+
+	"diststream/internal/vector"
+)
+
+// Stable is the no-drift model: weights and centers stay fixed for the
+// whole stream (the KDD-98-like regime).
+type Stable struct{}
+
+var _ Drift = Stable{}
+
+// Evolve implements Drift; it leaves base weights and zero offsets as-is.
+func (Stable) Evolve(float64, []float64, []vector.Vector) {}
+
+// Name implements Drift.
+func (Stable) Name() string { return "stable" }
+
+// Burst models bursty regime switches: selected clusters surge from their
+// base weight to a peak and back over a window of stream progress. This is
+// the KDD-99-like regime where attack types emerge, dominate, and vanish.
+type Burst struct {
+	// Events lists the surges, in any order.
+	Events []BurstEvent
+}
+
+// BurstEvent is one cluster surge.
+type BurstEvent struct {
+	// Cluster is the index of the surging cluster.
+	Cluster int
+	// Start and End delimit the surge window in stream progress [0,1].
+	Start, End float64
+	// Peak is the weight at the middle of the window (replaces, not adds
+	// to, the base weight while the surge is the dominant term).
+	Peak float64
+	// Velocity, when non-nil, translates the cluster's center linearly
+	// over the event's lifetime (the full Velocity displacement is
+	// reached at End). Evolving attack patterns move — this is what makes
+	// update order matter: a model that fails to favor recent records
+	// lags behind the moving pattern.
+	Velocity vector.Vector
+}
+
+var _ Drift = Burst{}
+
+// Evolve implements Drift. During an event the cluster's weight is raised
+// along a triangular ramp toward Peak and the cluster center translates
+// along Velocity; outside events weights and centers are untouched.
+func (b Burst) Evolve(progress float64, w []float64, off []vector.Vector) {
+	for _, ev := range b.Events {
+		if ev.Cluster < 0 || ev.Cluster >= len(w) {
+			continue
+		}
+		if progress < ev.Start || progress > ev.End || ev.End <= ev.Start {
+			continue
+		}
+		mid := (ev.Start + ev.End) / 2
+		half := (ev.End - ev.Start) / 2
+		// ramp rises 0→1 toward mid then falls back to 0.
+		ramp := 1 - math.Abs(progress-mid)/half
+		surge := ev.Peak * ramp
+		if surge > w[ev.Cluster] {
+			w[ev.Cluster] = surge
+		}
+		if ev.Velocity != nil && off != nil && ev.Cluster < len(off) {
+			frac := (progress - ev.Start) / (ev.End - ev.Start)
+			off[ev.Cluster].AXPY(frac, ev.Velocity)
+		}
+	}
+}
+
+// Name implements Drift.
+func (Burst) Name() string { return "burst" }
+
+// Gradual models slow continuous drift: cluster centers translate along
+// fixed random directions and the mixing weights rotate smoothly between
+// clusters. This is the CoverType-like regime (forest cover types shifting
+// with elevation bands).
+type Gradual struct {
+	// Velocity holds one per-cluster direction vector; the center offset
+	// at progress p is p * Velocity[c].
+	Velocity []vector.Vector
+	// WeightShift in [0,1] controls how strongly weights rotate: at
+	// progress p the weight of cluster c is scaled by
+	// 1 + WeightShift * sin(2*pi*(p + c/k)).
+	WeightShift float64
+}
+
+var _ Drift = Gradual{}
+
+// Evolve implements Drift.
+func (g Gradual) Evolve(progress float64, w []float64, off []vector.Vector) {
+	k := len(w)
+	for c := 0; c < k; c++ {
+		if c < len(g.Velocity) && g.Velocity[c] != nil {
+			off[c].AXPY(progress, g.Velocity[c])
+		}
+		if g.WeightShift > 0 {
+			phase := 2 * math.Pi * (progress + float64(c)/float64(k))
+			scale := 1 + g.WeightShift*math.Sin(phase)
+			if scale < 0.05 {
+				scale = 0.05
+			}
+			w[c] *= scale
+		}
+	}
+}
+
+// Name implements Drift.
+func (Gradual) Name() string { return "gradual" }

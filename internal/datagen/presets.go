@@ -1,0 +1,232 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diststream/internal/stream"
+	"diststream/internal/vector"
+)
+
+// Preset identifies one of the three paper-dataset substitutes.
+type Preset int
+
+// The three presets mirror Table I of the paper.
+const (
+	// KDD99Sim mirrors KDD-99: 494,021 records, 54 features, 23 clusters,
+	// top-3 share 57/22/20, bursty attack-wave dynamics.
+	KDD99Sim Preset = iota + 1
+	// CovTypeSim mirrors CoverType: 581,012 records, 54 features,
+	// 7 clusters, top-3 share 49/36/6, gradual drift.
+	CovTypeSim
+	// KDD98Sim mirrors KDD-98: 95,412 records, 315 features, 5 clusters,
+	// top-3 share 95/1.5/1.4, stable distribution.
+	KDD98Sim
+)
+
+// String returns the dataset name used in reports.
+func (p Preset) String() string {
+	switch p {
+	case KDD99Sim:
+		return "kdd99-sim"
+	case CovTypeSim:
+		return "covtype-sim"
+	case KDD98Sim:
+		return "kdd98-sim"
+	default:
+		return fmt.Sprintf("preset(%d)", int(p))
+	}
+}
+
+// FullRecords returns the paper-scale record count for the preset.
+func (p Preset) FullRecords() int {
+	switch p {
+	case KDD99Sim:
+		return 494021
+	case CovTypeSim:
+		return 581012
+	case KDD98Sim:
+		return 95412
+	default:
+		return 0
+	}
+}
+
+// NumClusters returns the ground-truth cluster count for the preset.
+func (p Preset) NumClusters() int {
+	switch p {
+	case KDD99Sim:
+		return 23
+	case CovTypeSim:
+		return 7
+	case KDD98Sim:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// Dim returns the feature dimensionality for the preset.
+func (p Preset) Dim() int {
+	switch p {
+	case KDD99Sim, CovTypeSim:
+		return 54
+	case KDD98Sim:
+		return 315
+	default:
+		return 0
+	}
+}
+
+// NewSpec builds the spec for a preset at the given record count (pass
+// p.FullRecords() for paper scale; smaller counts keep the same mixture
+// and dynamics but shorter streams). Rate is records per virtual second.
+func NewSpec(p Preset, records int, rate float64, seed int64) (Spec, error) {
+	if records <= 0 {
+		records = p.FullRecords()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch p {
+	case KDD99Sim:
+		return kdd99Spec(rng, records, rate, seed), nil
+	case CovTypeSim:
+		return covtypeSpec(rng, records, rate, seed), nil
+	case KDD98Sim:
+		return kdd98Spec(rng, records, rate, seed), nil
+	default:
+		return Spec{}, fmt.Errorf("datagen: unknown preset %d", int(p))
+	}
+}
+
+// GeneratePreset is a convenience wrapper: build the spec and generate.
+func GeneratePreset(p Preset, records int, rate float64, seed int64) ([]stream.Record, error) {
+	spec, err := NewSpec(p, records, rate, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(spec)
+}
+
+// kdd99Spec: 23 clusters — three long-standing traffic clusters carrying
+// 57/22/20 of the base weight, plus 20 attack clusters that have ZERO
+// base weight and only exist while their burst is active. Bursts are
+// therefore genuinely new patterns: the model must create micro-clusters
+// for them from outlier records, which is exactly where the order-aware
+// update mechanism matters (§VII-B2).
+func kdd99Spec(rng *rand.Rand, records int, rate float64, seed int64) Spec {
+	const k, dim = 23, 54
+	centers := RandomCenters(rng, k, dim, 8)
+	clusters := make([]ClusterSpec, k)
+	weights := smallTailWeights(k, []float64{0.57, 0.22, 0.20})
+	for i := range clusters {
+		w := weights[i]
+		if i >= 3 {
+			w = 0 // attack clusters appear only during their burst
+		}
+		clusters[i] = ClusterSpec{Center: centers[i], Std: 0.6, BaseWeight: w}
+	}
+	// Attack waves: each minor cluster surges once; waves overlap so at
+	// any instant some attack is emerging or vanishing. Each attack
+	// pattern also drifts while active (evolving attack behaviour) —
+	// several cluster widths over its lifetime, fast enough that a model
+	// failing to favor recent records loses track of it.
+	events := make([]BurstEvent, 0, k-3)
+	for c := 3; c < k; c++ {
+		span := 0.05 + rng.Float64()*0.08
+		start := rng.Float64() * (1 - span)
+		velocity := vector.New(dim)
+		for d := 0; d < 8; d++ {
+			velocity[d] = rng.NormFloat64() * 2.5
+		}
+		events = append(events, BurstEvent{
+			Cluster:  c,
+			Start:    start,
+			End:      start + span,
+			Peak:     0.35 + rng.Float64()*0.4,
+			Velocity: velocity,
+		})
+	}
+	return Spec{
+		Name:      KDD99Sim.String(),
+		Records:   records,
+		Dim:       dim,
+		Clusters:  clusters,
+		Rate:      rate,
+		NoiseFrac: 0.01,
+		Drift:     Burst{Events: events},
+		Seed:      seed + 1,
+		Normalize: true,
+	}
+}
+
+// covtypeSpec: 7 clusters with 49/36/6 skew, gradual center drift and
+// smooth weight rotation.
+func covtypeSpec(rng *rand.Rand, records int, rate float64, seed int64) Spec {
+	const k, dim = 7, 54
+	centers := RandomCenters(rng, k, dim, 7)
+	clusters := make([]ClusterSpec, k)
+	weights := smallTailWeights(k, []float64{0.49, 0.36, 0.06})
+	for i := range clusters {
+		clusters[i] = ClusterSpec{Center: centers[i], Std: 0.8, BaseWeight: weights[i]}
+	}
+	velocity := RandomCenters(rng, k, dim, 10)
+	return Spec{
+		Name:      CovTypeSim.String(),
+		Records:   records,
+		Dim:       dim,
+		Clusters:  clusters,
+		Rate:      rate,
+		NoiseFrac: 0.005,
+		Drift:     Gradual{Velocity: velocity, WeightShift: 0.6},
+		Seed:      seed + 2,
+		Normalize: true,
+	}
+}
+
+// kdd98Spec: 5 clusters dominated by one long-standing cluster holding 95%
+// of records; no drift. High-dimensional (315 features).
+func kdd98Spec(rng *rand.Rand, records int, rate float64, seed int64) Spec {
+	const k, dim = 5, 315
+	centers := RandomCenters(rng, k, dim, 6)
+	clusters := make([]ClusterSpec, k)
+	weights := []float64{0.95, 0.015, 0.014, 0.011, 0.010}
+	for i := range clusters {
+		clusters[i] = ClusterSpec{Center: centers[i], Std: 0.7, BaseWeight: weights[i]}
+	}
+	return Spec{
+		Name:      KDD98Sim.String(),
+		Records:   records,
+		Dim:       dim,
+		Clusters:  clusters,
+		Rate:      rate,
+		NoiseFrac: 0.005,
+		Drift:     Stable{},
+		Seed:      seed + 3,
+		Normalize: true,
+	}
+}
+
+// smallTailWeights builds a weight vector of length k whose first
+// len(heads) entries take the given shares and whose remaining entries
+// split the leftover mass evenly.
+func smallTailWeights(k int, heads []float64) []float64 {
+	out := make([]float64, k)
+	var used float64
+	for i, h := range heads {
+		if i < k {
+			out[i] = h
+			used += h
+		}
+	}
+	rest := k - len(heads)
+	if rest > 0 {
+		left := 1 - used
+		if left < 0 {
+			left = 0
+		}
+		for i := len(heads); i < k; i++ {
+			out[i] = left / float64(rest)
+		}
+	}
+	return out
+}

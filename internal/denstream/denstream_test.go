@@ -1,0 +1,246 @@
+package denstream
+
+import (
+	"math"
+	"testing"
+
+	"diststream/internal/algotest"
+	"diststream/internal/core"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+func testConfig() Config {
+	return Config{
+		Dim:     4,
+		Epsilon: 2,
+		Mu:      4,
+		Beta:    0.5,
+		Lambda:  0.1,
+	}
+}
+
+func TestConformance(t *testing.T) {
+	algotest.Run(t, algotest.Suite{
+		New:            func() core.Algorithm { return New(testConfig()) },
+		Register:       Register,
+		RegisterWire:   RegisterWireTypes,
+		Dim:            4,
+		SeparatesBlobs: true,
+	})
+}
+
+func rec(seq uint64, ts vclock.Time, vals ...float64) stream.Record {
+	return stream.Record{Seq: seq, Timestamp: ts, Values: vals}
+}
+
+func TestFadingDecay(t *testing.T) {
+	a := New(testConfig())
+	mc := a.Create(rec(0, 0, 1, 1, 0, 0)).(*MC)
+	if mc.W != 1 {
+		t.Fatalf("W = %v", mc.W)
+	}
+	// After 10 seconds with lambda 0.1: weight = 2^-1 = 0.5.
+	mc.Decay(10, 0.1)
+	if math.Abs(mc.W-0.5) > 1e-12 {
+		t.Errorf("decayed W = %v, want 0.5", mc.W)
+	}
+	if mc.Last != 10 {
+		t.Errorf("Last = %v, want 10 (horizon advanced)", mc.Last)
+	}
+	// Decay is idempotent once the horizon advanced.
+	mc.Decay(10, 0.1)
+	if math.Abs(mc.W-0.5) > 1e-12 {
+		t.Errorf("double decay: W = %v", mc.W)
+	}
+}
+
+func TestAbsorbDecaysThenAdds(t *testing.T) {
+	a := New(testConfig())
+	mc := a.Create(rec(0, 0, 0, 0, 0, 0)).(*MC)
+	a.Update(mc, rec(1, 10, 2, 0, 0, 0))
+	// Old weight decayed to 0.5, new record adds 1 => 1.5.
+	if math.Abs(mc.W-1.5) > 1e-12 {
+		t.Errorf("W = %v, want 1.5", mc.W)
+	}
+	// Center pulled toward the new record: (0*0.5 + 2)/1.5 = 1.333.
+	if c := mc.Center(); math.Abs(c[0]-2.0/1.5) > 1e-9 {
+		t.Errorf("center = %v", c[0])
+	}
+}
+
+func TestImpactInequalityUnderReversedOrder(t *testing.T) {
+	// §IV-C1: for two records mapping to the same micro-cluster, the
+	// newest record's impact is strictly larger when updating in arrival
+	// order than in reverse order (where the stale record's update decays
+	// the newer increment). lambda = 0.1: 2^(-0.1*10) = 0.5 per 10s gap.
+	a := New(testConfig())
+	ordered := a.Create(rec(0, 0, 0, 0, 0, 0)).(*MC)
+	a.Update(ordered, rec(1, 10, 0, 0, 0, 0))
+	a.Update(ordered, rec(2, 20, 0, 0, 0, 0))
+	// W = (1*0.5+1)*0.5 + 1 = 1.75; newest increment coefficient 1.
+	if math.Abs(ordered.W-1.75) > 1e-12 {
+		t.Fatalf("ordered W = %v, want 1.75", ordered.W)
+	}
+	impactOrdered := 1 / ordered.W
+
+	reversed := a.Create(rec(0, 0, 0, 0, 0, 0)).(*MC)
+	a.Update(reversed, rec(2, 20, 0, 0, 0, 0)) // newest first
+	a.Update(reversed, rec(1, 10, 0, 0, 0, 0)) // stale record decays it
+	// W = (1*0.25+1)*0.5 + 1 = 1.625; newest increment coefficient 0.5.
+	if math.Abs(reversed.W-1.625) > 1e-12 {
+		t.Fatalf("reversed W = %v, want 1.625", reversed.W)
+	}
+	impactReversed := 0.5 / reversed.W
+
+	if impactOrdered <= impactReversed {
+		t.Errorf("impact inequality violated: ordered %v <= reversed %v",
+			impactOrdered, impactReversed)
+	}
+}
+
+func TestRadiusAndProspectiveRadius(t *testing.T) {
+	a := New(testConfig())
+	mc := a.Create(rec(0, 0, 0, 0, 0, 0)).(*MC)
+	if mc.Radius() != 0 {
+		t.Errorf("singleton radius = %v", mc.Radius())
+	}
+	probe := rec(1, 0, 4, 0, 0, 0)
+	pr := mc.ProspectiveRadius(probe, 0.1)
+	if pr <= 0 {
+		t.Error("prospective radius not positive")
+	}
+	// Probing must not mutate.
+	if mc.W != 1 || mc.Radius() != 0 {
+		t.Error("ProspectiveRadius mutated the micro-cluster")
+	}
+	// Two records at distance 4 along one dim: variance 4 there, 0
+	// elsewhere; full-norm radius = 2.
+	a.Update(mc, probe)
+	if math.Abs(mc.Radius()-2) > 1e-9 {
+		t.Errorf("radius = %v, want 2", mc.Radius())
+	}
+}
+
+func TestPromotionAndDemotion(t *testing.T) {
+	a := New(testConfig()) // betaMu = 2
+	model := core.NewModel()
+	mc := a.Create(rec(0, 0, 0, 0, 0, 0)).(*MC)
+	model.Add(mc)
+	if mc.Potential {
+		t.Fatal("new MC starts potential")
+	}
+	// Absorb enough to cross beta*mu = 2.
+	clone := mc.Clone().(*MC)
+	a.Update(clone, rec(1, 0.1, 0, 0, 0, 0))
+	a.Update(clone, rec(2, 0.2, 0, 0, 0, 0))
+	err := a.GlobalUpdate(model, []core.Update{
+		{Kind: core.KindUpdated, MC: clone, OrderTime: 0.2, OrderSeq: 2},
+	}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := model.Get(mc.Id).(*MC)
+	if !live.Potential {
+		t.Error("MC not promoted at weight >= beta*mu")
+	}
+	// Long decay demotes and eventually deletes.
+	if err := a.GlobalUpdate(model, nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := model.Get(mc.Id); got != nil {
+		m := got.(*MC)
+		if m.Potential {
+			t.Error("faded MC still potential")
+		}
+	}
+	if err := a.GlobalUpdate(model, nil, 500); err != nil {
+		t.Fatal(err)
+	}
+	if model.Get(mc.Id) != nil {
+		t.Error("fully faded MC not deleted")
+	}
+}
+
+func TestOfflineDBSCANPotentialOnly(t *testing.T) {
+	a := New(testConfig())
+	model := core.NewModel()
+	// Blob A: three potential MCs close together.
+	for i := 0; i < 3; i++ {
+		mc := a.Create(rec(uint64(i), 1, float64(i), 0, 0, 0)).(*MC)
+		mc.W = 5
+		mc.Potential = true
+		model.Add(mc)
+	}
+	// Blob B: two potential MCs far away.
+	for i := 0; i < 2; i++ {
+		mc := a.Create(rec(uint64(10+i), 1, 100+float64(i), 0, 0, 0)).(*MC)
+		mc.W = 5
+		mc.Potential = true
+		model.Add(mc)
+	}
+	// An outlier MC that must not participate.
+	out := a.Create(rec(20, 1, 50, 0, 0, 0)).(*MC)
+	out.W = 0.5
+	model.Add(out)
+
+	clustering, err := a.Offline(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustering.NumClusters() != 2 {
+		t.Fatalf("NumClusters = %d, want 2", clustering.NumClusters())
+	}
+	for _, macro := range clustering.Macros {
+		for _, id := range macro.Members {
+			if id == out.Id {
+				t.Error("outlier MC in macro-cluster")
+			}
+		}
+	}
+	// No potentials: empty clustering.
+	empty := core.NewModel()
+	empty.Add(out.Clone())
+	c2, err := a.Offline(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumClusters() != 0 {
+		t.Error("outlier-only model produced clusters")
+	}
+}
+
+func TestInitPotentialFlag(t *testing.T) {
+	a := New(testConfig())
+	// 10 colocated records: one MC with weight 10 >= beta*mu => potential.
+	recs := make([]stream.Record, 10)
+	for i := range recs {
+		recs[i] = rec(uint64(i), vclock.Time(float64(i)*0.01), 0, 0, 0, 0)
+	}
+	mcs, err := a.Init(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcs) != 1 {
+		t.Fatalf("init produced %d MCs", len(mcs))
+	}
+	if !mcs[0].(*MC).Potential {
+		t.Error("heavy init MC not potential")
+	}
+	if _, err := a.Init(nil); err == nil {
+		t.Error("empty init accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	a := New(Config{})
+	if a.cfg.Epsilon != 0.8 || a.cfg.Mu != 10 || a.cfg.Beta != 0.25 ||
+		a.cfg.Lambda != 0.25 || a.cfg.OfflineEpsFactor != 2 {
+		t.Errorf("defaults = %+v", a.cfg)
+	}
+	// Invalid beta falls back.
+	b := New(Config{Beta: 1.5})
+	if b.cfg.Beta != 0.25 {
+		t.Errorf("beta fallback = %v", b.cfg.Beta)
+	}
+}

@@ -1,0 +1,242 @@
+package dstream
+
+import (
+	"math"
+	"testing"
+
+	"diststream/internal/algotest"
+	"diststream/internal/core"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+func testConfig() Config {
+	return Config{
+		Dim:             4,
+		GridDims:        2,
+		GridSize:        2,
+		Lambda:          0.99,
+		DenseThreshold:  3,
+		SparseThreshold: 0.5,
+	}
+}
+
+func TestConformance(t *testing.T) {
+	algotest.Run(t, algotest.Suite{
+		New:            func() core.Algorithm { return New(testConfig()) },
+		Register:       Register,
+		RegisterWire:   RegisterWireTypes,
+		Dim:            4,
+		SeparatesBlobs: true,
+	})
+}
+
+func rec(seq uint64, ts vclock.Time, vals ...float64) stream.Record {
+	return stream.Record{Seq: seq, Timestamp: ts, Values: vals}
+}
+
+func TestCellQuantization(t *testing.T) {
+	a := New(testConfig())
+	cases := []struct {
+		v    vector.Vector
+		want []int
+	}{
+		{vector.Vector{0, 0, 9, 9}, []int{0, 0}},       // grid projects first 2 dims
+		{vector.Vector{1.9, -0.1, 0, 0}, []int{0, -1}}, // floor semantics
+		{vector.Vector{2.0, 3.9, 0, 0}, []int{1, 1}},   // cell edges
+		{vector.Vector{-4.1, 0, 0, 0}, []int{-3, 0}},
+	}
+	for _, c := range cases {
+		got := a.CellOf(c.v)
+		if len(got) != len(c.want) {
+			t.Fatalf("CellOf(%v) = %v", c.v, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("CellOf(%v) = %v, want %v", c.v, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSameCellAbsorbs(t *testing.T) {
+	a := New(testConfig())
+	mc := a.Create(rec(0, 0, 0.5, 0.5, 0, 0))
+	if !a.AbsorbIntoNew(mc, rec(1, 1, 1.5, 1.9, 7, 7)) {
+		t.Error("same-cell record rejected")
+	}
+	if a.AbsorbIntoNew(mc, rec(2, 1, 2.5, 0.5, 0, 0)) {
+		t.Error("different-cell record accepted")
+	}
+}
+
+func TestDensityDecay(t *testing.T) {
+	a := New(testConfig())
+	mc := a.Create(rec(0, 0, 0, 0, 0, 0)).(*MC)
+	// Absorb a second record 10 s later: D = 0.99^10 + 1.
+	a.Update(mc, rec(1, 10, 0.1, 0.1, 0, 0))
+	want := math.Pow(0.99, 10) + 1
+	if math.Abs(mc.D-want) > 1e-12 {
+		t.Errorf("D = %v, want %v", mc.D, want)
+	}
+	// Decay in GlobalUpdate advances the horizon.
+	mc.Decay(20, 0.99)
+	want *= math.Pow(0.99, 10)
+	if math.Abs(mc.D-want) > 1e-12 {
+		t.Errorf("after Decay: D = %v, want %v", mc.D, want)
+	}
+	if mc.Last != 20 {
+		t.Errorf("Last = %v", mc.Last)
+	}
+}
+
+func TestGridLookupSnapshot(t *testing.T) {
+	a := New(testConfig())
+	m1 := a.Create(rec(0, 0, 0.5, 0.5, 0, 0))
+	m2 := a.Create(rec(1, 0, 10.5, 10.5, 0, 0))
+	m1.SetID(1)
+	m2.SetID(2)
+	snap := a.NewSnapshot([]core.MicroCluster{m1, m2})
+	// Record in m1's cell.
+	id, absorbable, ok := snap.Nearest(rec(5, 1, 1.0, 1.0, 0, 0))
+	if !ok || !absorbable || id != 1 {
+		t.Errorf("Nearest = (%d,%v,%v)", id, absorbable, ok)
+	}
+	// Record in an unoccupied cell: found-but-outlier.
+	_, absorbable, ok = snap.Nearest(rec(6, 1, 100, 100, 0, 0))
+	if !ok {
+		t.Error("non-empty snapshot reported not-ok")
+	}
+	if absorbable {
+		t.Error("unoccupied cell reported absorbable")
+	}
+	if snap.Get(2) == nil || snap.Get(99) != nil {
+		t.Error("Get broken")
+	}
+}
+
+func TestGlobalUpdateMergesCellCollisions(t *testing.T) {
+	a := New(testConfig())
+	model := core.NewModel()
+	// Two created grids in the same cell (from different outlier groups).
+	g1 := a.Create(rec(0, 1, 0.5, 0.5, 0, 0))
+	g2 := a.Create(rec(1, 2, 1.5, 1.5, 0, 0)) // same cell [0,0]
+	err := a.GlobalUpdate(model, []core.Update{
+		{Kind: core.KindCreated, MC: g1, OrderTime: 1, OrderSeq: 0},
+		{Kind: core.KindCreated, MC: g2, OrderTime: 2, OrderSeq: 1},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 1 {
+		t.Fatalf("model size = %d, want 1 (cell collision merged)", model.Len())
+	}
+	if got := model.List()[0].Weight(); got != 2 {
+		t.Errorf("merged density = %v, want 2", got)
+	}
+}
+
+func TestSporadicGridsRemoved(t *testing.T) {
+	a := New(testConfig())
+	model := core.NewModel()
+	mc := a.Create(rec(0, 0, 0.5, 0.5, 0, 0))
+	model.Add(mc)
+	// After 200 s at lambda 0.99, density ~ 0.134 < 0.5 => removed.
+	if err := a.GlobalUpdate(model, nil, 200); err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 0 {
+		t.Errorf("sporadic grid survived: %d", model.Len())
+	}
+}
+
+func TestOfflineGroupsAdjacentDenseGrids(t *testing.T) {
+	a := New(testConfig())
+	model := core.NewModel()
+	mkDense := func(seq uint64, x, y float64) {
+		mc := a.Create(rec(seq, 1, x, y, 0, 0)).(*MC)
+		mc.D = 10 // dense
+		model.Add(mc)
+	}
+	// Chain of adjacent cells: (0,0), (1,0), (2,0) — one macro-cluster.
+	mkDense(0, 0.5, 0.5)
+	mkDense(1, 2.5, 0.5)
+	mkDense(2, 4.5, 0.5)
+	// Distant dense cell — second macro-cluster.
+	mkDense(3, 40.5, 40.5)
+	// A sparse cell in between must not bridge them.
+	sparse := a.Create(rec(4, 1, 20.5, 20.5, 0, 0)).(*MC)
+	sparse.D = 1
+	model.Add(sparse)
+
+	clustering, err := a.Offline(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustering.NumClusters() != 2 {
+		t.Fatalf("NumClusters = %d, want 2", clustering.NumClusters())
+	}
+	sizes := map[int]int{}
+	for _, m := range clustering.Macros {
+		sizes[m.Label] = len(m.Members)
+	}
+	if sizes[0]+sizes[1] != 4 {
+		t.Errorf("member counts = %v", sizes)
+	}
+	if !(sizes[0] == 3 && sizes[1] == 1 || sizes[0] == 1 && sizes[1] == 3) {
+		t.Errorf("adjacency grouping wrong: %v", sizes)
+	}
+	// Empty model.
+	c2, err := a.Offline(core.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumClusters() != 0 {
+		t.Error("empty model produced clusters")
+	}
+}
+
+func TestInitGridsSample(t *testing.T) {
+	a := New(testConfig())
+	mcs, err := a.Init(algotest.TwoBlobStream(100, 4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcs) < 2 {
+		t.Fatalf("init produced %d grids", len(mcs))
+	}
+	var total float64
+	for _, mc := range mcs {
+		total += mc.Weight()
+	}
+	// All records at the same virtual time window: decay is tiny, so the
+	// total density is close to the record count.
+	if total < 95 || total > 100 {
+		t.Errorf("total density = %v, want ~100", total)
+	}
+	if _, err := a.Init(nil); err == nil {
+		t.Error("empty init accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	a := New(Config{Dim: 3})
+	if a.cfg.GridDims != 3 || a.cfg.GridSize != 1 || a.cfg.Lambda != 0.998 ||
+		a.cfg.DenseThreshold != 3 || a.cfg.SparseThreshold != 0.8 {
+		t.Errorf("defaults = %+v", a.cfg)
+	}
+	b := New(Config{Dim: 54})
+	if b.cfg.GridDims != 4 {
+		t.Errorf("GridDims default = %d, want 4", b.cfg.GridDims)
+	}
+}
+
+func TestCellKey(t *testing.T) {
+	if cellKey([]int{1, -2, 3}) != "1,-2,3" {
+		t.Errorf("cellKey = %q", cellKey([]int{1, -2, 3}))
+	}
+	if cellKey(nil) != "" {
+		t.Errorf("cellKey(nil) = %q", cellKey(nil))
+	}
+}

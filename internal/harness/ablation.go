@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"diststream/internal/core"
+	"diststream/internal/datagen"
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// PreMergeResult is the §V-C pre-merge ablation: with the optimization
+// off, every outlier record reaches the driver as its own micro-cluster
+// and the single-node global update pays for it.
+type PreMergeResult struct {
+	Dataset   string
+	Algorithm string
+	// With/Without hold the two runs.
+	With, Without PreMergeRun
+}
+
+// PreMergeRun is one side of the ablation.
+type PreMergeRun struct {
+	CreatedMCs   int
+	GlobalWall   time.Duration
+	TotalWall    time.Duration
+	Throughput   float64
+	ModelSizeEnd int
+}
+
+// CreatedReduction returns how many times fewer outlier micro-clusters
+// pre-merge ships to the driver.
+func (r PreMergeResult) CreatedReduction() float64 {
+	if r.With.CreatedMCs == 0 {
+		return 0
+	}
+	return float64(r.Without.CreatedMCs) / float64(r.With.CreatedMCs)
+}
+
+// RunPreMergeAblation runs the ordered pipeline twice on a drift-heavy
+// dataset (kdd99-sim's attack bursts generate outlier waves) with the
+// pre-merge optimization on and off.
+func RunPreMergeAblation(preset datagen.Preset, algoName string, records int, seed int64) (*PreMergeResult, error) {
+	ds, err := LoadDataset(preset, records, 1000, seed)
+	if err != nil {
+		return nil, err
+	}
+	run := func(disable bool) (PreMergeRun, error) {
+		algo, err := NewAlgorithm(algoName, ds, seed)
+		if err != nil {
+			return PreMergeRun{}, err
+		}
+		eng, err := NewEngine(4, nil)
+		if err != nil {
+			return PreMergeRun{}, err
+		}
+		defer eng.Close()
+		pl, err := core.NewPipeline(core.Config{
+			Algorithm:       algo,
+			Engine:          eng,
+			BatchInterval:   10,
+			InitRecords:     1000,
+			DisablePreMerge: disable,
+		})
+		if err != nil {
+			return PreMergeRun{}, err
+		}
+		stats, err := pl.Run(stream.NewSliceSource(ds.Records))
+		if err != nil {
+			return PreMergeRun{}, err
+		}
+		return PreMergeRun{
+			CreatedMCs:   stats.CreatedMCs,
+			GlobalWall:   stats.GlobalUpdate.Wall,
+			TotalWall:    stats.TotalWall,
+			Throughput:   stats.Throughput(),
+			ModelSizeEnd: pl.Model().Len(),
+		}, nil
+	}
+	withPM, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	withoutPM, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &PreMergeResult{
+		Dataset:   ds.Name,
+		Algorithm: algoName,
+		With:      withPM,
+		Without:   withoutPM,
+	}, nil
+}
+
+// ParallelismChoiceResult is the §V-A ablation: record-based vs
+// model-based parallelism for the closest-micro-cluster step. The paper
+// chooses record-based because model-based needs an extra aggregation
+// stage to combine partial argmins.
+type ParallelismChoiceResult struct {
+	Records       int
+	MicroClusters int
+	Parallelism   int
+	// RecordBased is the chosen design: broadcast model, partition
+	// records, one stage.
+	RecordBased time.Duration
+	// ModelBased partitions micro-clusters, computes partial argmins per
+	// task, then merges them in an extra aggregation pass.
+	ModelBased time.Duration
+	// ModelBasedMerge is the extra aggregation time included in
+	// ModelBased.
+	ModelBasedMerge time.Duration
+	// RecordItems / ModelItems count the inter-task result items each
+	// strategy ships: record-based emits one result per record, while
+	// model-based emits one PARTIAL result per record per task (p times
+	// the volume) and pays an extra aggregation stage — the §V-A
+	// "additional inter-task communication".
+	RecordItems, ModelItems int
+}
+
+// itemWireCost models shipping one result item between tasks on a real
+// cluster (serialization + shuffle I/O; ~10µs per small tuple is typical
+// of the paper's JVM/Spark-era stack); on the in-process executor this
+// cost is invisible, which is why the comparison must account for it
+// explicitly.
+const itemWireCost = 10 * time.Microsecond
+
+// RecordBasedTotal returns compute plus modeled communication.
+func (r ParallelismChoiceResult) RecordBasedTotal() time.Duration {
+	return r.RecordBased + time.Duration(r.RecordItems)*itemWireCost
+}
+
+// ModelBasedTotal returns compute plus modeled communication.
+func (r ParallelismChoiceResult) ModelBasedTotal() time.Duration {
+	return r.ModelBased + time.Duration(r.ModelItems)*itemWireCost
+}
+
+// Speedup returns ModelBasedTotal / RecordBasedTotal (>1 means
+// record-based wins, as §V-A argues).
+func (r ParallelismChoiceResult) Speedup() float64 {
+	if r.RecordBasedTotal() == 0 {
+		return 0
+	}
+	return float64(r.ModelBasedTotal()) / float64(r.RecordBasedTotal())
+}
+
+// partialAssign is the model-based partial result for one record.
+type partialAssign struct {
+	Dist float64
+	ID   uint64
+}
+
+// RunParallelismChoiceAblation measures both parallelizations of the
+// assign step over the same records and micro-clusters.
+func RunParallelismChoiceAblation(records, microClusters, dim, parallelism int, seed int64) (*ParallelismChoiceResult, error) {
+	if records <= 0 || microClusters <= 0 || dim <= 0 || parallelism <= 0 {
+		return nil, fmt.Errorf("harness: invalid ablation sizes")
+	}
+	// Synthetic geometry: records spread over micro-cluster centers.
+	centers := make([]vector.Vector, microClusters)
+	for i := range centers {
+		v := vector.New(dim)
+		v[0] = float64(i)
+		centers[i] = v
+	}
+	recs := make([]stream.Record, records)
+	for i := range recs {
+		v := vector.New(dim)
+		v[0] = float64(i%microClusters) + 0.25
+		recs[i] = stream.Record{Seq: uint64(i), Timestamp: vclock.Time(i), Values: v}
+	}
+
+	reg := mbsp.NewRegistry()
+	// Record-based: each task scans all centers for its records.
+	reg.MustRegister("ablate.record-based", func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		bv, err := ctx.Broadcast("centers")
+		if err != nil {
+			return nil, err
+		}
+		cs := bv.([]vector.Vector)
+		out := make(mbsp.Partition, len(in))
+		for i, item := range in {
+			rec := item.(stream.Record)
+			best, bestD := 0, math.Inf(1)
+			for j, c := range cs {
+				if d := vector.SquaredDistance(rec.Values, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			out[i] = mbsp.KeyedItem{Key: uint64(best), Item: rec.Seq}
+		}
+		return out, nil
+	})
+	// Model-based: each task holds a slice of centers and scans ALL
+	// records against it, emitting partial argmins.
+	reg.MustRegister("ablate.model-based", func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		bv, err := ctx.Broadcast("records")
+		if err != nil {
+			return nil, err
+		}
+		rs := bv.([]stream.Record)
+		out := make(mbsp.Partition, len(rs))
+		for i, rec := range rs {
+			best, bestD := uint64(0), math.Inf(1)
+			for _, item := range in {
+				kc := item.(mbsp.KeyedItem)
+				c := kc.Item.(vector.Vector)
+				if d := vector.SquaredDistance(rec.Values, c); d < bestD {
+					best, bestD = kc.Key, d
+				}
+			}
+			out[i] = partialAssign{Dist: bestD, ID: best}
+		}
+		return out, nil
+	})
+
+	exec, err := mbsp.NewLocalExecutor(mbsp.LocalConfig{Parallelism: parallelism, Registry: reg})
+	if err != nil {
+		return nil, err
+	}
+	defer exec.Close()
+	eng, err := mbsp.NewEngine(exec)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- record-based run ---
+	if err := eng.Broadcast("centers", centers); err != nil {
+		return nil, err
+	}
+	items := make([]mbsp.Item, len(recs))
+	for i, r := range recs {
+		items[i] = r
+	}
+	parts, err := mbsp.RoundRobin(items, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	startRB := time.Now()
+	if _, err := eng.MapStage("ablate-rb", "ablate.record-based", parts); err != nil {
+		return nil, err
+	}
+	recordBased := time.Since(startRB)
+
+	// --- model-based run ---
+	if err := eng.Broadcast("records", recs); err != nil {
+		return nil, err
+	}
+	centerItems := make([]mbsp.Item, len(centers))
+	for i, c := range centers {
+		centerItems[i] = mbsp.KeyedItem{Key: uint64(i), Item: c}
+	}
+	centerParts, err := mbsp.Chunk(centerItems, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	startMB := time.Now()
+	partials, err := eng.MapStage("ablate-mb", "ablate.model-based", centerParts)
+	if err != nil {
+		return nil, err
+	}
+	// Extra aggregation stage: merge partial argmins per record.
+	mergeStart := time.Now()
+	final := make([]partialAssign, len(recs))
+	for i := range final {
+		final[i] = partialAssign{Dist: math.Inf(1)}
+	}
+	for _, part := range partials {
+		for i, item := range part {
+			pa := item.(partialAssign)
+			if pa.Dist < final[i].Dist {
+				final[i] = pa
+			}
+		}
+	}
+	merge := time.Since(mergeStart)
+	modelBased := time.Since(startMB)
+
+	return &ParallelismChoiceResult{
+		Records:         records,
+		MicroClusters:   microClusters,
+		Parallelism:     parallelism,
+		RecordBased:     recordBased,
+		ModelBased:      modelBased,
+		ModelBasedMerge: merge,
+		RecordItems:     records,
+		ModelItems:      records * parallelism,
+	}, nil
+}

@@ -1,0 +1,587 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"diststream/internal/core"
+	"diststream/internal/datagen"
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// Small scales keep the full experiment battery fast enough for go test.
+const (
+	testRecords = 4000
+	testSeed    = 7
+)
+
+func TestNewAlgorithmRegistryHasAll(t *testing.T) {
+	reg, err := NewAlgorithmRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	if len(names) != 5 {
+		t.Fatalf("registered %d algorithms: %v", len(names), names)
+	}
+}
+
+func TestNewEngineAndAlgorithms(t *testing.T) {
+	eng, err := NewEngine(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Parallelism() != 2 {
+		t.Errorf("Parallelism = %d", eng.Parallelism())
+	}
+	ds, err := LoadDataset(datagen.KDD99Sim, testRecords, 100, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ClusterRadius <= 0 || ds.LeadRadius <= 0 || ds.NNDist <= 0 {
+		t.Errorf("calibration broken: %+v", ds)
+	}
+	for _, name := range append(AlgorithmNames, "simple") {
+		algo, err := NewAlgorithm(name, ds, testSeed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if algo.Name() != name {
+			t.Errorf("name = %q, want %q", algo.Name(), name)
+		}
+	}
+	if _, err := NewAlgorithm("nope", ds, testSeed); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestDatasetLarge(t *testing.T) {
+	ds, err := LoadDataset(datagen.KDD98Sim, 1000, 100, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ds.Large(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large.Records) != 3000 {
+		t.Errorf("large records = %d", len(large.Records))
+	}
+	if !strings.HasPrefix(large.Name, "large-") {
+		t.Errorf("large name = %q", large.Name)
+	}
+}
+
+func TestEstimateClusterRadius(t *testing.T) {
+	// Two labeled clusters with known per-dim std 1 in 4 dims: full-norm
+	// radius ~2, lead radius (4 dims) same here.
+	recs := make([]stream.Record, 2000)
+	for i := range recs {
+		base := 0.0
+		if i%2 == 1 {
+			base = 100
+		}
+		v := vector.New(4)
+		for d := range v {
+			v[d] = base + gauss(uint64(i*4+d))
+		}
+		recs[i] = stream.Record{Seq: uint64(i), Values: v, Label: i % 2}
+	}
+	all, lead := EstimateClusterRadius(recs, 1000)
+	if all < 1.5 || all > 2.5 {
+		t.Errorf("cluster radius = %v, want ~2", all)
+	}
+	if lead < 1.5 || lead > 2.5 {
+		t.Errorf("lead radius = %v, want ~2", lead)
+	}
+	// No labels: zero.
+	for i := range recs {
+		recs[i].Label = -1
+	}
+	if all, _ := EstimateClusterRadius(recs, 100); all != 0 {
+		t.Errorf("unlabeled radius = %v", all)
+	}
+	if all, _ := EstimateClusterRadius(nil, 10); all != 0 {
+		t.Errorf("empty radius = %v", all)
+	}
+}
+
+// gauss is a cheap deterministic standard-normal-ish value (sum of 4
+// hashed uniforms, variance-corrected).
+func gauss(x uint64) float64 {
+	var sum float64
+	for i := 0; i < 4; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		sum += float64(x>>11) / float64(1<<53)
+	}
+	return (sum - 2) * 1.732
+}
+
+func TestEstimateNNDist(t *testing.T) {
+	recs := make([]stream.Record, 100)
+	for i := range recs {
+		recs[i] = stream.Record{Values: vector.Vector{float64(i), 0}}
+	}
+	got := EstimateNNDist(recs, 100)
+	if got < 0.5 || got > 2 {
+		t.Errorf("NNDist = %v, want ~1", got)
+	}
+	if EstimateNNDist(nil, 10) != 1 {
+		t.Error("empty fallback != 1")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	res, err := RunTable1(testRecords, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// kdd98-sim must be the most stable (the paper's §VII-B2 argument).
+	var kdd98, kdd99 float64
+	for _, row := range res.Rows {
+		switch row.Dataset {
+		case "kdd98-sim":
+			kdd98 = row.Stability
+		case "kdd99-sim":
+			kdd99 = row.Stability
+		}
+	}
+	if kdd98 >= kdd99 {
+		t.Errorf("stability ordering: kdd98 %v >= kdd99 %v", kdd98, kdd99)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "kdd99-sim") {
+		t.Error("render missing dataset")
+	}
+}
+
+func TestRunQualitySmall(t *testing.T) {
+	res, err := RunQuality(QualityConfig{
+		Datasets:   []datagen.Preset{datagen.KDD99Sim},
+		Algorithms: []string{"clustream"},
+		Records:    testRecords,
+		Seed:       testSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	moa, ok := cell.Mode(ModeMOA)
+	if !ok {
+		t.Fatal("no moa mode")
+	}
+	if moa.NormCMM != 1 {
+		t.Errorf("moa norm = %v", moa.NormCMM)
+	}
+	ordered, ok := cell.Mode(ModeDistStream)
+	if !ok {
+		t.Fatal("no diststream mode")
+	}
+	// The paper's primary claim at small scale: comparable quality.
+	if ordered.NormCMM < 0.85 || ordered.NormCMM > 1.15 {
+		t.Errorf("ordered normalized CMM = %v, want ~1", ordered.NormCMM)
+	}
+	if len(ordered.Points) == 0 {
+		t.Error("no CMM trajectory")
+	}
+	if _, ok := cell.Mode(ModeUnordered); !ok {
+		t.Error("no unordered mode")
+	}
+	if _, ok := cell.Mode("bogus"); ok {
+		t.Error("bogus mode found")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "norm CMM") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunBatchSizeQualitySmall(t *testing.T) {
+	res, err := RunBatchSizeQuality(QualityConfig{
+		Records: testRecords,
+		Seed:    testSeed,
+	}, datagen.KDD99Sim, "denstream", []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AvgCMM) != 2 {
+		t.Fatalf("points = %d", len(res.AvgCMM))
+	}
+	if res.MOAAvgCMM <= 0 {
+		t.Error("no MOA reference")
+	}
+	if res.MaxDeltaPercent() < 0 {
+		t.Error("negative delta")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "delta vs MOA") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunThroughputSmall(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		Datasets:    []datagen.Preset{datagen.KDD98Sim},
+		Algorithms:  []string{"denstream"},
+		BaseRecords: 3000,
+		Repeats:     2,
+		Seed:        testSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, cell := range res.Cells {
+		if cell.Throughput <= 0 {
+			t.Errorf("%s/%s: zero throughput", cell.Mode, cell.Dataset)
+		}
+		if cell.Records != 5000 { // 6000 - 1000 init
+			t.Errorf("records = %d", cell.Records)
+		}
+	}
+	if _, ok := res.Cell("large-kdd98-sim", "denstream", ModeMOA); !ok {
+		t.Error("Cell lookup failed")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "throughput") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunScalabilitySmall(t *testing.T) {
+	res, err := RunScalability(ScalabilityConfig{
+		Datasets:    []datagen.Preset{datagen.KDD99Sim},
+		Algorithms:  []string{"denstream"},
+		BaseRecords: 4000,
+		Repeats:     2,
+		Seed:        testSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 1 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	curve := res.Curves[0]
+	if len(curve.Points) != 6 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	// The headline shape: sublinear but substantial gain at p=32.
+	last := curve.Points[len(curve.Points)-1]
+	if last.Parallelism != 32 {
+		t.Fatalf("last parallelism = %d", last.Parallelism)
+	}
+	if last.Gain <= 2 || last.Gain >= 32 {
+		t.Errorf("gain at 32 = %v, want sublinear but > 2", last.Gain)
+	}
+	// Gains grow monotonically for the low range.
+	if !(curve.Points[0].Gain < curve.Points[1].Gain && curve.Points[1].Gain < curve.Points[2].Gain) {
+		t.Errorf("gain not increasing: %+v", curve.Points[:3])
+	}
+	// Straggler fractions match the paper's calibration.
+	for _, pt := range curve.Points {
+		switch pt.Parallelism {
+		case 16:
+			if pt.StragglerFraction < 0.11 || pt.StragglerFraction > 0.13 {
+				t.Errorf("straggler(16) = %v, want ~0.12", pt.StragglerFraction)
+			}
+		case 32:
+			if pt.StragglerFraction < 0.24 || pt.StragglerFraction > 0.26 {
+				t.Errorf("straggler(32) = %v, want ~0.25", pt.StragglerFraction)
+			}
+		}
+	}
+	if res.MaxGain() != last.Gain {
+		t.Errorf("MaxGain = %v, want %v", res.MaxGain(), last.Gain)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "stragglers") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunBatchSizeSweepSmall(t *testing.T) {
+	res, err := RunBatchSizeSweep(ScalabilityConfig{
+		BaseRecords: 4000,
+		Repeats:     2,
+		Seed:        testSeed,
+	}, datagen.KDD99Sim, "denstream", []float64{1, 10}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Figure 9's left edge: 1s batches lose throughput to per-batch
+	// overheads relative to 10s batches.
+	if res.Points[0].Throughput >= res.Points[1].Throughput {
+		t.Errorf("1s batches (%v) should be slower than 10s (%v)",
+			res.Points[0].Throughput, res.Points[1].Throughput)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunPreMergeAblationSmall(t *testing.T) {
+	res, err := RunPreMergeAblation(datagen.KDD99Sim, "denstream", 6000, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Without.CreatedMCs <= res.With.CreatedMCs {
+		t.Errorf("pre-merge did not reduce created MCs: %d vs %d",
+			res.With.CreatedMCs, res.Without.CreatedMCs)
+	}
+	if res.CreatedReduction() <= 1 {
+		t.Errorf("reduction = %v", res.CreatedReduction())
+	}
+	if res.Without.GlobalWall <= res.With.GlobalWall {
+		t.Errorf("pre-merge did not cut global update time: %v vs %v",
+			res.With.GlobalWall, res.Without.GlobalWall)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "pre-merge") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunParallelismChoiceAblationSmall(t *testing.T) {
+	res, err := RunParallelismChoiceAblation(4000, 100, 16, 4, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelItems != 4*res.RecordItems {
+		t.Errorf("model items = %d, want 4x %d", res.ModelItems, res.RecordItems)
+	}
+	if res.Speedup() <= 1 {
+		t.Errorf("record-based should win with communication: speedup %v", res.Speedup())
+	}
+	if _, err := RunParallelismChoiceAblation(0, 0, 0, 0, 1); err == nil {
+		t.Error("invalid sizes accepted")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "record-based") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestStragglerModel(t *testing.T) {
+	m := PaperStragglers
+	if p := m.Prob(16); p < 0.11 || p > 0.13 {
+		t.Errorf("Prob(16) = %v", p)
+	}
+	if p := m.Prob(32); p < 0.24 || p > 0.26 {
+		t.Errorf("Prob(32) = %v", p)
+	}
+	if m.Prob(0) != 0 {
+		t.Errorf("Prob(0) = %v", m.Prob(0))
+	}
+	if m.Prob(10000) > 0.9 {
+		t.Error("Prob not clamped")
+	}
+	if m.StageFactor(0) != 1 {
+		t.Error("StageFactor(0) != 1")
+	}
+	if f := m.StageFactor(32); f <= 1 || f > m.Slowdown {
+		t.Errorf("StageFactor(32) = %v", f)
+	}
+}
+
+func TestCostProfileModel(t *testing.T) {
+	profile := CostProfile{
+		Records:     10000,
+		Batches:     10,
+		AssignWork:  1e9, // 100µs/record total parallel work
+		LocalWork:   0,
+		ShuffleWall: 0,
+		GlobalWall:  5e7, // 5µs/record serial
+	}
+	noStrag := StragglerModel{Slowdown: 1}
+	t1 := profile.ModelThroughput(1, noStrag)
+	t32 := profile.ModelThroughput(32, noStrag)
+	if t32 <= t1 {
+		t.Errorf("no gain: %v vs %v", t1, t32)
+	}
+	gain := profile.ModelGain(32, noStrag)
+	// Amdahl bound: serial fraction 5/105 => max gain ~ 105/(100/32+5).
+	if gain <= 1 || gain > 32 {
+		t.Errorf("gain = %v", gain)
+	}
+	if profile.GlobalPerRecord() != 5000 { // 5µs in ns
+		t.Errorf("GlobalPerRecord = %v", profile.GlobalPerRecord())
+	}
+	share1 := profile.GlobalShare(1, noStrag)
+	share32 := profile.GlobalShare(32, noStrag)
+	if !(share32 > share1) {
+		t.Errorf("global share should grow with p: %v vs %v", share1, share32)
+	}
+	// Degenerate profiles.
+	var zero CostProfile
+	if zero.ModelThroughput(4, noStrag) != 0 || zero.ModelGain(4, noStrag) != 0 {
+		t.Error("zero profile produced throughput")
+	}
+}
+
+func TestProfileRunErrorsOnNoBatches(t *testing.T) {
+	// A dataset whose records all land inside the warm-up sample
+	// produces zero batches.
+	ds, err := LoadDataset(datagen.KDD98Sim, 500, 100, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ProfileRun(ds, "denstream", 10, 1000, testSeed); err == nil {
+		t.Error("expected no-batches error")
+	}
+}
+
+func TestSampledWindow(t *testing.T) {
+	w, err := newSampledWindow(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		w.push(stream.Record{Seq: uint64(i), Timestamp: vclock.Time(i), Values: vector.Vector{1}})
+	}
+	if w.win.Len() != 10 {
+		t.Errorf("window len = %d, want 10 (every 3rd of 30)", w.win.Len())
+	}
+	if _, err := newSampledWindow(0, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestLoadCSVDataset(t *testing.T) {
+	// Round-trip a generated dataset through CSV and reload it.
+	recs, err := datagen.GeneratePreset(datagen.KDD98Sim, 500, 100, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.csv"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.WriteCSV(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadCSVDataset(path, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 500 {
+		t.Fatalf("records = %d", len(ds.Records))
+	}
+	// Restamped at 1000 rec/s.
+	if got := float64(ds.Records[499].Timestamp); got < 0.498 || got > 0.5 {
+		t.Errorf("last timestamp = %v, want ~0.499", got)
+	}
+	if ds.ClusterRadius <= 0 {
+		t.Error("no calibration from labeled CSV")
+	}
+	// An algorithm can be built and run on it.
+	algo, err := NewAlgorithm("denstream", ds, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Name() != "denstream" {
+		t.Error("wrong algorithm")
+	}
+	// Missing file errors.
+	if _, err := LoadCSVDataset(t.TempDir()+"/missing.csv", 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Empty file errors.
+	empty := t.TempDir() + "/empty.csv"
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCSVDataset(empty, 0, false); err == nil {
+		t.Error("empty file accepted")
+	}
+	// Normalization path.
+	ds2, err := LoadCSVDataset(path, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range ds2.Records {
+		sum += r.Values[0]
+	}
+	if m := sum / float64(len(ds2.Records)); m > 1e-9 || m < -1e-9 {
+		t.Errorf("normalized mean = %v", m)
+	}
+}
+
+func TestPipelineWithStragglerInjection(t *testing.T) {
+	// End-to-end run with injected straggler latency: the engine's task
+	// metrics must register stragglers, and results must be unaffected.
+	delay := mbsp.NewStragglerDelay(3, 0.5, 3*time.Millisecond, 6*time.Millisecond)
+	eng, err := NewEngine(4, delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ds, err := LoadDataset(datagen.KDD99Sim, 3000, 100, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := NewAlgorithm("denstream", ds, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPipeline(core.Config{
+		Algorithm:     algo,
+		Engine:        eng,
+		BatchInterval: 5,
+		InitRecords:   500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(ds.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2500 {
+		t.Errorf("Records = %d", stats.Records)
+	}
+	if stats.TotalTasks == 0 {
+		t.Fatal("no task metrics collected")
+	}
+	if stats.StragglerTasks == 0 {
+		t.Error("injected stragglers not observed in metrics")
+	}
+	if f := stats.StragglerFraction(); f <= 0 || f >= 1 {
+		t.Errorf("straggler fraction = %v", f)
+	}
+	if pl.Model().Len() == 0 {
+		t.Error("empty model despite successful run")
+	}
+}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// renderTable writes an aligned ASCII table.
+func renderTable(w io.Writer, title string, header []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// Render writes the Table I reproduction.
+func (r *Table1Result) Render(w io.Writer) {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset,
+			fmt.Sprintf("%d", row.Records),
+			fmt.Sprintf("%d", row.Features),
+			fmt.Sprintf("%d", row.Clusters),
+			fmt.Sprintf("%.0f%% %.1f%% %.1f%%", 100*row.Top3[0], 100*row.Top3[1], 100*row.Top3[2]),
+			fmt.Sprintf("%.3f", row.Stability),
+		})
+	}
+	renderTable(w, "Table I: dataset characteristics (synthetic substitutes)",
+		[]string{"dataset", "records", "features", "clusters", "top-3 share", "stability"}, rows)
+}
+
+// Render writes the Figure 6 reproduction: normalized CMM per mode plus
+// the fault analysis behind §VII-B2.
+func (r *QualityResult) Render(w io.Writer) {
+	rows := make([][]string, 0, len(r.Cells)*3)
+	for _, cell := range r.Cells {
+		for _, mode := range cell.Modes {
+			rows = append(rows, []string{
+				cell.Dataset,
+				cell.Algorithm,
+				mode.Mode,
+				fmt.Sprintf("%.4f", mode.AvgCMM),
+				fmt.Sprintf("%.3f", mode.NormCMM),
+				fmt.Sprintf("%d", mode.Missed),
+				fmt.Sprintf("%d", mode.Misplaced),
+				fmt.Sprintf("%d", mode.OutlierMCs),
+			})
+		}
+	}
+	renderTable(w, "Figure 6: clustering quality (CMM; normalized against the MOA baseline)",
+		[]string{"dataset", "algorithm", "mode", "avg CMM", "norm CMM", "missed", "misplaced", "outlier MCs"}, rows)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "CMM over the stream (one row per evaluation):")
+	for _, cell := range r.Cells {
+		fmt.Fprintf(w, "  %s / %s\n", cell.Dataset, cell.Algorithm)
+		for _, mode := range cell.Modes {
+			var b strings.Builder
+			for _, pt := range mode.Points {
+				fmt.Fprintf(&b, " %.3f", pt.CMM)
+			}
+			fmt.Fprintf(w, "    %-10s%s\n", mode.Mode, b.String())
+		}
+	}
+}
+
+// Render writes the §VII-B2 batch-size quality sweep.
+func (r *BatchSizeQualityResult) Render(w io.Writer) {
+	rows := make([][]string, 0, len(r.BatchSeconds))
+	for i, size := range r.BatchSeconds {
+		delta := 0.0
+		if r.MOAAvgCMM > 0 {
+			delta = 100 * (r.AvgCMM[i] - r.MOAAvgCMM) / r.MOAAvgCMM
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0fs", size),
+			fmt.Sprintf("%.4f", r.AvgCMM[i]),
+			fmt.Sprintf("%+.2f%%", delta),
+		})
+	}
+	renderTable(w, fmt.Sprintf("Batch-size quality sweep (%s / %s; MOA avg CMM %.4f)",
+		r.Dataset, r.Algorithm, r.MOAAvgCMM),
+		[]string{"batch", "avg CMM", "delta vs MOA"}, rows)
+}
+
+// Render writes the Figure 7 reproduction.
+func (r *ThroughputResult) Render(w io.Writer) {
+	rows := make([][]string, 0, len(r.Cells))
+	for _, cell := range r.Cells {
+		rows = append(rows, []string{
+			cell.Dataset,
+			cell.Algorithm,
+			cell.Mode,
+			fmt.Sprintf("%d", cell.Records),
+			fmt.Sprintf("%.0f", cell.Throughput),
+			fmt.Sprintf("%d", cell.OutlierMCs),
+		})
+	}
+	renderTable(w, "Figure 7: single-machine throughput (records/s, parallelism 1)",
+		[]string{"dataset", "algorithm", "mode", "records", "throughput", "outlier MCs"}, rows)
+}
+
+// Render writes the Figure 8/10 reproduction.
+func (r *ScalabilityResult) Render(w io.Writer) {
+	for _, curve := range r.Curves {
+		rows := make([][]string, 0, len(curve.Points))
+		for _, pt := range curve.Points {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", pt.Parallelism),
+				fmt.Sprintf("%.0f", pt.Throughput),
+				fmt.Sprintf("%.2fx", pt.Gain),
+				fmt.Sprintf("%.0f%%", 100*pt.StragglerFraction),
+				fmt.Sprintf("%.0f%%", 100*pt.GlobalShare),
+			})
+		}
+		renderTable(w, fmt.Sprintf("Scalability: %s / %s (global update %.1fµs/record, constant across p)",
+			curve.Dataset, curve.Algorithm, float64(curve.GlobalPerRecord.Nanoseconds())/1000),
+			[]string{"p", "throughput", "gain", "stragglers", "global share"}, rows)
+		fmt.Fprintln(w)
+	}
+}
+
+// Render writes the Figure 9 reproduction.
+func (r *BatchSizeResult) Render(w io.Writer) {
+	rows := make([][]string, 0, len(r.Points))
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0fs", pt.BatchSeconds),
+			fmt.Sprintf("%.0f", pt.Throughput),
+		})
+	}
+	renderTable(w, fmt.Sprintf("Figure 9: throughput vs batch size (%s / %s, p=%d)",
+		r.Dataset, r.Algorithm, r.Parallelism),
+		[]string{"batch", "throughput"}, rows)
+}
+
+// Render writes the pre-merge ablation.
+func (r *PreMergeResult) Render(w io.Writer) {
+	rows := [][]string{
+		{"with pre-merge", fmt.Sprintf("%d", r.With.CreatedMCs),
+			r.With.GlobalWall.String(), fmt.Sprintf("%.0f", r.With.Throughput)},
+		{"without", fmt.Sprintf("%d", r.Without.CreatedMCs),
+			r.Without.GlobalWall.String(), fmt.Sprintf("%.0f", r.Without.Throughput)},
+	}
+	renderTable(w, fmt.Sprintf("Pre-merge ablation (%s / %s): %.1fx fewer outlier MCs shipped to the driver",
+		r.Dataset, r.Algorithm, r.CreatedReduction()),
+		[]string{"variant", "created MCs", "global wall", "throughput"}, rows)
+}
+
+// Render writes the parallelism-choice ablation.
+func (r *ParallelismChoiceResult) Render(w io.Writer) {
+	rows := [][]string{
+		{"record-based (chosen)", r.RecordBased.String(), "-",
+			fmt.Sprintf("%d", r.RecordItems), r.RecordBasedTotal().String()},
+		{"model-based", r.ModelBased.String(), r.ModelBasedMerge.String(),
+			fmt.Sprintf("%d", r.ModelItems), r.ModelBasedTotal().String()},
+	}
+	renderTable(w, fmt.Sprintf("Assign-step parallelism ablation (%d records x %d MCs, p=%d): model-based is %.2fx slower with communication",
+		r.Records, r.MicroClusters, r.Parallelism, r.Speedup()),
+		[]string{"strategy", "compute", "extra merge", "shipped items", "total (modeled comm)"}, rows)
+}

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"time"
+
+	"diststream/internal/datagen"
+)
+
+// ScalabilityConfig parameterizes Figures 8, 9 and 10.
+type ScalabilityConfig struct {
+	// Datasets (default: all three presets).
+	Datasets []datagen.Preset
+	// Algorithms (default clustream, denstream; Figure 10 passes dstream,
+	// clustree).
+	Algorithms []string
+	// Parallelisms to model (default 1,2,4,8,16,32 — the paper's sweep).
+	Parallelisms []int
+	// BaseRecords and Repeats build the large- datasets.
+	BaseRecords int
+	Repeats     int
+	// TargetBatches sets the stream rate so the large dataset spans this
+	// many mini-batches (default 15). The paper streams at 100K rec/s
+	// against 10s batches — 1M-record batches; scaled-down runs keep the
+	// batch COUNT comparable instead, which is what the per-batch cost
+	// model needs.
+	TargetBatches int
+	// BatchSeconds per dataset rule: the paper uses 10s, and 20s for the
+	// slower high-dimensional kdd98-sim.
+	BatchSeconds float64
+	// InitRecords warm-up sample.
+	InitRecords int
+	// Stragglers is the contention model; zero value means
+	// PaperStragglers.
+	Stragglers StragglerModel
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c *ScalabilityConfig) withDefaults() ScalabilityConfig {
+	out := *c
+	if len(out.Datasets) == 0 {
+		out.Datasets = []datagen.Preset{datagen.KDD99Sim, datagen.CovTypeSim, datagen.KDD98Sim}
+	}
+	if len(out.Algorithms) == 0 {
+		out.Algorithms = []string{"clustream", "denstream"}
+	}
+	if len(out.Parallelisms) == 0 {
+		out.Parallelisms = []int{1, 2, 4, 8, 16, 32}
+	}
+	if out.BaseRecords <= 0 {
+		out.BaseRecords = 20000
+	}
+	if out.Repeats <= 0 {
+		out.Repeats = 3
+	}
+	if out.TargetBatches <= 0 {
+		out.TargetBatches = 15
+	}
+	if out.BatchSeconds <= 0 {
+		out.BatchSeconds = 10
+	}
+	if out.InitRecords <= 0 {
+		out.InitRecords = 1000
+	}
+	if out.Stragglers == (StragglerModel{}) {
+		out.Stragglers = PaperStragglers
+	}
+	return out
+}
+
+// rateFor spreads the large dataset across TargetBatches batches of the
+// dataset's batch interval.
+func (c ScalabilityConfig) rateFor(p datagen.Preset) float64 {
+	total := float64(c.BaseRecords * c.Repeats)
+	span := float64(c.TargetBatches) * c.batchFor(p)
+	if span <= 0 {
+		span = 1
+	}
+	return total / span
+}
+
+func (c ScalabilityConfig) batchFor(p datagen.Preset) float64 {
+	if p == datagen.KDD98Sim {
+		return 2 * c.BatchSeconds // paper: 20s for the slower stream
+	}
+	return c.BatchSeconds
+}
+
+// ScalabilityPoint is one parallelism level of one curve.
+type ScalabilityPoint struct {
+	Parallelism int
+	// Throughput is the modeled records/second.
+	Throughput float64
+	// Gain is Throughput relative to p=1.
+	Gain float64
+	// StragglerFraction is the modeled per-task straggler probability.
+	StragglerFraction float64
+	// GlobalShare is the modeled fraction of batch time spent in the
+	// single-node global update (the paper's first bottleneck).
+	GlobalShare float64
+}
+
+// ScalabilityCurve is one dataset x algorithm sweep.
+type ScalabilityCurve struct {
+	Dataset   string
+	Algorithm string
+	Profile   CostProfile
+	Points    []ScalabilityPoint
+	// GlobalPerRecord is the measured single-node global update latency
+	// per record (constant across p — the §VII-D2 observation).
+	GlobalPerRecord time.Duration
+}
+
+// ScalabilityResult is the Figure 8 (or 10) reproduction.
+type ScalabilityResult struct {
+	Curves []ScalabilityCurve
+}
+
+// MaxGain returns the best modeled gain across all curves (the paper's
+// headline: 13.2x at p=32).
+func (r *ScalabilityResult) MaxGain() float64 {
+	var best float64
+	for _, curve := range r.Curves {
+		for _, pt := range curve.Points {
+			if pt.Gain > best {
+				best = pt.Gain
+			}
+		}
+	}
+	return best
+}
+
+// RunScalability reproduces Figure 8 (and Figure 10 when invoked with
+// dstream/clustree): measure the pipeline's per-stage work on the large
+// datasets, then model throughput across parallelism degrees with the
+// paper-calibrated straggler model. On multi-core hosts the measured
+// profile comes from real parallel execution of the same code; the model
+// is what lets a single-core CI machine regenerate the 32-way curve.
+func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
+	c := cfg.withDefaults()
+	result := &ScalabilityResult{}
+	for _, preset := range c.Datasets {
+		base, err := LoadDataset(preset, c.BaseRecords, c.rateFor(preset), c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		large, err := base.Large(c.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		for _, algoName := range c.Algorithms {
+			profile, _, err := ProfileRun(large, algoName, c.batchFor(preset), c.InitRecords, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			curve := ScalabilityCurve{
+				Dataset:         large.Name,
+				Algorithm:       algoName,
+				Profile:         profile,
+				GlobalPerRecord: profile.GlobalPerRecord(),
+			}
+			for _, p := range c.Parallelisms {
+				curve.Points = append(curve.Points, ScalabilityPoint{
+					Parallelism:       p,
+					Throughput:        profile.ModelThroughput(p, c.Stragglers),
+					Gain:              profile.ModelGain(p, c.Stragglers),
+					StragglerFraction: c.Stragglers.Prob(p),
+					GlobalShare:       profile.GlobalShare(p, c.Stragglers),
+				})
+			}
+			result.Curves = append(result.Curves, curve)
+		}
+	}
+	return result, nil
+}
+
+// BatchSizePoint is one batch-interval measurement of Figure 9.
+type BatchSizePoint struct {
+	BatchSeconds float64
+	// Throughput is the modeled records/second at the configured
+	// parallelism (the paper fixes p=32).
+	Throughput float64
+}
+
+// BatchSizeResult is one dataset x algorithm Figure 9 curve.
+type BatchSizeResult struct {
+	Dataset     string
+	Algorithm   string
+	Parallelism int
+	Points      []BatchSizePoint
+}
+
+// RunBatchSizeSweep reproduces Figure 9: throughput as the batch interval
+// sweeps (paper: 1s to 30s) at fixed parallelism 32. Small batches lose
+// throughput to per-batch scheduling and broadcast overhead; large
+// batches gain until driver-side shuffle and global update costs grow.
+func RunBatchSizeSweep(cfg ScalabilityConfig, preset datagen.Preset, algoName string, sizes []float64, parallelism int) (*BatchSizeResult, error) {
+	c := cfg.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []float64{1, 2, 5, 10, 15, 20, 25, 30}
+	}
+	if parallelism <= 0 {
+		parallelism = 32
+	}
+	base, err := LoadDataset(preset, c.BaseRecords, c.rateFor(preset), c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	large, err := base.Large(c.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchSizeResult{Dataset: large.Name, Algorithm: algoName, Parallelism: parallelism}
+	// The paper sweeps the batch interval at a fixed stream rate, so a
+	// larger interval means proportionally more records per batch. Keep
+	// the stream's record timestamps fixed (they were stamped by
+	// LoadDataset at the large-dataset rate) and let the interval sweep
+	// change the records-per-batch exactly as in the paper.
+	for _, size := range sizes {
+		profile, _, err := ProfileRun(large, algoName, size, c.InitRecords, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// At the paper's fixed 100K rec/s stress rate, a batch interval of
+		// `size` seconds holds 100K x size records.
+		profile.RecordsPerBatch = int(100000 * size)
+		out.Points = append(out.Points, BatchSizePoint{
+			BatchSeconds: size,
+			Throughput:   profile.ModelThroughput(parallelism, c.Stragglers),
+		})
+	}
+	return out, nil
+}

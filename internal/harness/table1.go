@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"diststream/internal/datagen"
+)
+
+// Table1Row is one dataset's characteristics (paper Table I), extended
+// with the stability index that backs the §VII-B2 stability argument.
+type Table1Row struct {
+	Dataset   string
+	Records   int
+	Features  int
+	Clusters  int
+	Top3      [3]float64
+	Stability float64
+}
+
+// Table1Result is the Table I reproduction.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 generates the three synthetic datasets and summarizes them.
+func RunTable1(records int, seed int64) (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, preset := range []datagen.Preset{datagen.KDD99Sim, datagen.CovTypeSim, datagen.KDD98Sim} {
+		n := records
+		if n <= 0 {
+			n = preset.FullRecords()
+		}
+		recs, err := datagen.GeneratePreset(preset, n, 1000, seed)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := datagen.Summarize(preset.String(), recs)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Dataset:   sum.Name,
+			Records:   sum.Records,
+			Features:  sum.Dim,
+			Clusters:  sum.Clusters,
+			Top3:      sum.Top3Share,
+			Stability: datagen.StabilityIndex(recs, 20),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"diststream/internal/core"
+	"diststream/internal/datagen"
+	"diststream/internal/seq"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// ThroughputConfig parameterizes the Figure 7 single-machine comparison.
+type ThroughputConfig struct {
+	// Datasets (default: all three presets).
+	Datasets []datagen.Preset
+	// Algorithms (default clustream, denstream).
+	Algorithms []string
+	// BaseRecords per dataset before the Repeats-fold enlargement.
+	// Default 20000.
+	BaseRecords int
+	// Repeats builds the large- datasets (paper: 10). Default 3 to keep
+	// bench runtimes sane; the CLI can ask for 10.
+	Repeats int
+	// Rate is the stress stream rate (paper: 100K/s low-dim, 10K/s
+	// high-dim). Default 100000 (10000 for kdd98-sim).
+	Rate float64
+	// BatchSeconds (paper: 10). Default 10.
+	BatchSeconds float64
+	// InitRecords warm-up sample. Default 1000.
+	InitRecords int
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c *ThroughputConfig) withDefaults() ThroughputConfig {
+	out := *c
+	if len(out.Datasets) == 0 {
+		out.Datasets = []datagen.Preset{datagen.KDD99Sim, datagen.CovTypeSim, datagen.KDD98Sim}
+	}
+	if len(out.Algorithms) == 0 {
+		out.Algorithms = []string{"clustream", "denstream"}
+	}
+	if out.BaseRecords <= 0 {
+		out.BaseRecords = 20000
+	}
+	if out.Repeats <= 0 {
+		out.Repeats = 3
+	}
+	if out.Rate <= 0 {
+		out.Rate = 100000
+	}
+	if out.BatchSeconds <= 0 {
+		out.BatchSeconds = 10
+	}
+	if out.InitRecords <= 0 {
+		out.InitRecords = 1000
+	}
+	return out
+}
+
+// rateFor matches the paper's per-dataset stress rates: the
+// high-dimensional kdd98-sim streams at a tenth of the others.
+func (c ThroughputConfig) rateFor(p datagen.Preset) float64 {
+	if p == datagen.KDD98Sim {
+		return c.Rate / 10
+	}
+	return c.Rate
+}
+
+// ThroughputCell is one dataset x algorithm x mode measurement.
+type ThroughputCell struct {
+	Dataset   string
+	Algorithm string
+	Mode      string
+	// Records processed (excluding warm-up) and wall time.
+	Records int
+	Wall    time.Duration
+	// Throughput in records per wall second.
+	Throughput float64
+	// OutlierMCs created (explains the ordered-vs-unordered gap, §VII-C2).
+	OutlierMCs int
+}
+
+// ThroughputResult is the Figure 7 reproduction.
+type ThroughputResult struct {
+	Cells []ThroughputCell
+}
+
+// Cell returns the named measurement.
+func (r *ThroughputResult) Cell(dataset, algorithm, mode string) (ThroughputCell, bool) {
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Algorithm == algorithm && c.Mode == mode {
+			return c, true
+		}
+	}
+	return ThroughputCell{}, false
+}
+
+// RunThroughput reproduces Figure 7: MOA vs unordered vs DistStream
+// throughput in a single machine (one task, parallelism 1).
+func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
+	c := cfg.withDefaults()
+	result := &ThroughputResult{}
+	for _, preset := range c.Datasets {
+		base, err := LoadDataset(preset, c.BaseRecords, c.rateFor(preset), c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		large, err := base.Large(c.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		for _, algoName := range c.Algorithms {
+			for _, mode := range []string{ModeMOA, ModeUnordered, ModeDistStream} {
+				cell, err := runThroughputMode(c, large, algoName, mode)
+				if err != nil {
+					return nil, fmt.Errorf("harness: throughput %s/%s/%s: %w",
+						large.Name, algoName, mode, err)
+				}
+				result.Cells = append(result.Cells, cell)
+			}
+		}
+	}
+	return result, nil
+}
+
+func runThroughputMode(c ThroughputConfig, ds Dataset, algoName, mode string) (ThroughputCell, error) {
+	algo, err := NewAlgorithm(algoName, ds, c.Seed)
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	cell := ThroughputCell{Dataset: ds.Name, Algorithm: algoName, Mode: mode}
+	if mode == ModeMOA {
+		runner, err := seq.NewRunner(seq.Config{Algorithm: algo, InitRecords: c.InitRecords})
+		if err != nil {
+			return ThroughputCell{}, err
+		}
+		stats, err := runner.Run(stream.NewSliceSource(ds.Records), nil)
+		if err != nil {
+			return ThroughputCell{}, err
+		}
+		cell.Records = stats.Records
+		cell.Wall = stats.TotalWall
+		cell.Throughput = stats.Throughput()
+		cell.OutlierMCs = stats.CreatedMCs
+		return cell, nil
+	}
+	order := core.OrderAware
+	if mode == ModeUnordered {
+		order = core.OrderUnordered
+	}
+	eng, err := NewEngine(1, nil)
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	defer eng.Close()
+	pl, err := core.NewPipeline(core.Config{
+		Algorithm:     algo,
+		Engine:        eng,
+		BatchInterval: vclock.Duration(c.BatchSeconds),
+		Order:         order,
+		InitRecords:   c.InitRecords,
+	})
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	stats, err := pl.Run(stream.NewSliceSource(ds.Records))
+	if err != nil {
+		return ThroughputCell{}, err
+	}
+	cell.Records = stats.Records
+	cell.Wall = stats.TotalWall
+	cell.Throughput = stats.Throughput()
+	cell.OutlierMCs = stats.CreatedMCs
+	return cell, nil
+}

@@ -1,0 +1,154 @@
+package mbsp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Engine is the driver: it runs stages on an Executor, performs the
+// shuffle between stages, and accumulates stage metrics. An Engine is not
+// safe for concurrent use; the DistStream pipeline drives it from a
+// single batch loop, exactly like a Spark Streaming driver.
+type Engine struct {
+	exec    Executor
+	metrics []StageMetrics
+}
+
+// NewEngine wraps an executor.
+func NewEngine(exec Executor) (*Engine, error) {
+	if exec == nil {
+		return nil, errors.New("mbsp: nil executor")
+	}
+	return &Engine{exec: exec}, nil
+}
+
+// Parallelism returns the executor's worker count.
+func (e *Engine) Parallelism() int { return e.exec.Parallelism() }
+
+// Broadcast publishes a value to all workers under id.
+func (e *Engine) Broadcast(id string, v Item) error { return e.exec.Broadcast(id, v) }
+
+// MapStage runs the named op over every input partition in parallel and
+// returns the per-partition outputs, recording stage metrics.
+func (e *Engine) MapStage(stage, op string, inputs []Partition) ([]Partition, error) {
+	start := time.Now()
+	outputs, taskMetrics, err := e.exec.RunTasks(stage, op, inputs)
+	e.metrics = append(e.metrics, StageMetrics{
+		Stage: stage,
+		Tasks: taskMetrics,
+		Wall:  time.Since(start),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// ShuffleByKey regroups partitions of KeyedItem into numPartitions
+// partitions of Group. Keys are routed with key % numPartitions; within a
+// group, items keep emission order (source partition first, then
+// position), which the order-aware local update then refines by record
+// timestamp. Items that are not KeyedItem are rejected.
+//
+// The shuffle executes on the driver: with in-process workers the data is
+// already in shared memory, and with the TCP executor task outputs have
+// been collected anyway — semantically identical to (if less scalable
+// than) Spark's distributed shuffle, which is acceptable because shuffle
+// volume here is one (key, record) pair per input record.
+func ShuffleByKey(inputs []Partition, numPartitions int) ([]Partition, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("mbsp: numPartitions %d must be positive", numPartitions)
+	}
+	groups := make(map[uint64]*Group)
+	var order []uint64 // first-emission order for determinism
+	for pi, part := range inputs {
+		for ii, item := range part {
+			ki, ok := item.(KeyedItem)
+			if !ok {
+				return nil, fmt.Errorf("mbsp: shuffle input partition %d item %d is %T, want KeyedItem", pi, ii, item)
+			}
+			g, ok := groups[ki.Key]
+			if !ok {
+				g = &Group{Key: ki.Key}
+				groups[ki.Key] = g
+				order = append(order, ki.Key)
+			}
+			g.Items = append(g.Items, ki.Item)
+		}
+	}
+	// Deterministic routing and a deterministic group order inside each
+	// partition: sort keys, route by modulo.
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]Partition, numPartitions)
+	for _, key := range order {
+		p := int(key % uint64(numPartitions))
+		out[p] = append(out[p], *groups[key])
+	}
+	return out, nil
+}
+
+// Collect concatenates all partitions into one slice at the driver, in
+// partition order.
+func Collect(parts []Partition) Partition {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make(Partition, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// RoundRobin deals items into p partitions preserving arrival order
+// within each partition: item i goes to partition i%p. This is the
+// record-distribution strategy of the assign step (§V-A: "assign incoming
+// records with different timestamps into different tasks in a round-robin
+// way").
+func RoundRobin(items []Item, p int) ([]Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mbsp: partitions %d must be positive", p)
+	}
+	out := make([]Partition, p)
+	per := (len(items) + p - 1) / p
+	for i := range out {
+		out[i] = make(Partition, 0, per)
+	}
+	for i, item := range items {
+		out[i%p] = append(out[i%p], item)
+	}
+	return out, nil
+}
+
+// Chunk splits items into p contiguous ranges (range partitioning); used
+// by the ablation that compares against model-based parallelism for the
+// assign step.
+func Chunk(items []Item, p int) ([]Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mbsp: partitions %d must be positive", p)
+	}
+	out := make([]Partition, p)
+	n := len(items)
+	for i := 0; i < p; i++ {
+		lo, hi := i*n/p, (i+1)*n/p
+		out[i] = append(Partition(nil), items[lo:hi]...)
+	}
+	return out, nil
+}
+
+// Metrics returns the stage metrics accumulated since the last Reset, in
+// execution order. The returned slice is a copy.
+func (e *Engine) Metrics() []StageMetrics {
+	out := make([]StageMetrics, len(e.metrics))
+	copy(out, e.metrics)
+	return out
+}
+
+// ResetMetrics clears accumulated metrics.
+func (e *Engine) ResetMetrics() { e.metrics = e.metrics[:0] }
+
+// Close closes the underlying executor.
+func (e *Engine) Close() error { return e.exec.Close() }

@@ -1,0 +1,180 @@
+package mbsp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// DelayFunc injects artificial per-task latency; it receives the stage,
+// task id and worker id and returns extra wall time to sleep before the
+// task body runs. Used by the straggler experiments (§VII-D2) to model a
+// contended cluster deterministically.
+type DelayFunc func(stage string, taskID, workerID int) time.Duration
+
+// LocalConfig configures a LocalExecutor.
+type LocalConfig struct {
+	// Parallelism is the number of worker goroutines (the paper's p).
+	Parallelism int
+	// Registry resolves op names. Required.
+	Registry *Registry
+	// Delay optionally injects straggler latency.
+	Delay DelayFunc
+	// TaskRetries re-runs a failed task up to this many additional times
+	// before failing the stage — the engine-level analogue of Spark
+	// Streaming's task re-execution, which the paper relies on for fault
+	// tolerance (§VI). Default 0 (no retries).
+	TaskRetries int
+}
+
+// LocalExecutor runs tasks on a pool of in-process worker goroutines. It
+// is the executor used for all deterministic experiments; rpcexec provides
+// the same semantics over TCP.
+type LocalExecutor struct {
+	cfg        LocalConfig
+	broadcasts *mapStore
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Executor = (*LocalExecutor)(nil)
+
+// NewLocalExecutor validates cfg and returns an executor.
+func NewLocalExecutor(cfg LocalConfig) (*LocalExecutor, error) {
+	if cfg.Parallelism <= 0 {
+		return nil, fmt.Errorf("mbsp: parallelism %d must be positive", cfg.Parallelism)
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("mbsp: registry is required")
+	}
+	return &LocalExecutor{cfg: cfg, broadcasts: newMapStore()}, nil
+}
+
+// Parallelism implements Executor.
+func (e *LocalExecutor) Parallelism() int { return e.cfg.Parallelism }
+
+// Broadcast implements Executor.
+func (e *LocalExecutor) Broadcast(id string, value Item) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if id == "" {
+		return errors.New("mbsp: empty broadcast id")
+	}
+	e.broadcasts.put(id, value)
+	return nil
+}
+
+// RunTasks implements Executor. Tasks are dealt to workers round-robin
+// (task i runs on worker i%p); outputs are returned in input order. The
+// call blocks until every task finishes (a synchronous stage barrier,
+// matching the paper's synchronous update protocol).
+func (e *LocalExecutor) RunTasks(stage, op string, inputs []Partition) ([]Partition, []TaskMetrics, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, nil, ErrClosed
+	}
+	fn, err := e.cfg.Registry.Lookup(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(inputs)
+	outputs := make([]Partition, n)
+	metrics := make([]TaskMetrics, n)
+	errs := make([]error, n)
+
+	p := e.cfg.Parallelism
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := w; task < n; task += p {
+				start := time.Now()
+				if e.cfg.Delay != nil {
+					if d := e.cfg.Delay(stage, task, w); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				ctx := &TaskContext{
+					StageName:  stage,
+					TaskID:     task,
+					WorkerID:   w,
+					broadcasts: e.broadcasts,
+				}
+				var out Partition
+				var err error
+				for attempt := 0; ; attempt++ {
+					out, err = fn(ctx, inputs[task])
+					if err == nil || attempt >= e.cfg.TaskRetries {
+						break
+					}
+					ctx.Attempt = attempt + 1
+				}
+				if err != nil {
+					errs[task] = &TaskError{Stage: stage, TaskID: task, Err: err}
+					continue
+				}
+				outputs[task] = out
+				metrics[task] = TaskMetrics{
+					Stage:    stage,
+					TaskID:   task,
+					WorkerID: w,
+					Duration: time.Since(start),
+					InItems:  len(inputs[task]),
+					OutItems: len(out),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, metrics, err
+		}
+	}
+	return outputs, metrics, nil
+}
+
+// Close implements Executor.
+func (e *LocalExecutor) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+// NewStragglerDelay returns a DelayFunc modelling cluster contention: each
+// task independently becomes a straggler with probability prob, sleeping
+// an extra duration uniform in [minDelay, maxDelay). The function is
+// deterministic for a given seed and (stage, task) pair, so repeated runs
+// hit the same stragglers.
+func NewStragglerDelay(seed int64, prob float64, minDelay, maxDelay time.Duration) DelayFunc {
+	return func(stage string, taskID, _ int) time.Duration {
+		// Derive a per-(stage,task) stream so scheduling order cannot
+		// change which tasks straggle. FNV-1a over stage name + task id.
+		h := uint64(14695981039346656037)
+		for _, b := range []byte(stage) {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		h = (h ^ uint64(taskID)) * 1099511628211
+		rng := rand.New(rand.NewSource(seed ^ int64(h)))
+		if rng.Float64() >= prob {
+			return 0
+		}
+		span := maxDelay - minDelay
+		if span <= 0 {
+			return minDelay
+		}
+		return minDelay + time.Duration(rng.Int63n(int64(span)))
+	}
+}

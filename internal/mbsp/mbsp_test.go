@@ -1,0 +1,567 @@
+package mbsp
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.MustRegister("double", func(_ *TaskContext, in Partition) (Partition, error) {
+		out := make(Partition, len(in))
+		for i, item := range in {
+			out[i] = item.(int) * 2
+		}
+		return out, nil
+	})
+	reg.MustRegister("add-broadcast", func(ctx *TaskContext, in Partition) (Partition, error) {
+		bv, err := ctx.Broadcast("offset")
+		if err != nil {
+			return nil, err
+		}
+		off := bv.(int)
+		out := make(Partition, len(in))
+		for i, item := range in {
+			out[i] = item.(int) + off
+		}
+		return out, nil
+	})
+	reg.MustRegister("fail", func(_ *TaskContext, _ Partition) (Partition, error) {
+		return nil, errors.New("boom")
+	})
+	reg.MustRegister("key-mod3", func(_ *TaskContext, in Partition) (Partition, error) {
+		out := make(Partition, len(in))
+		for i, item := range in {
+			v := item.(int)
+			out[i] = KeyedItem{Key: uint64(v % 3), Item: v}
+		}
+		return out, nil
+	})
+	return reg
+}
+
+func newLocal(t *testing.T, p int, reg *Registry) *LocalExecutor {
+	t.Helper()
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: p, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	return exec
+}
+
+func intParts(parts ...[]int) []Partition {
+	out := make([]Partition, len(parts))
+	for i, p := range parts {
+		out[i] = make(Partition, len(p))
+		for j, v := range p {
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("", func(*TaskContext, Partition) (Partition, error) { return nil, nil }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := reg.Register("x", nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	if err := reg.Register("x", func(*TaskContext, Partition) (Partition, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("x", func(*TaskContext, Partition) (Partition, error) { return nil, nil }); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := reg.Lookup("missing"); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("Lookup(missing) = %v", err)
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "x" {
+		t.Errorf("Names = %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister duplicate did not panic")
+		}
+	}()
+	reg.MustRegister("x", func(*TaskContext, Partition) (Partition, error) { return nil, nil })
+}
+
+func TestLocalExecutorBasicMap(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 4, reg)
+	outputs, metrics, err := exec.RunTasks("s1", "double", intParts([]int{1, 2}, []int{3}, nil, []int{4, 5, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{2, 4}, {6}, {}, {8, 10, 12}}
+	for i, out := range outputs {
+		if len(out) != len(want[i]) {
+			t.Fatalf("partition %d: %v", i, out)
+		}
+		for j, v := range out {
+			if v.(int) != want[i][j] {
+				t.Fatalf("partition %d item %d = %v, want %d", i, j, v, want[i][j])
+			}
+		}
+	}
+	if len(metrics) != 4 {
+		t.Fatalf("metrics count = %d", len(metrics))
+	}
+	for i, m := range metrics {
+		if m.TaskID != i || m.Stage != "s1" {
+			t.Errorf("metrics[%d] = %+v", i, m)
+		}
+		if m.WorkerID != i%4 {
+			t.Errorf("task %d ran on worker %d, want %d", i, m.WorkerID, i%4)
+		}
+	}
+	if metrics[3].InItems != 3 || metrics[3].OutItems != 3 {
+		t.Errorf("item counts: %+v", metrics[3])
+	}
+}
+
+func TestLocalExecutorBroadcast(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 2, reg)
+	if err := exec.Broadcast("offset", 100); err != nil {
+		t.Fatal(err)
+	}
+	outputs, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}, []int{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0][0].(int) != 101 || outputs[1][0].(int) != 102 {
+		t.Errorf("outputs = %v", outputs)
+	}
+	// Re-broadcast replaces.
+	if err := exec.Broadcast("offset", 200); err != nil {
+		t.Fatal(err)
+	}
+	outputs, _, err = exec.RunTasks("s", "add-broadcast", intParts([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0][0].(int) != 201 {
+		t.Errorf("after rebroadcast: %v", outputs[0][0])
+	}
+	if err := exec.Broadcast("", 1); err == nil {
+		t.Error("empty broadcast id accepted")
+	}
+}
+
+func TestLocalExecutorMissingBroadcast(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 1, reg)
+	_, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}))
+	if err == nil || !errors.Is(err, ErrNoBroadcast) {
+		t.Errorf("err = %v, want ErrNoBroadcast", err)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Errorf("error not a TaskError: %v", err)
+	} else if te.Stage != "s" {
+		t.Errorf("TaskError = %+v", te)
+	}
+}
+
+func TestLocalExecutorTaskFailure(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 2, reg)
+	_, _, err := exec.RunTasks("s", "fail", intParts([]int{1}, []int{2}))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T not TaskError", err)
+	}
+}
+
+func TestLocalExecutorUnknownOp(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 1, reg)
+	if _, _, err := exec.RunTasks("s", "nope", nil); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLocalExecutorClosed(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := exec.RunTasks("s", "double", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("RunTasks after close = %v", err)
+	}
+	if err := exec.Broadcast("x", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Broadcast after close = %v", err)
+	}
+}
+
+func TestLocalExecutorConfigErrors(t *testing.T) {
+	if _, err := NewLocalExecutor(LocalConfig{Parallelism: 0, Registry: NewRegistry()}); err == nil {
+		t.Error("parallelism 0 accepted")
+	}
+	if _, err := NewLocalExecutor(LocalConfig{Parallelism: 1}); err == nil {
+		t.Error("nil registry accepted")
+	}
+}
+
+func TestLocalExecutorParallelismActuallyConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var peak, cur atomic.Int32
+	reg.MustRegister("slow", func(_ *TaskContext, in Partition) (Partition, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		cur.Add(-1)
+		return in, nil
+	})
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	if _, _, err := exec.RunTasks("s", "slow", intParts([]int{1}, []int{2}, []int{3}, []int{4})); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency = %d, want >= 2", peak.Load())
+	}
+}
+
+func TestStragglerDelayDeterministic(t *testing.T) {
+	d := NewStragglerDelay(42, 0.5, 10*time.Millisecond, 20*time.Millisecond)
+	for task := 0; task < 20; task++ {
+		a := d("stage", task, 0)
+		b := d("stage", task, 1) // worker must not matter
+		if a != b {
+			t.Fatalf("task %d nondeterministic: %v vs %v", task, a, b)
+		}
+		if a != 0 && (a < 10*time.Millisecond || a >= 20*time.Millisecond) {
+			t.Fatalf("delay %v out of range", a)
+		}
+	}
+	// Roughly half the tasks should straggle.
+	n := 0
+	for task := 0; task < 200; task++ {
+		if d("stage", task, 0) > 0 {
+			n++
+		}
+	}
+	if n < 60 || n > 140 {
+		t.Errorf("straggler count = %d/200 at prob 0.5", n)
+	}
+	// Degenerate span returns minDelay.
+	d2 := NewStragglerDelay(1, 1, 5*time.Millisecond, 5*time.Millisecond)
+	if got := d2("s", 0, 0); got != 5*time.Millisecond {
+		t.Errorf("degenerate span delay = %v", got)
+	}
+}
+
+func TestEngineMapStageAndMetrics(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 2, reg)
+	eng, err := NewEngine(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Parallelism() != 2 {
+		t.Errorf("Parallelism = %d", eng.Parallelism())
+	}
+	out, err := eng.MapStage("assign", "double", intParts([]int{1, 2}, []int{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1][0].(int) != 6 {
+		t.Errorf("out = %v", out)
+	}
+	ms := eng.Metrics()
+	if len(ms) != 1 || ms[0].Stage != "assign" || len(ms[0].Tasks) != 2 {
+		t.Fatalf("metrics = %+v", ms)
+	}
+	if ms[0].Wall <= 0 {
+		t.Errorf("wall = %v", ms[0].Wall)
+	}
+	eng.ResetMetrics()
+	if len(eng.Metrics()) != 0 {
+		t.Error("ResetMetrics did not clear")
+	}
+	if _, err := NewEngine(nil); err == nil {
+		t.Error("nil executor accepted")
+	}
+}
+
+func TestShuffleByKey(t *testing.T) {
+	inputs := []Partition{
+		{KeyedItem{Key: 0, Item: "a0"}, KeyedItem{Key: 1, Item: "b0"}},
+		{KeyedItem{Key: 0, Item: "a1"}, KeyedItem{Key: 2, Item: "c0"}},
+	}
+	out, err := ShuffleByKey(inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// key0 -> part 0, key1 -> part 1, key2 -> part 0.
+	if len(out[0]) != 2 || len(out[1]) != 1 {
+		t.Fatalf("partition sizes: %d, %d", len(out[0]), len(out[1]))
+	}
+	g0 := out[0][0].(Group)
+	if g0.Key != 0 || len(g0.Items) != 2 || g0.Items[0].(string) != "a0" || g0.Items[1].(string) != "a1" {
+		t.Errorf("group 0 = %+v", g0)
+	}
+	g2 := out[0][1].(Group)
+	if g2.Key != 2 {
+		t.Errorf("second group key = %d", g2.Key)
+	}
+}
+
+func TestShuffleByKeyPreservesEmissionOrder(t *testing.T) {
+	// Items for the same key arriving from multiple partitions keep
+	// source-partition order, then position order.
+	inputs := []Partition{
+		{KeyedItem{Key: 7, Item: 1}, KeyedItem{Key: 7, Item: 2}},
+		{KeyedItem{Key: 7, Item: 3}},
+		{KeyedItem{Key: 7, Item: 4}},
+	}
+	out, err := ShuffleByKey(inputs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := out[7%4][0].(Group)
+	for i, want := range []int{1, 2, 3, 4} {
+		if g.Items[i].(int) != want {
+			t.Fatalf("order: %v", g.Items)
+		}
+	}
+}
+
+func TestShuffleByKeyErrors(t *testing.T) {
+	if _, err := ShuffleByKey(nil, 0); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := ShuffleByKey([]Partition{{42}}, 1); err == nil {
+		t.Error("non-KeyedItem accepted")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	got := Collect(intParts([]int{1, 2}, nil, []int{3}))
+	if len(got) != 3 || got[0].(int) != 1 || got[2].(int) != 3 {
+		t.Errorf("Collect = %v", got)
+	}
+	if len(Collect(nil)) != 0 {
+		t.Error("Collect(nil) not empty")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	items := make([]Item, 7)
+	for i := range items {
+		items[i] = i
+	}
+	parts, err := RoundRobin(items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 3, 6}, {1, 4}, {2, 5}}
+	for i, p := range parts {
+		if len(p) != len(want[i]) {
+			t.Fatalf("partition %d = %v", i, p)
+		}
+		for j, v := range p {
+			if v.(int) != want[i][j] {
+				t.Fatalf("partition %d = %v", i, p)
+			}
+		}
+	}
+	if _, err := RoundRobin(items, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestChunk(t *testing.T) {
+	items := make([]Item, 10)
+	for i := range items {
+		items[i] = i
+	}
+	parts, err := Chunk(items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	prev := -1
+	for _, p := range parts {
+		total += len(p)
+		for _, v := range p {
+			if v.(int) != prev+1 {
+				t.Fatalf("chunk order broken: %v after %d", v, prev)
+			}
+			prev = v.(int)
+		}
+	}
+	if total != 10 {
+		t.Errorf("total = %d", total)
+	}
+	if _, err := Chunk(items, -1); err == nil {
+		t.Error("p<0 accepted")
+	}
+}
+
+// Property: round-robin partitioning preserves global order when
+// re-interleaved, and every item appears exactly once.
+func TestRoundRobinPartitionProperty(t *testing.T) {
+	f := func(n uint8, p uint8) bool {
+		np := int(p%16) + 1
+		items := make([]Item, int(n))
+		for i := range items {
+			items[i] = i
+		}
+		parts, err := RoundRobin(items, np)
+		if err != nil {
+			return false
+		}
+		var all []int
+		for _, part := range parts {
+			for _, v := range part {
+				all = append(all, v.(int))
+			}
+		}
+		if len(all) != len(items) {
+			return false
+		}
+		sort.Ints(all)
+		for i, v := range all {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStageMetricsAggregates(t *testing.T) {
+	s := StageMetrics{
+		Stage: "s",
+		Tasks: []TaskMetrics{
+			{Duration: 10 * time.Millisecond},
+			{Duration: 10 * time.Millisecond},
+			{Duration: 10 * time.Millisecond},
+			{Duration: 40 * time.Millisecond}, // straggler: mean=17.5ms, 1.2x=21ms
+		},
+	}
+	if got := s.TotalTaskTime(); got != 70*time.Millisecond {
+		t.Errorf("TotalTaskTime = %v", got)
+	}
+	if got := s.MeanTaskTime(); got != 17500*time.Microsecond {
+		t.Errorf("MeanTaskTime = %v", got)
+	}
+	if got := s.MaxTaskTime(); got != 40*time.Millisecond {
+		t.Errorf("MaxTaskTime = %v", got)
+	}
+	if got := s.Stragglers(); got != 1 {
+		t.Errorf("Stragglers = %d", got)
+	}
+	if got := s.StragglerFraction(); got != 0.25 {
+		t.Errorf("StragglerFraction = %v", got)
+	}
+	empty := StageMetrics{}
+	if empty.MeanTaskTime() != 0 || empty.Stragglers() != 0 || empty.StragglerFraction() != 0 {
+		t.Error("empty metrics not zero")
+	}
+}
+
+func TestDelayInjectionProducesStragglers(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec, err := NewLocalExecutor(LocalConfig{
+		Parallelism: 4,
+		Registry:    reg,
+		Delay: func(_ string, taskID, _ int) time.Duration {
+			if taskID == 0 {
+				return 50 * time.Millisecond
+			}
+			return time.Millisecond
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	eng, err := NewEngine(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.MapStage("s", "double", intParts([]int{1}, []int{2}, []int{3}, []int{4})); err != nil {
+		t.Fatal(err)
+	}
+	ms := eng.Metrics()
+	if got := ms[0].Stragglers(); got != 1 {
+		t.Errorf("Stragglers = %d, want 1", got)
+	}
+}
+
+func TestTaskRetriesRecoverTransientFailures(t *testing.T) {
+	reg := NewRegistry()
+	var calls atomic.Int32
+	reg.MustRegister("flaky", func(ctx *TaskContext, in Partition) (Partition, error) {
+		calls.Add(1)
+		if ctx.Attempt < 2 {
+			return nil, errors.New("transient")
+		}
+		return in, nil
+	})
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: 1, Registry: reg, TaskRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	out, _, err := exec.RunTasks("s", "flaky", intParts([]int{7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0].(int) != 7 {
+		t.Errorf("output = %v", out[0])
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3 (two failures + success)", calls.Load())
+	}
+}
+
+func TestTaskRetriesExhausted(t *testing.T) {
+	reg := NewRegistry()
+	var calls atomic.Int32
+	reg.MustRegister("always-fails", func(*TaskContext, Partition) (Partition, error) {
+		calls.Add(1)
+		return nil, errors.New("permanent")
+	})
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: 1, Registry: reg, TaskRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	if _, _, err := exec.RunTasks("s", "always-fails", intParts([]int{1})); err == nil {
+		t.Fatal("expected failure after retries exhausted")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+}

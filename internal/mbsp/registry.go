@@ -1,0 +1,145 @@
+package mbsp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OpFunc is one stage operation: it transforms a task's input partition
+// into an output partition. Ops must be pure with respect to the engine
+// (no shared mutable state between tasks) except through the TaskContext.
+type OpFunc func(ctx *TaskContext, in Partition) (Partition, error)
+
+// Registry maps operation names to implementations. Both executors and
+// remote workers resolve tasks against a registry; the driver and the
+// workers must register the same ops (the analogue of shipping the same
+// application jar to every Spark executor).
+type Registry struct {
+	mu  sync.RWMutex
+	ops map[string]OpFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ops: make(map[string]OpFunc)}
+}
+
+// Register adds an op under name. Registering a duplicate name is an
+// error: pipelines must use distinct names.
+func (r *Registry) Register(name string, fn OpFunc) error {
+	if name == "" {
+		return fmt.Errorf("mbsp: empty op name")
+	}
+	if fn == nil {
+		return fmt.Errorf("mbsp: nil op %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.ops[name]; dup {
+		return fmt.Errorf("mbsp: op %q already registered", name)
+	}
+	r.ops[name] = fn
+	return nil
+}
+
+// MustRegister is Register that panics on error; intended for program
+// initialization where a duplicate registration is a programming bug.
+func (r *Registry) MustRegister(name string, fn OpFunc) {
+	if err := r.Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves an op by name.
+func (r *Registry) Lookup(name string) (OpFunc, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.ops[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownOp, name)
+	}
+	return fn, nil
+}
+
+// Names returns the registered op names (order unspecified).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ops))
+	for name := range r.ops {
+		out = append(out, name)
+	}
+	return out
+}
+
+// TaskContext carries per-task environment: identity and broadcast
+// variable access.
+type TaskContext struct {
+	StageName string
+	TaskID    int
+	WorkerID  int
+	// Attempt is 0 for the first execution and counts retries after task
+	// failures (see LocalConfig.TaskRetries).
+	Attempt int
+
+	broadcasts BroadcastStore
+}
+
+// BroadcastStore resolves broadcast ids to values. Executors implement it
+// over whatever state they keep locally (an in-memory map for the local
+// executor, the per-worker replica for the TCP executor).
+type BroadcastStore interface {
+	// Get returns the value published under id, if any.
+	Get(id string) (Item, bool)
+}
+
+// NewTaskContext builds a context for one task execution. It exists so
+// that alternative executors (e.g. the TCP worker) can construct contexts
+// backed by their own broadcast replicas.
+func NewTaskContext(stage string, taskID, workerID int, broadcasts BroadcastStore) *TaskContext {
+	return &TaskContext{
+		StageName:  stage,
+		TaskID:     taskID,
+		WorkerID:   workerID,
+		broadcasts: broadcasts,
+	}
+}
+
+// Broadcast returns the broadcast value published under id.
+func (c *TaskContext) Broadcast(id string) (Item, error) {
+	if c.broadcasts == nil {
+		return nil, fmt.Errorf("%w: %q (no store)", ErrNoBroadcast, id)
+	}
+	v, ok := c.broadcasts.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoBroadcast, id)
+	}
+	return v, nil
+}
+
+// mapStore is a trivial BroadcastStore over a map (used by executors that
+// hold broadcasts in memory).
+type mapStore struct {
+	mu sync.RWMutex
+	m  map[string]Item
+}
+
+var _ BroadcastStore = (*mapStore)(nil)
+
+func newMapStore() *mapStore {
+	return &mapStore{m: make(map[string]Item)}
+}
+
+// Get implements BroadcastStore.
+func (s *mapStore) Get(id string) (Item, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[id]
+	return v, ok
+}
+
+func (s *mapStore) put(id string, v Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = v
+}

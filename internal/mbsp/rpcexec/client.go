@@ -1,0 +1,214 @@
+package rpcexec
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"diststream/internal/mbsp"
+)
+
+// Executor is the driver-side TCP executor: it holds one connection per
+// remote worker and implements mbsp.Executor. Task i of a stage runs on
+// worker i % len(workers); requests on one connection are serialized
+// (each paper worker owns one physical core, so per-worker serialization
+// is faithful), while different workers run concurrently.
+type Executor struct {
+	conns []*workerConn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ mbsp.Executor = (*Executor)(nil)
+
+// workerConn is one driver→worker connection with lockstep framing.
+type workerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// call sends one request and waits for its response.
+func (w *workerConn) call(req request) (response, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("rpcexec: send: %w", err)
+	}
+	var resp response
+	if err := w.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("rpcexec: recv: %w", err)
+	}
+	return resp, nil
+}
+
+// Dial connects to the given worker addresses.
+func Dial(addrs []string) (*Executor, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rpcexec: no worker addresses")
+	}
+	registerOnce.Do(registerBuiltins)
+	e := &Executor{conns: make([]*workerConn, 0, len(addrs))}
+	for _, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			_ = e.Close()
+			return nil, fmt.Errorf("rpcexec: dial %s: %w", addr, err)
+		}
+		e.conns = append(e.conns, &workerConn{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		})
+	}
+	return e, nil
+}
+
+// Parallelism implements mbsp.Executor.
+func (e *Executor) Parallelism() int { return len(e.conns) }
+
+// Broadcast implements mbsp.Executor: the value is replicated to every
+// worker synchronously (the model broadcast at the start of each batch).
+func (e *Executor) Broadcast(id string, value mbsp.Item) error {
+	if e.isClosed() {
+		return mbsp.ErrClosed
+	}
+	if id == "" {
+		return errors.New("rpcexec: empty broadcast id")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(e.conns))
+	for i, wc := range e.conns {
+		i, wc := i, wc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := wc.call(request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: value})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.Err != "" {
+				errs[i] = errors.New(resp.Err)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RunTasks implements mbsp.Executor.
+func (e *Executor) RunTasks(stage, op string, inputs []mbsp.Partition) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
+	if e.isClosed() {
+		return nil, nil, mbsp.ErrClosed
+	}
+	n := len(inputs)
+	outputs := make([]mbsp.Partition, n)
+	metrics := make([]mbsp.TaskMetrics, n)
+	errs := make([]error, n)
+
+	var wg sync.WaitGroup
+	for w := range e.conns {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := w; task < n; task += len(e.conns) {
+				start := time.Now()
+				resp, err := e.conns[w].call(request{
+					Kind:   kindTask,
+					Stage:  stage,
+					Op:     op,
+					TaskID: task,
+					Input:  inputs[task],
+				})
+				if err != nil {
+					errs[task] = &mbsp.TaskError{Stage: stage, TaskID: task, Err: err}
+					continue
+				}
+				if resp.Err != "" {
+					errs[task] = &mbsp.TaskError{Stage: stage, TaskID: task, Err: errors.New(resp.Err)}
+					continue
+				}
+				outputs[task] = resp.Output
+				metrics[task] = mbsp.TaskMetrics{
+					Stage:    stage,
+					TaskID:   task,
+					WorkerID: w,
+					// Duration is the round-trip wall time seen by the
+					// driver (includes serialization + network), matching
+					// what a Spark driver observes per task.
+					Duration: time.Since(start),
+					InItems:  len(inputs[task]),
+					OutItems: len(resp.Output),
+				}
+				_ = resp.DurMicro // worker-side compute time, available for finer breakdowns
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, metrics, err
+		}
+	}
+	return outputs, metrics, nil
+}
+
+// Close implements mbsp.Executor: it sends a shutdown frame to each
+// worker connection and closes the sockets. The workers themselves stay
+// up to serve other drivers; use Worker.Close to stop them.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	var errs []error
+	for _, wc := range e.conns {
+		if wc == nil || wc.conn == nil {
+			continue
+		}
+		_, _ = wc.call(request{Kind: kindShutdown})
+		if err := wc.conn.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (e *Executor) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// StartLocalCluster launches n workers on ephemeral localhost ports and
+// returns them with their addresses — a convenience for tests and for
+// single-machine demos of the TCP execution path.
+func StartLocalCluster(n int, registry *mbsp.Registry) ([]*Worker, []string, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("rpcexec: cluster size %d must be positive", n)
+	}
+	workers := make([]*Worker, 0, n)
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(i, "127.0.0.1:0", registry)
+		if err != nil {
+			for _, started := range workers {
+				_ = started.Close()
+			}
+			return nil, nil, err
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	return workers, addrs, nil
+}

@@ -1,0 +1,62 @@
+// Package rpcexec provides a TCP-based executor for the mbsp engine:
+// worker processes listen on sockets, the driver ships gob-encoded tasks
+// and broadcast variables, and workers resolve operation names against
+// their own (identically linked) registry — the moral equivalent of Spark
+// shipping an application jar to each executor and then sending tasks.
+//
+// The in-process LocalExecutor and this executor implement the same
+// mbsp.Executor interface, so a pipeline runs unmodified on either.
+package rpcexec
+
+import (
+	"encoding/gob"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+)
+
+// msgKind discriminates request messages on a worker connection.
+type msgKind int
+
+const (
+	kindBroadcast msgKind = iota + 1
+	kindTask
+	kindShutdown
+)
+
+// request is the single driver→worker message frame.
+type request struct {
+	Kind msgKind
+
+	// Broadcast fields.
+	BroadcastID    string
+	BroadcastValue mbsp.Item
+
+	// Task fields.
+	Stage  string
+	Op     string
+	TaskID int
+	Input  mbsp.Partition
+}
+
+// response is the single worker→driver message frame.
+type response struct {
+	TaskID   int
+	Output   mbsp.Partition
+	Err      string
+	DurMicro int64 // task execution time in microseconds
+}
+
+// RegisterType registers a concrete type with gob so it can travel inside
+// mbsp.Item fields. Every payload type crossing the wire (records, keyed
+// items, groups, micro-cluster snapshots) must be registered by both the
+// driver and the worker binary before use.
+func RegisterType(v any) { gob.Register(v) }
+
+// registerBuiltins registers the engine's own envelope types plus the
+// stream record type that every pipeline ships.
+func registerBuiltins() {
+	gob.Register(mbsp.KeyedItem{})
+	gob.Register(mbsp.Group{})
+	gob.Register(stream.Record{})
+}

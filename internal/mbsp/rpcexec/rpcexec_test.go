@@ -1,0 +1,290 @@
+package rpcexec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"diststream/internal/mbsp"
+)
+
+func testRegistry(t *testing.T) *mbsp.Registry {
+	t.Helper()
+	reg := mbsp.NewRegistry()
+	reg.MustRegister("double", func(_ *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		out := make(mbsp.Partition, len(in))
+		for i, item := range in {
+			out[i] = item.(int) * 2
+		}
+		return out, nil
+	})
+	reg.MustRegister("add-broadcast", func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		bv, err := ctx.Broadcast("offset")
+		if err != nil {
+			return nil, err
+		}
+		off := bv.(int)
+		out := make(mbsp.Partition, len(in))
+		for i, item := range in {
+			out[i] = item.(int) + off
+		}
+		return out, nil
+	})
+	reg.MustRegister("fail", func(_ *mbsp.TaskContext, _ mbsp.Partition) (mbsp.Partition, error) {
+		return nil, errors.New("kaput")
+	})
+	reg.MustRegister("worker-id", func(ctx *mbsp.TaskContext, _ mbsp.Partition) (mbsp.Partition, error) {
+		return mbsp.Partition{ctx.WorkerID}, nil
+	})
+	return reg
+}
+
+func startCluster(t *testing.T, n int) (*Executor, []*Worker) {
+	t.Helper()
+	reg := testRegistry(t)
+	workers, addrs, err := StartLocalCluster(n, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	})
+	exec, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	return exec, workers
+}
+
+func intParts(parts ...[]int) []mbsp.Partition {
+	out := make([]mbsp.Partition, len(parts))
+	for i, p := range parts {
+		out[i] = make(mbsp.Partition, len(p))
+		for j, v := range p {
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+func TestTCPMapStage(t *testing.T) {
+	exec, _ := startCluster(t, 3)
+	if exec.Parallelism() != 3 {
+		t.Fatalf("Parallelism = %d", exec.Parallelism())
+	}
+	outputs, metrics, err := exec.RunTasks("s", "double", intParts([]int{1, 2}, []int{3}, []int{4, 5, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{2, 4}, {6}, {8, 10, 12}}
+	for i := range want {
+		if len(outputs[i]) != len(want[i]) {
+			t.Fatalf("partition %d = %v", i, outputs[i])
+		}
+		for j := range want[i] {
+			if outputs[i][j].(int) != want[i][j] {
+				t.Fatalf("partition %d = %v", i, outputs[i])
+			}
+		}
+	}
+	for i, m := range metrics {
+		if m.TaskID != i || m.WorkerID != i%3 {
+			t.Errorf("metrics[%d] = %+v", i, m)
+		}
+		if m.Duration <= 0 {
+			t.Errorf("metrics[%d] duration = %v", i, m.Duration)
+		}
+	}
+}
+
+func TestTCPBroadcast(t *testing.T) {
+	exec, _ := startCluster(t, 2)
+	if err := exec.Broadcast("offset", 10); err != nil {
+		t.Fatal(err)
+	}
+	outputs, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}, []int{2}, []int{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 2 runs on worker 0 again: broadcast must be visible everywhere.
+	if outputs[0][0].(int) != 11 || outputs[1][0].(int) != 12 || outputs[2][0].(int) != 13 {
+		t.Errorf("outputs = %v", outputs)
+	}
+	// Rebroadcast replaces on all workers.
+	if err := exec.Broadcast("offset", 100); err != nil {
+		t.Fatal(err)
+	}
+	outputs, _, err = exec.RunTasks("s", "add-broadcast", intParts([]int{1}, []int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0][0].(int) != 101 || outputs[1][0].(int) != 101 {
+		t.Errorf("after rebroadcast: %v", outputs)
+	}
+	if err := exec.Broadcast("", 1); err == nil {
+		t.Error("empty broadcast id accepted")
+	}
+}
+
+func TestTCPMissingBroadcastPropagates(t *testing.T) {
+	exec, _ := startCluster(t, 1)
+	_, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}))
+	if err == nil || !strings.Contains(err.Error(), "broadcast id not found") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPTaskFailure(t *testing.T) {
+	exec, _ := startCluster(t, 2)
+	_, _, err := exec.RunTasks("s", "fail", intParts([]int{1}, []int{2}))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var te *mbsp.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T: %v", err, err)
+	}
+	if !strings.Contains(te.Err.Error(), "kaput") {
+		t.Errorf("lost cause: %v", te.Err)
+	}
+}
+
+func TestTCPUnknownOp(t *testing.T) {
+	exec, _ := startCluster(t, 1)
+	_, _, err := exec.RunTasks("s", "missing-op", intParts([]int{1}))
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPWorkerIdentity(t *testing.T) {
+	exec, _ := startCluster(t, 2)
+	outputs, _, err := exec.RunTasks("s", "worker-id", intParts(nil, nil, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, out := range outputs {
+		if got := out[0].(int); got != task%2 {
+			t.Errorf("task %d ran on worker %d, want %d", task, got, task%2)
+		}
+	}
+}
+
+func TestTCPEngineIntegration(t *testing.T) {
+	// Full engine pipeline over sockets: map -> shuffle -> map.
+	reg := testRegistry(t)
+	reg.MustRegister("key-parity", func(_ *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		out := make(mbsp.Partition, len(in))
+		for i, item := range in {
+			v := item.(int)
+			out[i] = mbsp.KeyedItem{Key: uint64(v % 2), Item: v}
+		}
+		return out, nil
+	})
+	reg.MustRegister("sum-groups", func(_ *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		out := make(mbsp.Partition, 0, len(in))
+		for _, item := range in {
+			g := item.(mbsp.Group)
+			sum := 0
+			for _, x := range g.Items {
+				sum += x.(int)
+			}
+			out = append(out, mbsp.KeyedItem{Key: g.Key, Item: sum})
+		}
+		return out, nil
+	})
+	workers, addrs, err := StartLocalCluster(2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	}()
+	exec, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	eng, err := mbsp.NewEngine(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed, err := eng.MapStage("map", "key-parity", intParts([]int{1, 2, 3}, []int{4, 5, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := mbsp.ShuffleByKey(keyed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := eng.MapStage("reduce", "sum-groups", grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]int{}
+	for _, item := range mbsp.Collect(sums) {
+		ki := item.(mbsp.KeyedItem)
+		got[ki.Key] = ki.Item.(int)
+	}
+	if got[0] != 12 || got[1] != 9 { // evens 2+4+6, odds 1+3+5
+		t.Errorf("sums = %v", got)
+	}
+	if len(eng.Metrics()) != 2 {
+		t.Errorf("stage metrics = %d", len(eng.Metrics()))
+	}
+}
+
+func TestTCPClosedExecutor(t *testing.T) {
+	exec, _ := startCluster(t, 1)
+	if err := exec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := exec.RunTasks("s", "double", nil); !errors.Is(err, mbsp.ErrClosed) {
+		t.Errorf("RunTasks after close = %v", err)
+	}
+	if err := exec.Broadcast("x", 1); !errors.Is(err, mbsp.ErrClosed) {
+		t.Errorf("Broadcast after close = %v", err)
+	}
+	if err := exec.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Error("empty addrs accepted")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("unreachable addr accepted")
+	}
+}
+
+func TestStartLocalClusterErrors(t *testing.T) {
+	if _, _, err := StartLocalCluster(0, mbsp.NewRegistry()); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewWorker(0, "127.0.0.1:0", nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := NewWorker(0, "256.0.0.1:0", mbsp.NewRegistry()); err == nil {
+		t.Error("bad addr accepted")
+	}
+}
+
+func TestWorkerDoubleClose(t *testing.T) {
+	w, err := NewWorker(0, "127.0.0.1:0", testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}

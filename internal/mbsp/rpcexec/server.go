@@ -1,0 +1,150 @@
+package rpcexec
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"diststream/internal/mbsp"
+)
+
+var registerOnce sync.Once
+
+// Worker is one remote executor node: it serves task and broadcast
+// requests from a driver over TCP. Each accepted connection is served by
+// its own goroutine; broadcast state is shared across connections.
+type Worker struct {
+	id       int
+	registry *mbsp.Registry
+	ln       net.Listener
+
+	broadcasts *workerStore
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// workerStore adapts the broadcast map to the mbsp broadcast interface.
+type workerStore struct {
+	mu sync.RWMutex
+	m  map[string]mbsp.Item
+}
+
+var _ mbsp.BroadcastStore = (*workerStore)(nil)
+
+// Get implements mbsp.BroadcastStore.
+func (s *workerStore) Get(id string) (mbsp.Item, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[id]
+	return v, ok
+}
+
+func (s *workerStore) put(id string, v mbsp.Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = v
+}
+
+// NewWorker starts a worker listening on addr (use "127.0.0.1:0" for an
+// ephemeral port). The returned worker serves until Close.
+func NewWorker(id int, addr string, registry *mbsp.Registry) (*Worker, error) {
+	if registry == nil {
+		return nil, errors.New("rpcexec: registry is required")
+	}
+	registerOnce.Do(registerBuiltins)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcexec: listen %s: %w", addr, err)
+	}
+	w := &Worker{
+		id:         id,
+		registry:   registry,
+		ln:         ln,
+		broadcasts: &workerStore{m: make(map[string]mbsp.Item)},
+	}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops the worker and waits for connection goroutines to exit.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	err := w.ln.Close()
+	w.wg.Wait()
+	return err
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer conn.Close()
+			w.serve(conn)
+		}()
+	}
+}
+
+// serve handles one driver connection in request/response lockstep.
+func (w *Worker) serve(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection: driver went away
+		}
+		switch req.Kind {
+		case kindBroadcast:
+			w.broadcasts.put(req.BroadcastID, req.BroadcastValue)
+			if err := enc.Encode(response{}); err != nil {
+				return
+			}
+		case kindTask:
+			resp := w.runTask(req)
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+		case kindShutdown:
+			_ = enc.Encode(response{})
+			return
+		default:
+			_ = enc.Encode(response{Err: fmt.Sprintf("rpcexec: unknown request kind %d", req.Kind)})
+		}
+	}
+}
+
+func (w *Worker) runTask(req request) response {
+	fn, err := w.registry.Lookup(req.Op)
+	if err != nil {
+		return response{TaskID: req.TaskID, Err: err.Error()}
+	}
+	ctx := mbsp.NewTaskContext(req.Stage, req.TaskID, w.id, w.broadcasts)
+	start := time.Now()
+	out, err := fn(ctx, req.Input)
+	dur := time.Since(start)
+	if err != nil {
+		return response{TaskID: req.TaskID, Err: err.Error(), DurMicro: dur.Microseconds()}
+	}
+	return response{TaskID: req.TaskID, Output: out, DurMicro: dur.Microseconds()}
+}

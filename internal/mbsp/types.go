@@ -1,0 +1,168 @@
+// Package mbsp implements a mini-batch stream-processing engine — the
+// substrate that substitutes for Spark Streaming in the paper. It provides
+// exactly the dataflow pieces the DistStream pipeline needs:
+//
+//   - a driver that runs synchronous parallel stages over partitions,
+//   - broadcast variables (the micro-cluster model is broadcast to every
+//     task at the start of each batch, §V-A),
+//   - a group-by-key shuffle between the assign and local-update stages,
+//   - per-task metrics, from which straggler statistics (§VII-D2) and the
+//     per-stage latency breakdown are derived,
+//   - two executors: an in-process goroutine pool and a TCP executor
+//     (package rpcexec) that ships tasks to worker processes with gob.
+//
+// Tasks are expressed as registered, named operations rather than
+// closures so that the same pipeline code runs on both executors (a
+// remote worker cannot receive a Go closure; it links the same operation
+// registry instead — the moral equivalent of Spark shipping a jar).
+package mbsp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Item is one opaque element flowing through a stage.
+type Item = any
+
+// Partition is an ordered slice of items processed by one task.
+type Partition []Item
+
+// KeyedItem is an item tagged with a shuffle key. Stages that feed a
+// group-by-key emit these.
+type KeyedItem struct {
+	Key  uint64
+	Item Item
+}
+
+// Group is the result of grouping keyed items: all items that share a key,
+// in the order they were emitted across source partitions (source
+// partition index first, then position).
+type Group struct {
+	Key   uint64
+	Items []Item
+}
+
+// TaskMetrics records the execution of one task.
+type TaskMetrics struct {
+	Stage    string
+	TaskID   int
+	WorkerID int
+	// Duration is the task's wall-clock execution time, including any
+	// injected straggler delay.
+	Duration time.Duration
+	// InItems and OutItems count the task's input and output sizes.
+	InItems, OutItems int
+}
+
+// StageMetrics aggregates one stage execution.
+type StageMetrics struct {
+	Stage string
+	Tasks []TaskMetrics
+	// Wall is the stage's end-to-end wall time (barrier to barrier).
+	Wall time.Duration
+}
+
+// StragglerThreshold is the paper's straggler definition: a task is a
+// straggler when its execution time exceeds 1.2x the stage average.
+const StragglerThreshold = 1.2
+
+// TotalTaskTime returns the sum of all task durations (the work the stage
+// would cost a single core).
+func (s StageMetrics) TotalTaskTime() time.Duration {
+	var total time.Duration
+	for _, t := range s.Tasks {
+		total += t.Duration
+	}
+	return total
+}
+
+// MeanTaskTime returns the average task duration, or 0 with no tasks.
+func (s StageMetrics) MeanTaskTime() time.Duration {
+	if len(s.Tasks) == 0 {
+		return 0
+	}
+	return s.TotalTaskTime() / time.Duration(len(s.Tasks))
+}
+
+// MaxTaskTime returns the slowest task's duration.
+func (s StageMetrics) MaxTaskTime() time.Duration {
+	var m time.Duration
+	for _, t := range s.Tasks {
+		if t.Duration > m {
+			m = t.Duration
+		}
+	}
+	return m
+}
+
+// Stragglers counts tasks slower than StragglerThreshold times the mean
+// (the paper's definition: "tasks with execution time that exceed 1.2X of
+// the average").
+func (s StageMetrics) Stragglers() int {
+	mean := s.MeanTaskTime()
+	if mean == 0 {
+		return 0
+	}
+	limit := time.Duration(float64(mean) * StragglerThreshold)
+	n := 0
+	for _, t := range s.Tasks {
+		if t.Duration > limit {
+			n++
+		}
+	}
+	return n
+}
+
+// StragglerFraction returns Stragglers()/len(Tasks), or 0 with no tasks.
+func (s StageMetrics) StragglerFraction() float64 {
+	if len(s.Tasks) == 0 {
+		return 0
+	}
+	return float64(s.Stragglers()) / float64(len(s.Tasks))
+}
+
+// Executor runs the tasks of one stage in parallel. Implementations must
+// return outputs in input-partition order (output[i] is the result of
+// inputs[i]) regardless of scheduling.
+type Executor interface {
+	// Parallelism returns the number of workers (the paper's parallelism
+	// degree p).
+	Parallelism() int
+	// Broadcast publishes a value under an id so that subsequent tasks can
+	// read it via TaskContext.Broadcast. Re-broadcasting an id replaces
+	// the value (the model is re-broadcast every batch).
+	Broadcast(id string, value Item) error
+	// RunTasks executes the named op over each input partition as one
+	// task, in parallel, and returns per-partition outputs plus metrics.
+	RunTasks(stage, op string, inputs []Partition) ([]Partition, []TaskMetrics, error)
+	// Close releases executor resources. The executor is unusable after.
+	Close() error
+}
+
+// Common engine errors.
+var (
+	// ErrUnknownOp is returned when a task references an op name that is
+	// not in the registry.
+	ErrUnknownOp = errors.New("mbsp: unknown op")
+	// ErrClosed is returned when using a closed executor.
+	ErrClosed = errors.New("mbsp: executor closed")
+	// ErrNoBroadcast is returned by TaskContext.Broadcast for missing ids.
+	ErrNoBroadcast = errors.New("mbsp: broadcast id not found")
+)
+
+// TaskError wraps a failure of a single task with its location.
+type TaskError struct {
+	Stage  string
+	TaskID int
+	Err    error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("mbsp: stage %q task %d: %v", e.Stage, e.TaskID, e.Err)
+}
+
+// Unwrap exposes the underlying task failure.
+func (e *TaskError) Unwrap() error { return e.Err }

@@ -1,0 +1,37 @@
+package nncache
+
+import (
+	"math/rand"
+	"testing"
+
+	"diststream/internal/vector"
+)
+
+// BenchmarkMergeLoop models a CluStream budget-restoration burst: insert
+// 50 points over budget, then repeatedly merge the closest pair.
+func BenchmarkMergeLoop(b *testing.B) {
+	const n, dim, over = 230, 54, 50
+	rng := rand.New(rand.NewSource(1))
+	mk := func() vector.Vector {
+		v := vector.New(dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		return v
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for id := uint64(1); id <= n+over; id++ {
+			c.Put(id, mk())
+		}
+		for m := 0; m < over; m++ {
+			x, y, ok := c.ClosestPair(nil)
+			if !ok {
+				b.Fatal("no pair")
+			}
+			c.Remove(y)
+			c.Put(x, mk())
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package nncache maintains nearest-neighbor state over a mutating set of
+// points, serving the repeated closest-pair queries that budgeted global
+// updates issue (CluStream's and ClusTree's merge-two-closest rule).
+// Each entry caches its nearest neighbor; mutations mark affected entries
+// dirty and queries recompute lazily, so a merge costs O(k·n·d) for the k
+// entries that referenced the changed points instead of a fresh O(n²·d)
+// scan.
+package nncache
+
+import (
+	"math"
+
+	"diststream/internal/vector"
+)
+
+// Cache holds the point set and per-entry nearest-neighbor state.
+type Cache struct {
+	ids     []uint64
+	index   map[uint64]int
+	centers []vector.Vector
+	nnDist  []float64 // squared distance to the nearest other entry
+	nnID    []uint64
+	dirty   []bool
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{index: make(map[uint64]int)}
+}
+
+// Len returns the number of entries.
+func (c *Cache) Len() int { return len(c.ids) }
+
+// Put inserts or replaces the point for id and invalidates entries whose
+// cached neighbor was id.
+func (c *Cache) Put(id uint64, center vector.Vector) {
+	if i, ok := c.index[id]; ok {
+		c.centers[i] = center
+		c.dirty[i] = true
+		c.invalidateReferencesTo(id)
+		return
+	}
+	c.index[id] = len(c.ids)
+	c.ids = append(c.ids, id)
+	c.centers = append(c.centers, center)
+	c.nnDist = append(c.nnDist, math.Inf(1))
+	c.nnID = append(c.nnID, 0)
+	c.dirty = append(c.dirty, true)
+}
+
+// Remove deletes the entry for id (no-op when absent).
+func (c *Cache) Remove(id uint64) {
+	i, ok := c.index[id]
+	if !ok {
+		return
+	}
+	last := len(c.ids) - 1
+	c.ids[i] = c.ids[last]
+	c.centers[i] = c.centers[last]
+	c.nnDist[i] = c.nnDist[last]
+	c.nnID[i] = c.nnID[last]
+	c.dirty[i] = c.dirty[last]
+	c.index[c.ids[i]] = i
+	c.ids = c.ids[:last]
+	c.centers = c.centers[:last]
+	c.nnDist = c.nnDist[:last]
+	c.nnID = c.nnID[:last]
+	c.dirty = c.dirty[:last]
+	delete(c.index, id)
+	c.invalidateReferencesTo(id)
+}
+
+// Has reports whether id is present.
+func (c *Cache) Has(id uint64) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+func (c *Cache) invalidateReferencesTo(id uint64) {
+	for i := range c.ids {
+		if c.nnID[i] == id {
+			c.dirty[i] = true
+		}
+	}
+}
+
+func (c *Cache) recompute(i int) {
+	best := math.Inf(1)
+	var bestID uint64
+	for j := range c.ids {
+		if j == i {
+			continue
+		}
+		if d := vector.SquaredDistance(c.centers[i], c.centers[j]); d < best {
+			best, bestID = d, c.ids[j]
+		}
+	}
+	c.nnDist[i] = best
+	c.nnID[i] = bestID
+	c.dirty[i] = false
+}
+
+// nearestAllowed scans entry i's nearest neighbor among allowed entries
+// without touching the unrestricted cache.
+func (c *Cache) nearestAllowed(i int, allowed func(uint64) bool) (float64, uint64) {
+	best := math.Inf(1)
+	var bestID uint64
+	for j := range c.ids {
+		if j == i || !allowed(c.ids[j]) {
+			continue
+		}
+		if d := vector.SquaredDistance(c.centers[i], c.centers[j]); d < best {
+			best, bestID = d, c.ids[j]
+		}
+	}
+	return best, bestID
+}
+
+// ClosestPair returns the two closest entries among those not excluded.
+// excluded may be nil (no restriction). ok is false with fewer than two
+// allowed entries.
+func (c *Cache) ClosestPair(excluded func(uint64) bool) (a, b uint64, ok bool) {
+	allowed := func(id uint64) bool { return excluded == nil || !excluded(id) }
+	best := math.Inf(1)
+	bi := -1
+	var bj uint64
+	for i := range c.ids {
+		if !allowed(c.ids[i]) {
+			continue
+		}
+		if c.dirty[i] {
+			c.recompute(i)
+		}
+		d, nn := c.nnDist[i], c.nnID[i]
+		if nn == 0 && math.IsInf(d, 1) {
+			continue // singleton set
+		}
+		if !allowed(nn) {
+			d, nn = c.nearestAllowed(i, allowed)
+			if math.IsInf(d, 1) {
+				continue
+			}
+		}
+		if d < best {
+			best, bi, bj = d, i, nn
+		}
+	}
+	if bi < 0 {
+		return 0, 0, false
+	}
+	return c.ids[bi], bj, true
+}

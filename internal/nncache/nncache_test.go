@@ -1,0 +1,135 @@
+package nncache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diststream/internal/vector"
+)
+
+func TestEmptyAndSingleton(t *testing.T) {
+	c := New()
+	if _, _, ok := c.ClosestPair(nil); ok {
+		t.Error("empty cache returned a pair")
+	}
+	c.Put(1, vector.Vector{0, 0})
+	if _, _, ok := c.ClosestPair(nil); ok {
+		t.Error("singleton cache returned a pair")
+	}
+	if c.Len() != 1 || !c.Has(1) || c.Has(2) {
+		t.Error("membership broken")
+	}
+}
+
+func TestClosestPairBasic(t *testing.T) {
+	c := New()
+	c.Put(1, vector.Vector{0, 0})
+	c.Put(2, vector.Vector{10, 0})
+	c.Put(3, vector.Vector{10.5, 0})
+	a, b, ok := c.ClosestPair(nil)
+	if !ok {
+		t.Fatal("no pair")
+	}
+	if !(a == 2 && b == 3 || a == 3 && b == 2) {
+		t.Errorf("pair = (%d,%d), want {2,3}", a, b)
+	}
+}
+
+func TestClosestPairAfterMutations(t *testing.T) {
+	c := New()
+	c.Put(1, vector.Vector{0})
+	c.Put(2, vector.Vector{1})
+	c.Put(3, vector.Vector{100})
+	c.Remove(2)
+	a, b, ok := c.ClosestPair(nil)
+	if !ok || !(a == 1 && b == 3 || a == 3 && b == 1) {
+		t.Errorf("after remove: (%d,%d,%v)", a, b, ok)
+	}
+	// Move 3 next to 1 via Put-replace.
+	c.Put(3, vector.Vector{0.5})
+	c.Put(4, vector.Vector{50})
+	a, b, ok = c.ClosestPair(nil)
+	if !ok || !(a == 1 && b == 3 || a == 3 && b == 1) {
+		t.Errorf("after move: (%d,%d,%v)", a, b, ok)
+	}
+	// Removing an absent id is a no-op.
+	c.Remove(99)
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestClosestPairWithExclusion(t *testing.T) {
+	c := New()
+	c.Put(1, vector.Vector{0})
+	c.Put(2, vector.Vector{0.1}) // closest overall, but excluded
+	c.Put(3, vector.Vector{5})
+	c.Put(4, vector.Vector{5.2})
+	excluded := func(id uint64) bool { return id == 2 }
+	a, b, ok := c.ClosestPair(excluded)
+	if !ok || !(a == 3 && b == 4 || a == 4 && b == 3) {
+		t.Errorf("excluded pair = (%d,%d,%v), want {3,4}", a, b, ok)
+	}
+	// Everything excluded: no pair.
+	if _, _, ok := c.ClosestPair(func(uint64) bool { return true }); ok {
+		t.Error("fully excluded set returned a pair")
+	}
+}
+
+// Property: incremental maintenance matches a brute-force scan across a
+// random mutation sequence.
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := New()
+	points := map[uint64]vector.Vector{}
+	nextID := uint64(1)
+	brute := func() (uint64, uint64, float64) {
+		bi, bj, best := uint64(0), uint64(0), math.Inf(1)
+		for i, pi := range points {
+			for j, pj := range points {
+				if i >= j {
+					continue
+				}
+				if d := vector.SquaredDistance(pi, pj); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		return bi, bj, best
+	}
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(points) < 3:
+			v := vector.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+			points[nextID] = v
+			c.Put(nextID, v)
+			nextID++
+		case op == 1:
+			for id := range points {
+				delete(points, id)
+				c.Remove(id)
+				break
+			}
+		default:
+			for id := range points {
+				v := vector.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+				points[id] = v
+				c.Put(id, v)
+				break
+			}
+		}
+		if len(points) < 2 {
+			continue
+		}
+		_, _, wantD := brute()
+		a, b, ok := c.ClosestPair(nil)
+		if !ok {
+			t.Fatalf("step %d: no pair with %d points", step, len(points))
+		}
+		gotD := vector.SquaredDistance(points[a], points[b])
+		if math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("step %d: pair dist %v, brute force %v", step, gotD, wantD)
+		}
+	}
+}

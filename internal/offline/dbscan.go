@@ -1,0 +1,104 @@
+package offline
+
+import (
+	"errors"
+	"fmt"
+
+	"diststream/internal/vector"
+)
+
+// DBSCANConfig configures density-based clustering.
+type DBSCANConfig struct {
+	// Eps is the neighborhood radius.
+	Eps float64
+	// MinPoints is the minimum weighted neighborhood mass (including the
+	// point itself) for a core point.
+	MinPoints float64
+}
+
+// DBSCANNoise is the label assigned to noise points.
+const DBSCANNoise = -1
+
+// DBSCAN clusters points by density with optional per-point weights (nil
+// means weight 1 each). It returns one label per point: 0..k-1 for
+// clusters, DBSCANNoise for noise. DenStream's offline phase runs this
+// over potential micro-cluster centers weighted by micro-cluster weight.
+//
+// The implementation is the textbook O(n^2) region-query variant, which
+// is appropriate here: the offline phase clusters micro-clusters, and the
+// number of micro-clusters n is small (paper §V-C: "the number of
+// micro-clusters n is often much smaller than that of the incoming
+// records m").
+func DBSCAN(points []vector.Vector, weights []float64, cfg DBSCANConfig) ([]int, error) {
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("offline: eps %v must be positive", cfg.Eps)
+	}
+	if cfg.MinPoints <= 0 {
+		return nil, fmt.Errorf("offline: minPoints %v must be positive", cfg.MinPoints)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("offline: no points")
+	}
+	if weights != nil && len(weights) != len(points) {
+		return nil, fmt.Errorf("offline: %d points but %d weights", len(points), len(weights))
+	}
+	const unvisited = -2
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	epsSq := cfg.Eps * cfg.Eps
+
+	neighborhood := func(i int) ([]int, float64) {
+		var idx []int
+		var mass float64
+		for j, p := range points {
+			if vector.SquaredDistance(points[i], p) <= epsSq {
+				idx = append(idx, j)
+				mass += weightOf(weights, j)
+			}
+		}
+		return idx, mass
+	}
+
+	cluster := 0
+	for i := range points {
+		if labels[i] != unvisited {
+			continue
+		}
+		neighbors, mass := neighborhood(i)
+		if mass < cfg.MinPoints {
+			labels[i] = DBSCANNoise
+			continue
+		}
+		labels[i] = cluster
+		queue := append([]int(nil), neighbors...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == DBSCANNoise {
+				labels[j] = cluster // border point reached by density
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			jNeighbors, jMass := neighborhood(j)
+			if jMass >= cfg.MinPoints {
+				queue = append(queue, jNeighbors...)
+			}
+		}
+		cluster++
+	}
+	return labels, nil
+}
+
+// NumClusters returns the number of distinct non-noise labels.
+func NumClusters(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}

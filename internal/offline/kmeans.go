@@ -1,0 +1,208 @@
+// Package offline provides the batch-mode clustering algorithms used by
+// the online-offline paradigm: k-means (with k-means++ seeding and an
+// optional per-point weight, as needed to cluster micro-clusters by
+// weight), and DBSCAN (used by DenStream's offline phase).
+package offline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diststream/internal/vector"
+)
+
+// KMeansConfig configures Lloyd's algorithm.
+type KMeansConfig struct {
+	// K is the number of clusters.
+	K int
+	// MaxIterations bounds Lloyd iterations; 0 means 100.
+	MaxIterations int
+	// Tolerance stops early when no centroid moves more than this
+	// (Euclidean); 0 means 1e-6.
+	Tolerance float64
+	// Seed drives k-means++ seeding.
+	Seed int64
+}
+
+// KMeansResult holds the output of a k-means run.
+type KMeansResult struct {
+	// Centroids are the final cluster centers, length K.
+	Centroids []vector.Vector
+	// Assignments maps each input point to its centroid index.
+	Assignments []int
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// SSQ is the weighted sum of squared distances to assigned centroids.
+	SSQ float64
+}
+
+func (c *KMeansConfig) withDefaults() KMeansConfig {
+	out := *c
+	if out.MaxIterations == 0 {
+		out.MaxIterations = 100
+	}
+	if out.Tolerance == 0 {
+		out.Tolerance = 1e-6
+	}
+	return out
+}
+
+// KMeans clusters points with uniform weights.
+func KMeans(points []vector.Vector, cfg KMeansConfig) (*KMeansResult, error) {
+	return WeightedKMeans(points, nil, cfg)
+}
+
+// WeightedKMeans clusters points with per-point weights (nil weights mean
+// uniform). It is the paper's offline macro-clustering primitive: micro-
+// cluster centroids weighted by their record counts.
+func WeightedKMeans(points []vector.Vector, weights []float64, cfg KMeansConfig) (*KMeansResult, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("offline: k %d must be positive", cfg.K)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("offline: no points")
+	}
+	if weights != nil && len(weights) != len(points) {
+		return nil, fmt.Errorf("offline: %d points but %d weights", len(points), len(weights))
+	}
+	if weights != nil {
+		for i, w := range weights {
+			if w < 0 || math.IsNaN(w) {
+				return nil, fmt.Errorf("offline: weight %d is %v", i, w)
+			}
+		}
+	}
+	c := cfg.withDefaults()
+	k := c.K
+	if k > len(points) {
+		k = len(points)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	centroids := seedPlusPlus(points, weights, k, rng)
+	assignments := make([]int, len(points))
+	dim := len(points[0])
+
+	var iterations int
+	var ssq float64
+	for iterations = 1; iterations <= c.MaxIterations; iterations++ {
+		// Assignment step.
+		ssq = 0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for j, cen := range centroids {
+				if d := vector.SquaredDistance(p, cen); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			assignments[i] = best
+			ssq += weightOf(weights, i) * bestD
+		}
+		// Update step.
+		sums := make([]vector.Vector, k)
+		totals := make([]float64, k)
+		for j := range sums {
+			sums[j] = vector.New(dim)
+		}
+		for i, p := range points {
+			w := weightOf(weights, i)
+			sums[assignments[i]].AXPY(w, p)
+			totals[assignments[i]] += w
+		}
+		maxMove := 0.0
+		for j := range centroids {
+			if totals[j] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// centroid to avoid dead centroids.
+				centroids[j] = farthestPoint(points, centroids, rng).Clone()
+				maxMove = math.Inf(1)
+				continue
+			}
+			next := sums[j].Scale(1 / totals[j])
+			if move := vector.Distance(centroids[j], next); move > maxMove {
+				maxMove = move
+			}
+			centroids[j] = next
+		}
+		if maxMove <= c.Tolerance {
+			break
+		}
+	}
+	if iterations > c.MaxIterations {
+		iterations = c.MaxIterations
+	}
+	return &KMeansResult{
+		Centroids:   centroids,
+		Assignments: assignments,
+		Iterations:  iterations,
+		SSQ:         ssq,
+	}, nil
+}
+
+func weightOf(weights []float64, i int) float64 {
+	if weights == nil {
+		return 1
+	}
+	return weights[i]
+}
+
+// seedPlusPlus implements weighted k-means++ seeding.
+func seedPlusPlus(points []vector.Vector, weights []float64, k int, rng *rand.Rand) []vector.Vector {
+	centroids := make([]vector.Vector, 0, k)
+	first := rng.Intn(len(points))
+	centroids = append(centroids, points[first].Clone())
+	dists := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := vector.SquaredDistance(p, c); dd < d {
+					d = dd
+				}
+			}
+			d *= weightOf(weights, i)
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+			continue
+		}
+		x := rng.Float64() * total
+		chosen := len(points) - 1
+		for i, d := range dists {
+			if x < d {
+				chosen = i
+				break
+			}
+			x -= d
+		}
+		centroids = append(centroids, points[chosen].Clone())
+	}
+	return centroids
+}
+
+// farthestPoint returns the point with maximum distance to its nearest
+// centroid; ties and degenerate cases fall back to a random point.
+func farthestPoint(points []vector.Vector, centroids []vector.Vector, rng *rand.Rand) vector.Vector {
+	best := -1
+	bestD := -1.0
+	for i, p := range points {
+		d := math.Inf(1)
+		for _, c := range centroids {
+			if dd := vector.SquaredDistance(p, c); dd < d {
+				d = dd
+			}
+		}
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		best = rng.Intn(len(points))
+	}
+	return points[best]
+}

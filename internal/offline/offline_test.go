@@ -1,0 +1,249 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diststream/internal/vector"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(rng *rand.Rand, centers []vector.Vector, n int, std float64) ([]vector.Vector, []int) {
+	var points []vector.Vector
+	var labels []int
+	for ci, c := range centers {
+		for i := 0; i < n; i++ {
+			p := vector.New(len(c))
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*std
+			}
+			points = append(points, p)
+			labels = append(labels, ci)
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := []vector.Vector{{-10, -10}, {10, 10}, {10, -10}}
+	points, truth := blobs(rng, centers, 100, 0.5)
+	res, err := KMeans(points, KMeansConfig{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	// All points of one true blob must share an assignment, and different
+	// blobs must have different assignments.
+	blobLabel := map[int]int{}
+	for i, a := range res.Assignments {
+		b := truth[i]
+		if prev, ok := blobLabel[b]; ok && prev != a {
+			t.Fatalf("blob %d split across clusters", b)
+		}
+		blobLabel[b] = a
+	}
+	if len(blobLabel) != 3 {
+		t.Fatalf("blob labels = %v", blobLabel)
+	}
+	seen := map[int]bool{}
+	for _, a := range blobLabel {
+		if seen[a] {
+			t.Fatal("two blobs merged")
+		}
+		seen[a] = true
+	}
+	if res.SSQ <= 0 {
+		t.Errorf("SSQ = %v", res.SSQ)
+	}
+	if res.Iterations < 1 {
+		t.Errorf("Iterations = %d", res.Iterations)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, _ := blobs(rng, []vector.Vector{{0, 0}, {5, 5}}, 50, 1)
+	a, err := KMeans(points, KMeansConfig{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, KMeansConfig{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		if !a.Centroids[i].Equal(b.Centroids[i]) {
+			t.Fatal("same seed produced different centroids")
+		}
+	}
+}
+
+func TestWeightedKMeansPullsTowardHeavyPoints(t *testing.T) {
+	// Two points; weight 9 vs 1 with k=1: centroid must sit at the
+	// weighted mean.
+	points := []vector.Vector{{0}, {10}}
+	res, err := WeightedKMeans(points, []float64{9, 1}, KMeansConfig{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0][0]-1) > 1e-9 {
+		t.Errorf("weighted centroid = %v, want 1", res.Centroids[0][0])
+	}
+}
+
+func TestKMeansKLargerThanPoints(t *testing.T) {
+	points := []vector.Vector{{0}, {1}}
+	res, err := KMeans(points, KMeansConfig{K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Errorf("centroids = %d, want clamped to 2", len(res.Centroids))
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := []vector.Vector{{1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(points, KMeansConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSQ != 0 {
+		t.Errorf("SSQ = %v for identical points", res.SSQ)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, KMeansConfig{K: 1}); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := KMeans([]vector.Vector{{1}}, KMeansConfig{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := WeightedKMeans([]vector.Vector{{1}}, []float64{1, 2}, KMeansConfig{K: 1}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+	if _, err := WeightedKMeans([]vector.Vector{{1}}, []float64{-1}, KMeansConfig{K: 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := WeightedKMeans([]vector.Vector{{1}}, []float64{math.NaN()}, KMeansConfig{K: 1}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestKMeansConvergesUnderTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points, _ := blobs(rng, []vector.Vector{{-5}, {5}}, 200, 0.2)
+	res, err := KMeans(points, KMeansConfig{K: 2, Seed: 5, MaxIterations: 1000, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 1000 {
+		t.Errorf("did not converge: %d iterations", res.Iterations)
+	}
+}
+
+func TestDBSCANTwoClustersAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	points, truth := blobs(rng, []vector.Vector{{0, 0}, {20, 20}}, 60, 0.4)
+	// Add an isolated noise point.
+	points = append(points, vector.Vector{100, -100})
+	truth = append(truth, -1)
+	labels, err := DBSCAN(points, nil, DBSCANConfig{Eps: 2, MinPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NumClusters(labels); got != 2 {
+		t.Fatalf("clusters = %d, want 2", got)
+	}
+	if labels[len(labels)-1] != DBSCANNoise {
+		t.Errorf("isolated point labeled %d, want noise", labels[len(labels)-1])
+	}
+	// Points of one blob share a label.
+	blobLabel := map[int]int{}
+	for i, l := range labels[:len(labels)-1] {
+		b := truth[i]
+		if prev, ok := blobLabel[b]; ok && prev != l {
+			t.Fatalf("blob %d split", b)
+		}
+		blobLabel[b] = l
+	}
+}
+
+func TestDBSCANWeighted(t *testing.T) {
+	// Two nearby points, each alone below MinPoints mass, but the heavy
+	// weight lifts them into a core cluster.
+	points := []vector.Vector{{0}, {0.5}}
+	labels, err := DBSCAN(points, []float64{5, 1}, DBSCANConfig{Eps: 1, MinPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != 0 || labels[1] != 0 {
+		t.Errorf("labels = %v, want both in cluster 0", labels)
+	}
+	// With uniform weight 1 the same points are noise.
+	labels, err = DBSCAN(points, nil, DBSCANConfig{Eps: 1, MinPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != DBSCANNoise || labels[1] != DBSCANNoise {
+		t.Errorf("labels = %v, want noise", labels)
+	}
+}
+
+func TestDBSCANBorderPointJoinsCluster(t *testing.T) {
+	// Chain: dense core at 0..0.4 (5 points), border point at 1.2 within
+	// eps of the last core point but with a sparse neighborhood.
+	points := []vector.Vector{{0}, {0.1}, {0.2}, {0.3}, {0.4}, {1.2}}
+	labels, err := DBSCAN(points, nil, DBSCANConfig{Eps: 0.9, MinPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[5] != labels[0] {
+		t.Errorf("border point label = %d, core = %d", labels[5], labels[0])
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	pts := []vector.Vector{{1}}
+	if _, err := DBSCAN(pts, nil, DBSCANConfig{Eps: 0, MinPoints: 1}); err == nil {
+		t.Error("eps 0 accepted")
+	}
+	if _, err := DBSCAN(pts, nil, DBSCANConfig{Eps: 1, MinPoints: 0}); err == nil {
+		t.Error("minPoints 0 accepted")
+	}
+	if _, err := DBSCAN(nil, nil, DBSCANConfig{Eps: 1, MinPoints: 1}); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := DBSCAN(pts, []float64{1, 2}, DBSCANConfig{Eps: 1, MinPoints: 1}); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+}
+
+func TestNumClusters(t *testing.T) {
+	if got := NumClusters([]int{0, 0, 1, -1, 2, 2}); got != 3 {
+		t.Errorf("NumClusters = %d", got)
+	}
+	if got := NumClusters(nil); got != 0 {
+		t.Errorf("NumClusters(nil) = %d", got)
+	}
+}
+
+// Property: k-means SSQ never increases when k grows (with enough
+// restarts it should be monotone; with one seeded run we allow slack but
+// check the k=n case reaches ~0).
+func TestKMeansSSQZeroAtKEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	points, _ := blobs(rng, []vector.Vector{{0, 0}}, 12, 3)
+	res, err := KMeans(points, KMeansConfig{K: 12, Seed: 2, MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSQ > 1e-6 {
+		t.Errorf("SSQ = %v with k = n, want ~0", res.SSQ)
+	}
+}

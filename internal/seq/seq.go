@@ -1,0 +1,230 @@
+// Package seq implements the one-record-at-a-time update model (paper
+// §II-B): the strict sequential baseline equivalent to the MOA library
+// implementations the paper compares against. It runs the same Algorithm
+// implementations as the DistStream pipeline, so measured differences
+// isolate the update model rather than implementation details.
+//
+// Per record the runner performs the full sequential feedback loop: find
+// the closest micro-cluster on the *current* model, update or create, then
+// immediately run the algorithm's global update (merge/delete) before the
+// next record — exactly the one-by-one loop whose serialization the paper
+// sets out to relax.
+package seq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"diststream/internal/core"
+	"diststream/internal/stream"
+)
+
+// Config configures a sequential runner.
+type Config struct {
+	// Algorithm is the stream clustering algorithm.
+	Algorithm core.Algorithm
+	// InitRecords is the warm-up sample for batch-mode initialization.
+	// Default 500.
+	InitRecords int
+	// SnapshotRefresh forces a search-snapshot rebuild after this many
+	// records even without structural changes, bounding staleness of
+	// center-sensitive search structures (ClusTree). Default 512.
+	SnapshotRefresh int
+}
+
+// Stats summarizes a sequential run.
+type Stats struct {
+	Records     int
+	InitRecords int
+	CreatedMCs  int
+	UpdatedMCs  int
+	TotalWall   time.Duration
+}
+
+// Throughput returns processed records per wall-clock second.
+func (s Stats) Throughput() float64 {
+	if s.TotalWall <= 0 {
+		return 0
+	}
+	return float64(s.Records) / s.TotalWall.Seconds()
+}
+
+// RecordHook runs after each processed record (post global update).
+// Returning an error aborts the run.
+type RecordHook func(rec stream.Record, model *core.Model) error
+
+// Runner executes the sequential update model.
+type Runner struct {
+	cfg   Config
+	model *core.Model
+	stats Stats
+
+	snap        core.Snapshot
+	snapVersion uint64
+	snapAge     int
+
+	initBuf         []stream.Record
+	initialized     bool
+	lastMaintenance float64
+}
+
+// NewRunner validates cfg and builds a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Algorithm == nil {
+		return nil, errors.New("seq: config needs an Algorithm")
+	}
+	if cfg.InitRecords <= 0 {
+		cfg.InitRecords = 500
+	}
+	if cfg.SnapshotRefresh <= 0 {
+		cfg.SnapshotRefresh = 512
+	}
+	return &Runner{cfg: cfg, model: core.NewModel()}, nil
+}
+
+// Model returns the live model.
+func (r *Runner) Model() *core.Model { return r.model }
+
+// Stats returns the accumulated statistics.
+func (r *Runner) Stats() Stats { return r.stats }
+
+// Initialized reports whether warm-up completed.
+func (r *Runner) Initialized() bool { return r.initialized }
+
+// Offline runs the algorithm's offline phase on the current model.
+func (r *Runner) Offline() (*core.Clustering, error) {
+	return r.cfg.Algorithm.Offline(r.model)
+}
+
+// Process handles a single record through the sequential loop.
+func (r *Runner) Process(rec stream.Record) error {
+	if !r.initialized {
+		r.initBuf = append(r.initBuf, rec)
+		if len(r.initBuf) >= r.cfg.InitRecords {
+			return r.runInit()
+		}
+		return nil
+	}
+	r.stats.Records++
+	snap := r.snapshot()
+
+	var update core.Update
+	id, absorbable, ok := snap.Nearest(rec)
+	if ok && absorbable {
+		mc := r.model.Get(id)
+		if mc == nil {
+			return fmt.Errorf("seq: snapshot returned dead micro-cluster %d", id)
+		}
+		// In-place update of the live micro-cluster: the sequential model
+		// has no staleness.
+		r.cfg.Algorithm.Update(mc, rec)
+		r.stats.UpdatedMCs++
+		update = core.Update{
+			Kind:      core.KindUpdated,
+			MC:        mc,
+			Absorbed:  1,
+			OrderTime: rec.Timestamp,
+			OrderSeq:  rec.Seq,
+		}
+	} else {
+		mc := r.cfg.Algorithm.Create(rec)
+		r.stats.CreatedMCs++
+		update = core.Update{
+			Kind:      core.KindCreated,
+			MC:        mc,
+			Absorbed:  1,
+			OrderTime: rec.Timestamp,
+			OrderSeq:  rec.Seq,
+		}
+	}
+	// The one-by-one feedback loop. An in-place update of a live
+	// micro-cluster needs no global reconciliation (Replace would be a
+	// pointer no-op); like MOA, periodic maintenance (decay sweeps,
+	// pruning) runs at an interval rather than per record. Creations
+	// always reconcile immediately — merging and deletion are the
+	// irreversible operations the feedback loop serializes.
+	needGlobal := update.Kind == core.KindCreated
+	if !needGlobal && float64(rec.Timestamp)-r.lastMaintenance >= maintenanceInterval {
+		needGlobal = true
+	}
+	if needGlobal {
+		if err := r.cfg.Algorithm.GlobalUpdate(r.model, []core.Update{update}, rec.Timestamp); err != nil {
+			return fmt.Errorf("seq: global update: %w", err)
+		}
+		r.lastMaintenance = float64(rec.Timestamp)
+	}
+	r.model.SetNow(rec.Timestamp)
+	return nil
+}
+
+// maintenanceInterval is the virtual-time period between maintenance
+// global updates for records that were absorbed in place.
+const maintenanceInterval = 0.5
+
+// Run consumes the source to exhaustion, invoking hook (if non-nil) after
+// every processed record.
+func (r *Runner) Run(src stream.Source, hook RecordHook) (Stats, error) {
+	start := time.Now()
+	for {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return r.stats, err
+		}
+		wasOnline := r.initialized
+		if err := r.Process(rec); err != nil {
+			return r.stats, err
+		}
+		// The hook observes only records processed through the online
+		// loop, not those consumed by warm-up initialization.
+		if hook != nil && wasOnline {
+			if err := hook(rec, r.model); err != nil {
+				return r.stats, fmt.Errorf("seq: record hook: %w", err)
+			}
+		}
+	}
+	if err := r.finishInit(); err != nil {
+		return r.stats, err
+	}
+	r.stats.TotalWall = time.Since(start)
+	return r.stats, nil
+}
+
+// snapshot returns a search snapshot over the live micro-clusters,
+// rebuilt when the model structure changed or the refresh budget expired.
+func (r *Runner) snapshot() core.Snapshot {
+	if r.snap != nil && r.snapVersion == r.model.Version() && r.snapAge < r.cfg.SnapshotRefresh {
+		r.snapAge++
+		return r.snap
+	}
+	r.snap = r.cfg.Algorithm.NewSnapshot(r.model.List())
+	r.snapVersion = r.model.Version()
+	r.snapAge = 0
+	return r.snap
+}
+
+func (r *Runner) runInit() error {
+	mcs, err := r.cfg.Algorithm.Init(r.initBuf)
+	if err != nil {
+		return fmt.Errorf("seq: init: %w", err)
+	}
+	for _, mc := range mcs {
+		r.model.Add(mc)
+	}
+	r.stats.InitRecords = len(r.initBuf)
+	r.model.SetNow(r.initBuf[len(r.initBuf)-1].Timestamp)
+	r.initBuf = nil
+	r.initialized = true
+	return nil
+}
+
+func (r *Runner) finishInit() error {
+	if r.initialized || len(r.initBuf) == 0 {
+		return nil
+	}
+	return r.runInit()
+}

@@ -1,0 +1,274 @@
+package seq
+
+import (
+	"errors"
+	"testing"
+
+	"diststream/internal/core"
+	"diststream/internal/mbsp"
+	"diststream/internal/simple"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+func twoBlobStream(n int, rate float64) []stream.Record {
+	recs := make([]stream.Record, n)
+	for i := range recs {
+		var v vector.Vector
+		if i%2 == 0 {
+			v = vector.Vector{0 + 0.1*float64(i%5), 0}
+		} else {
+			v = vector.Vector{20 + 0.1*float64(i%5), 20}
+		}
+		recs[i] = stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) / rate),
+			Values:    v,
+			Label:     i % 2,
+		}
+	}
+	return recs
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Config{}); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	r, err := NewRunner(Config{Algorithm: simple.New(simple.Config{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.InitRecords != 500 || r.cfg.SnapshotRefresh != 512 {
+		t.Errorf("defaults not applied: %+v", r.cfg)
+	}
+}
+
+func TestRunnerClustersTwoBlobs(t *testing.T) {
+	r, err := NewRunner(Config{
+		Algorithm:   simple.New(simple.Config{}),
+		InitRecords: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(stream.NewSliceSource(twoBlobStream(1000, 100)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Initialized() {
+		t.Fatal("not initialized")
+	}
+	if stats.Records != 950 || stats.InitRecords != 50 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if n := r.Model().Len(); n < 2 || n > 6 {
+		t.Errorf("model size = %d, want ~2", n)
+	}
+	clustering, err := r.Offline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustering.Assign(vector.Vector{0, 0}) == clustering.Assign(vector.Vector{20, 20}) {
+		t.Error("blobs not separated")
+	}
+	if stats.Throughput() <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestRunnerStrictArrivalOrder(t *testing.T) {
+	r, err := NewRunner(Config{
+		Algorithm:   simple.New(simple.Config{TrackUpdates: true}),
+		InitRecords: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]stream.Record, 200)
+	for i := range recs {
+		recs[i] = stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) * 0.02),
+			Values:    vector.Vector{0.01 * float64(i%3), 0},
+		}
+	}
+	if _, err := r.Run(stream.NewSliceSource(recs), nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Model().Len() != 1 {
+		t.Fatalf("model size = %d", r.Model().Len())
+	}
+	log := r.Model().List()[0].(*simple.MC).Log
+	if len(log) != 200 {
+		t.Fatalf("log size = %d", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i] != log[i-1]+1 {
+			t.Fatalf("sequential order broken at %d", i)
+		}
+	}
+}
+
+func TestRunnerCreatesOutlierMCs(t *testing.T) {
+	r, err := NewRunner(Config{
+		Algorithm:   simple.New(simple.Config{}),
+		InitRecords: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []stream.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, stream.Record{
+			Seq: uint64(i), Timestamp: vclock.Time(float64(i) * 0.1),
+			Values: vector.Vector{0, 0},
+		})
+	}
+	recs = append(recs, stream.Record{
+		Seq: 5, Timestamp: 0.6, Values: vector.Vector{50, 50},
+	})
+	stats, err := r.Run(stream.NewSliceSource(recs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CreatedMCs != 1 {
+		t.Errorf("CreatedMCs = %d, want 1", stats.CreatedMCs)
+	}
+	if r.Model().Len() != 2 {
+		t.Errorf("model size = %d, want 2", r.Model().Len())
+	}
+}
+
+func TestRunnerHook(t *testing.T) {
+	r, err := NewRunner(Config{
+		Algorithm:   simple.New(simple.Config{}),
+		InitRecords: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookCount int
+	_, err = r.Run(stream.NewSliceSource(twoBlobStream(100, 100)),
+		func(rec stream.Record, model *core.Model) error {
+			hookCount++
+			if model.Len() == 0 {
+				return errors.New("empty model")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookCount != 90 {
+		t.Errorf("hook ran %d times, want 90 (post-init records)", hookCount)
+	}
+	// Hook errors propagate.
+	r2, err := NewRunner(Config{Algorithm: simple.New(simple.Config{}), InitRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r2.Run(stream.NewSliceSource(twoBlobStream(10, 100)),
+		func(stream.Record, *core.Model) error { return errors.New("stop") })
+	if err == nil {
+		t.Error("hook error not propagated")
+	}
+}
+
+func TestRunnerInitAtEOF(t *testing.T) {
+	r, err := NewRunner(Config{
+		Algorithm:   simple.New(simple.Config{}),
+		InitRecords: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(stream.NewSliceSource(twoBlobStream(40, 100)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Initialized() {
+		t.Error("not initialized at EOF")
+	}
+	if stats.Records != 0 {
+		t.Errorf("Records = %d", stats.Records)
+	}
+	if r.Model().Len() != 2 {
+		t.Errorf("model size = %d, want 2", r.Model().Len())
+	}
+}
+
+// TestRunnerMatchesPipelineOnStableStream verifies the paper's central
+// claim scaffold: on a stream, the sequential model and the order-aware
+// mini-batch pipeline produce closely matching models (the pipeline's
+// only divergence is intra-batch staleness).
+func TestRunnerMatchesPipelineOnStableStream(t *testing.T) {
+	algo := simple.New(simple.Config{})
+	recs := twoBlobStream(800, 100)
+
+	runner, err := NewRunner(Config{Algorithm: algo, InitRecords: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run(stream.NewSliceSource(recs), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mini-batch counterpart.
+	reg := newTestMBSPRegistry(t)
+	pl := newTestPipeline(t, reg, algo, 4)
+	if _, err := pl.Run(stream.NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+
+	seqTotal := runner.Model().TotalWeight()
+	batchTotal := pl.Model().TotalWeight()
+	if seqTotal == 0 || batchTotal == 0 {
+		t.Fatal("degenerate models")
+	}
+	ratio := batchTotal / seqTotal
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("total weight diverged: seq=%v batch=%v", seqTotal, batchTotal)
+	}
+	if runner.Model().Len() != pl.Model().Len() {
+		t.Errorf("model sizes differ: %d vs %d", runner.Model().Len(), pl.Model().Len())
+	}
+}
+
+// --- pipeline wiring helpers ----------------------------------------------
+
+func newTestMBSPRegistry(t *testing.T) *core.AlgorithmRegistry {
+	t.Helper()
+	algos := core.NewAlgorithmRegistry()
+	if err := simple.Register(algos); err != nil {
+		t.Fatal(err)
+	}
+	return algos
+}
+
+func newTestPipeline(t *testing.T, algos *core.AlgorithmRegistry, algo core.Algorithm, p int) *core.Pipeline {
+	t.Helper()
+	reg := mbsp.NewRegistry()
+	if err := core.RegisterOps(reg, algos); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := mbsp.NewLocalExecutor(mbsp.LocalConfig{Parallelism: p, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	eng, err := mbsp.NewEngine(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPipeline(core.Config{
+		Algorithm:     algo,
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}

@@ -1,0 +1,104 @@
+package simple
+
+import (
+	"math"
+	"testing"
+
+	"diststream/internal/algotest"
+	"diststream/internal/core"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+func TestConformance(t *testing.T) {
+	algotest.Run(t, algotest.Suite{
+		New:          func() core.Algorithm { return New(Config{Radius: 3}) },
+		Register:     Register,
+		RegisterWire: RegisterWireTypes,
+		Dim:          4,
+		// simple's offline puts every MC in its own macro, which still
+		// separates the blobs.
+		SeparatesBlobs: true,
+	})
+}
+
+func rec(seq uint64, ts vclock.Time, vals ...float64) stream.Record {
+	return stream.Record{Seq: seq, Timestamp: ts, Values: vals}
+}
+
+func TestDecaySemantics(t *testing.T) {
+	a := New(Config{Beta: 2}) // decay 2^-dt
+	mc := a.Create(rec(0, 0, 4, 0)).(*MC)
+	a.Update(mc, rec(1, 1, 1, 0))
+	// Old mass halves: W = 0.5 + 1 = 1.5; Sum = 4*0.5 + 1 = 3.
+	if math.Abs(mc.W-1.5) > 1e-12 || math.Abs(mc.Sum[0]-3) > 1e-12 {
+		t.Errorf("W=%v Sum=%v", mc.W, mc.Sum[0])
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	// The §IV-C1 impact inequality made concrete: processing {old, new}
+	// in arrival order leaves more relative weight on the *newer* record
+	// than the reverse order, where the stale record's |Δt| decay erodes
+	// the fresh increment.
+	a := New(Config{Beta: 2})
+	r1 := rec(1, 1, 10, 0) // older, at coordinate 10
+	r2 := rec(2, 2, 0, 0)  // newer, at the origin
+
+	ordered := a.Create(rec(0, 0, 0, 0)).(*MC)
+	a.Update(ordered, r1)
+	a.Update(ordered, r2)
+
+	reversed := a.Create(rec(0, 0, 0, 0)).(*MC)
+	a.Update(reversed, r2)
+	a.Update(reversed, r1) // |Δt| decay hits the newer increment
+
+	// The newer record sits at 0: a center biased toward stale data is
+	// larger. Reverse processing under-weights r2, dragging the center
+	// toward the old coordinate.
+	co, cr := ordered.Center()[0], reversed.Center()[0]
+	if !(co < cr) {
+		t.Errorf("ordered center %v should be less stale-biased than reversed %v", co, cr)
+	}
+	// And reverse processing over-decays total mass.
+	if !(reversed.W < ordered.W) {
+		t.Errorf("reversed W %v should be below ordered %v", reversed.W, ordered.W)
+	}
+}
+
+func TestTrackUpdatesOff(t *testing.T) {
+	a := New(Config{})
+	mc := a.Create(rec(0, 0, 1, 1)).(*MC)
+	a.Update(mc, rec(1, 1, 1, 1))
+	if mc.Log != nil {
+		t.Error("Log populated without TrackUpdates")
+	}
+}
+
+func TestGlobalUpdateDeletesFaded(t *testing.T) {
+	a := New(Config{Beta: 2, MinWeight: 0.1})
+	model := core.NewModel()
+	model.Add(a.Create(rec(0, 0, 1, 1)))
+	if err := a.GlobalUpdate(model, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 0 {
+		t.Error("faded MC survived")
+	}
+}
+
+func TestParamsRoundTripTrackUpdates(t *testing.T) {
+	reg := core.NewAlgorithmRegistry()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{TrackUpdates: true})
+	rebuilt, err := reg.New(a.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := rebuilt.Create(rec(0, 0, 1, 1)).(*MC)
+	if len(mc.Log) != 1 {
+		t.Error("TrackUpdates lost in params round-trip")
+	}
+}

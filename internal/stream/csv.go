@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// WriteCSV serializes records as CSV rows of the form
+//
+//	seq,timestamp,label,f0,f1,...,fd-1
+//
+// so generated datasets can be persisted and replayed, mirroring how the
+// paper's Kafka producer reads datasets from local disk.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, 0, 16)
+	for _, r := range records {
+		row = row[:0]
+		row = append(row,
+			strconv.FormatUint(r.Seq, 10),
+			strconv.FormatFloat(float64(r.Timestamp), 'g', -1, 64),
+			strconv.Itoa(r.Label),
+		)
+		for _, v := range r.Values {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("stream: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("stream: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses records previously written with WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually per row
+	var out []Record
+	for line := 1; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: read csv line %d: %w", line, err)
+		}
+		if len(row) < 4 {
+			return nil, fmt.Errorf("stream: csv line %d has %d fields, want >= 4", line, len(row))
+		}
+		seq, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: csv line %d seq: %w", line, err)
+		}
+		ts, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: csv line %d timestamp: %w", line, err)
+		}
+		label, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("stream: csv line %d label: %w", line, err)
+		}
+		values := make(vector.Vector, len(row)-3)
+		for i, field := range row[3:] {
+			values[i], err = strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: csv line %d feature %d: %w", line, i, err)
+			}
+		}
+		out = append(out, Record{
+			Seq:       seq,
+			Timestamp: vclock.Time(ts),
+			Label:     label,
+			Values:    values,
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"diststream/internal/vclock"
+)
+
+// Producer replays a source at a fixed record rate against a virtual
+// clock, substituting for the paper's Kafka producer ("reads data records
+// from local disk sequentially and outputs the records at a user-defined
+// rate"). Records are re-stamped with their emission time so downstream
+// decay and quality metrics see the configured rate regardless of the
+// timestamps the source carried.
+type Producer struct {
+	src      Source
+	rate     float64 // records per virtual second
+	clock    *vclock.Manual
+	emitted  uint64
+	restamps bool
+}
+
+// ProducerOption configures a Producer.
+type ProducerOption func(*Producer)
+
+// WithOriginalTimestamps keeps the source's own timestamps instead of
+// re-stamping at the configured rate. The producer then only paces Seq
+// assignment.
+func WithOriginalTimestamps() ProducerOption {
+	return func(p *Producer) { p.restamps = false }
+}
+
+// NewProducer returns a producer emitting from src at rate records per
+// virtual second on the given manual clock.
+func NewProducer(src Source, rate float64, clock *vclock.Manual, opts ...ProducerOption) (*Producer, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("stream: producer rate %v must be positive", rate)
+	}
+	if clock == nil {
+		return nil, errors.New("stream: producer requires a clock")
+	}
+	p := &Producer{src: src, rate: rate, clock: clock, restamps: true}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p, nil
+}
+
+// Rate returns the configured emission rate in records per second.
+func (p *Producer) Rate() float64 { return p.rate }
+
+// Emitted returns how many records have been produced so far.
+func (p *Producer) Emitted() uint64 { return p.emitted }
+
+// Next emits the next record, advancing the virtual clock by the
+// inter-arrival gap 1/rate. It returns io.EOF when the source drains.
+func (p *Producer) Next() (Record, error) {
+	r, err := p.src.Next()
+	if err != nil {
+		return Record{}, err
+	}
+	p.clock.Advance(vclock.Duration(1 / p.rate))
+	r.Seq = p.emitted
+	if p.restamps {
+		r.Timestamp = p.clock.Now()
+	}
+	p.emitted++
+	return r, nil
+}
+
+var _ Source = (*Producer)(nil)
+
+// Batcher groups a source's records into time-window mini-batches of a
+// fixed virtual duration, mirroring Spark Streaming's batch interval. A
+// batch covers the half-open window [start, start+interval).
+type Batcher struct {
+	src      Source
+	interval vclock.Duration
+	start    vclock.Time
+	pending  *Record
+	batchNo  int
+	done     bool
+}
+
+// Batch is one mini-batch of records plus its window metadata.
+type Batch struct {
+	// Index is the zero-based batch number.
+	Index int
+	// Start and End delimit the half-open window [Start, End).
+	Start, End vclock.Time
+	// Records holds the batch's records in arrival order.
+	Records []Record
+}
+
+// NewBatcher cuts src into batches of the given virtual-time interval.
+func NewBatcher(src Source, interval vclock.Duration) (*Batcher, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("stream: batch interval %v must be positive", interval)
+	}
+	return &Batcher{src: src, interval: interval, start: -1}, nil
+}
+
+// SetInterval changes the window length for subsequent batches (the
+// batch currently being assembled is unaffected). Non-positive intervals
+// are rejected. This is the control surface for adaptive batch sizing.
+func (b *Batcher) SetInterval(interval vclock.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("stream: batch interval %v must be positive", interval)
+	}
+	b.interval = interval
+	return nil
+}
+
+// Interval returns the current window length.
+func (b *Batcher) Interval() vclock.Duration { return b.interval }
+
+// Next returns the next non-empty mini-batch, or io.EOF after the source
+// drains. Empty windows are skipped: the window advances to the next
+// record's timestamp (Spark Streaming would emit empty batches; skipping
+// them is equivalent for this pipeline because an empty batch is a no-op
+// apart from decay, which the global update step applies by elapsed time,
+// not batch count).
+func (b *Batcher) Next() (Batch, error) {
+	if b.done && b.pending == nil {
+		return Batch{}, io.EOF
+	}
+	var records []Record
+	if b.pending != nil {
+		first := *b.pending
+		b.pending = nil
+		if b.start < 0 || first.Timestamp >= b.start.Add(b.interval) {
+			b.start = first.Timestamp
+		}
+		records = append(records, first)
+	}
+	for {
+		if b.done {
+			break
+		}
+		r, err := b.src.Next()
+		if errors.Is(err, io.EOF) {
+			b.done = true
+			break
+		}
+		if err != nil {
+			return Batch{}, err
+		}
+		if b.start < 0 {
+			b.start = r.Timestamp
+		}
+		if r.Timestamp >= b.start.Add(b.interval) {
+			b.pending = &r
+			break
+		}
+		records = append(records, r)
+	}
+	if len(records) == 0 {
+		return Batch{}, io.EOF
+	}
+	batch := Batch{
+		Index:   b.batchNo,
+		Start:   b.start,
+		End:     b.start.Add(b.interval),
+		Records: records,
+	}
+	b.batchNo++
+	b.start = b.start.Add(b.interval)
+	return batch, nil
+}
+
+// Batches drains the whole source into a batch slice; a convenience for
+// tests and offline experiments.
+func Batches(src Source, interval vclock.Duration) ([]Batch, error) {
+	batcher, err := NewBatcher(src, interval)
+	if err != nil {
+		return nil, err
+	}
+	var out []Batch
+	for {
+		batch, err := batcher.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, batch)
+	}
+}

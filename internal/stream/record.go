@@ -1,0 +1,61 @@
+// Package stream provides the data-stream substrate: timestamped records,
+// pull-based sources, a rate-limited producer that substitutes for the
+// paper's Kafka producer, and a batcher that cuts the stream into the
+// time-window mini-batches consumed by the DistStream pipeline.
+package stream
+
+import (
+	"fmt"
+
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// Record is one element of a data stream: a d-dimensional point with an
+// arrival timestamp, a monotonically increasing sequence number that
+// encodes arrival order (used by the order-aware update steps), and an
+// optional ground-truth label used only for quality evaluation.
+type Record struct {
+	// Seq is the global arrival sequence number, assigned by the source.
+	Seq uint64
+	// Timestamp is the virtual arrival time of the record.
+	Timestamp vclock.Time
+	// Values holds the feature vector.
+	Values vector.Vector
+	// Label is the ground-truth cluster label (evaluation only; the
+	// clustering algorithms never read it). -1 means unlabeled/noise.
+	Label int
+}
+
+// Dim returns the dimensionality of the record.
+func (r Record) Dim() int { return len(r.Values) }
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record {
+	out := r
+	out.Values = r.Values.Clone()
+	return out
+}
+
+// String renders a compact description for debugging.
+func (r Record) String() string {
+	return fmt.Sprintf("rec{seq=%d %s label=%d dim=%d}", r.Seq, r.Timestamp, r.Label, len(r.Values))
+}
+
+// ByArrival orders records by (Timestamp, Seq): the order-aware local
+// update step sorts each micro-cluster's absorbed records with this
+// comparator before folding their increments (paper §IV-C1).
+func ByArrival(a, b Record) int {
+	switch {
+	case a.Timestamp < b.Timestamp:
+		return -1
+	case a.Timestamp > b.Timestamp:
+		return 1
+	case a.Seq < b.Seq:
+		return -1
+	case a.Seq > b.Seq:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,352 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+func mkRecords(n int, rate float64) []Record {
+	vs := make([]vector.Vector, n)
+	labels := make([]int, n)
+	for i := range vs {
+		vs[i] = vector.Vector{float64(i), float64(i * 2)}
+		labels[i] = i % 3
+	}
+	recs, err := FromVectors(vs, labels, rate)
+	if err != nil {
+		panic(err)
+	}
+	return recs
+}
+
+func TestFromVectors(t *testing.T) {
+	recs := mkRecords(5, 2) // 2 rec/s => 0.5s apart
+	if len(recs) != 5 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[1].Timestamp != 0.5 {
+		t.Errorf("timestamp = %v, want 0.5", recs[1].Timestamp)
+	}
+	if recs[4].Seq != 4 {
+		t.Errorf("seq = %d, want 4", recs[4].Seq)
+	}
+	if recs[2].Label != 2 {
+		t.Errorf("label = %d, want 2", recs[2].Label)
+	}
+}
+
+func TestFromVectorsErrors(t *testing.T) {
+	if _, err := FromVectors([]vector.Vector{{1}}, nil, 0); err == nil {
+		t.Error("rate 0 should error")
+	}
+	if _, err := FromVectors([]vector.Vector{{1}}, []int{1, 2}, 1); err == nil {
+		t.Error("label mismatch should error")
+	}
+	recs, err := FromVectors([]vector.Vector{{1}}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Label != -1 {
+		t.Errorf("nil labels should yield -1, got %d", recs[0].Label)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := mkRecords(3, 1)
+	src := NewSliceSource(recs)
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+	src.Reset()
+	if r, err := src.Next(); err != nil || r.Seq != 0 {
+		t.Errorf("after Reset: %v %v", r, err)
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := NewFuncSource(func() (Record, error) {
+		if n >= 2 {
+			return Record{}, io.EOF
+		}
+		n++
+		return Record{Seq: uint64(n)}, nil
+	})
+	got, err := Drain(src)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Drain = %v, %v", got, err)
+	}
+}
+
+func TestRepeatSource(t *testing.T) {
+	base := mkRecords(4, 1) // timestamps 0,1,2,3
+	src, err := NewRepeatSource(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", src.Len())
+	}
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("drained %d", len(got))
+	}
+	// Sequence numbers must be globally increasing and timestamps strictly
+	// increasing across pass boundaries.
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("seq not consecutive at %d: %d then %d", i, got[i-1].Seq, got[i].Seq)
+		}
+		if got[i].Timestamp <= got[i-1].Timestamp {
+			t.Fatalf("timestamps not strictly increasing at %d: %v then %v",
+				i, got[i-1].Timestamp, got[i].Timestamp)
+		}
+	}
+	// Vector payloads must repeat.
+	if !got[4].Values.Equal(got[0].Values) {
+		t.Errorf("pass 2 record 0 differs: %v vs %v", got[4].Values, got[0].Values)
+	}
+}
+
+func TestRepeatSourceErrors(t *testing.T) {
+	if _, err := NewRepeatSource(nil, 2); err == nil {
+		t.Error("empty base should error")
+	}
+	if _, err := NewRepeatSource(mkRecords(1, 1), 0); err == nil {
+		t.Error("repeats=0 should error")
+	}
+}
+
+func TestProducerRestampsAtRate(t *testing.T) {
+	clock := vclock.NewManual(0)
+	prod, err := NewProducer(NewSliceSource(mkRecords(10, 1)), 5, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("drained %d", len(got))
+	}
+	// At 5 rec/s the 10th record arrives at t=2.0.
+	if got[9].Timestamp < 1.999 || got[9].Timestamp > 2.001 {
+		t.Errorf("last timestamp = %v, want ~2.0", got[9].Timestamp)
+	}
+	if prod.Emitted() != 10 {
+		t.Errorf("Emitted = %d", prod.Emitted())
+	}
+	if prod.Rate() != 5 {
+		t.Errorf("Rate = %v", prod.Rate())
+	}
+}
+
+func TestProducerOriginalTimestamps(t *testing.T) {
+	clock := vclock.NewManual(0)
+	base := mkRecords(3, 1)
+	prod, err := NewProducer(NewSliceSource(base), 100, clock, WithOriginalTimestamps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Timestamp != base[i].Timestamp {
+			t.Errorf("record %d restamped: %v vs %v", i, got[i].Timestamp, base[i].Timestamp)
+		}
+	}
+}
+
+func TestProducerErrors(t *testing.T) {
+	if _, err := NewProducer(NewSliceSource(nil), 0, vclock.NewManual(0)); err == nil {
+		t.Error("rate 0 should error")
+	}
+	if _, err := NewProducer(NewSliceSource(nil), 1, nil); err == nil {
+		t.Error("nil clock should error")
+	}
+}
+
+func TestBatcherWindows(t *testing.T) {
+	recs := mkRecords(10, 1) // timestamps 0..9
+	batches, err := Batches(NewSliceSource(recs), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows [0,3) [3,6) [6,9) [9,12) => sizes 3,3,3,1.
+	wantSizes := []int{3, 3, 3, 1}
+	if len(batches) != len(wantSizes) {
+		t.Fatalf("got %d batches, want %d", len(batches), len(wantSizes))
+	}
+	for i, b := range batches {
+		if len(b.Records) != wantSizes[i] {
+			t.Errorf("batch %d size = %d, want %d", i, len(b.Records), wantSizes[i])
+		}
+		if b.Index != i {
+			t.Errorf("batch index = %d, want %d", b.Index, i)
+		}
+		if b.End != b.Start.Add(3) {
+			t.Errorf("batch %d window [%v,%v)", i, b.Start, b.End)
+		}
+		for _, r := range b.Records {
+			if r.Timestamp < b.Start || r.Timestamp >= b.End {
+				t.Errorf("record %v outside window [%v,%v)", r.Timestamp, b.Start, b.End)
+			}
+		}
+	}
+}
+
+func TestBatcherSkipsEmptyWindows(t *testing.T) {
+	recs := []Record{
+		{Seq: 0, Timestamp: 0, Values: vector.Vector{1}},
+		{Seq: 1, Timestamp: 100, Values: vector.Vector{2}},
+	}
+	batches, err := Batches(NewSliceSource(recs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(batches))
+	}
+	if batches[1].Start != 100 {
+		t.Errorf("second window start = %v, want 100", batches[1].Start)
+	}
+}
+
+func TestBatcherPreservesArrivalOrder(t *testing.T) {
+	recs := mkRecords(100, 10)
+	batches, err := Batches(NewSliceSource(recs), 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	var lastSeq uint64
+	first := true
+	for _, b := range batches {
+		for _, r := range b.Records {
+			if !first && r.Seq != lastSeq+1 {
+				t.Fatalf("order broken: %d after %d", r.Seq, lastSeq)
+			}
+			lastSeq = r.Seq
+			first = false
+			total++
+		}
+	}
+	if total != 100 {
+		t.Errorf("batched %d records, want 100", total)
+	}
+}
+
+func TestBatcherErrors(t *testing.T) {
+	if _, err := NewBatcher(NewSliceSource(nil), 0); err == nil {
+		t.Error("interval 0 should error")
+	}
+	b, err := NewBatcher(NewSliceSource(nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty source should EOF, got %v", err)
+	}
+}
+
+func TestByArrival(t *testing.T) {
+	recs := []Record{
+		{Seq: 3, Timestamp: 2},
+		{Seq: 1, Timestamp: 1},
+		{Seq: 2, Timestamp: 1},
+		{Seq: 0, Timestamp: 5},
+	}
+	sort.Slice(recs, func(i, j int) bool { return ByArrival(recs[i], recs[j]) < 0 })
+	wantSeq := []uint64{1, 2, 3, 0}
+	for i, r := range recs {
+		if r.Seq != wantSeq[i] {
+			t.Fatalf("position %d seq = %d, want %d", i, r.Seq, wantSeq[i])
+		}
+	}
+	if ByArrival(recs[0], recs[0]) != 0 {
+		t.Error("identical records should compare equal")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	recs := make([]Record, 50)
+	for i := range recs {
+		recs[i] = Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) * 0.125),
+			Label:     rng.Intn(5) - 1,
+			Values:    vector.Vector{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Seq != recs[i].Seq || got[i].Timestamp != recs[i].Timestamp ||
+			got[i].Label != recs[i].Label || !got[i].Values.Equal(recs[i].Values) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []string{
+		"1,2\n",             // too few fields
+		"x,0,1,2\n",         // bad seq
+		"1,x,1,2\n",         // bad timestamp
+		"1,0,x,2\n",         // bad label
+		"1,0,1,notafloat\n", // bad feature
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestRecordCloneAndString(t *testing.T) {
+	r := Record{Seq: 1, Timestamp: 2, Label: 3, Values: vector.Vector{4, 5}}
+	c := r.Clone()
+	c.Values[0] = 99
+	if r.Values[0] != 4 {
+		t.Error("Clone shares storage")
+	}
+	if r.Dim() != 2 {
+		t.Errorf("Dim = %d", r.Dim())
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,103 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(1.5)
+	if !a.Before(Time(2)) || a.After(Time(2)) {
+		t.Error("ordering broken")
+	}
+	if got := a.Add(0.5); got != 2 {
+		t.Errorf("Add = %v, want 2", got)
+	}
+	if got := Time(5).Sub(2); got != 3 {
+		t.Errorf("Sub = %v, want 3", got)
+	}
+	if a.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v", a.Seconds())
+	}
+	if s := a.String(); s != "t=1.500s" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	c := NewManual(10)
+	if c.Now() != 10 {
+		t.Fatalf("start = %v, want 10", c.Now())
+	}
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Errorf("after Advance(5) = %v, want 15", c.Now())
+	}
+	c.Advance(-3)
+	if c.Now() != 15 {
+		t.Errorf("negative advance moved clock: %v", c.Now())
+	}
+}
+
+func TestManualSetMonotone(t *testing.T) {
+	c := NewManual(10)
+	if !c.Set(20) {
+		t.Error("forward Set rejected")
+	}
+	if c.Set(5) {
+		t.Error("backward Set accepted")
+	}
+	if c.Now() != 20 {
+		t.Errorf("Now = %v, want 20", c.Now())
+	}
+}
+
+func TestManualConcurrent(t *testing.T) {
+	c := NewManual(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(0.001)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := Time(8 * 1000 * 0.001)
+	got := c.Now()
+	if got < want-1e-6 || got > want+1e-6 {
+		t.Errorf("concurrent advance lost updates: %v, want %v", got, want)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	w := NewWall(100) // 100 virtual seconds per wall second
+	time.Sleep(20 * time.Millisecond)
+	got := w.Now()
+	if got <= 0 {
+		t.Errorf("wall clock did not advance: %v", got)
+	}
+	if got > 100 {
+		t.Errorf("wall clock advanced too far: %v", got)
+	}
+	// Defaulting behaviour.
+	d := NewWall(0)
+	if d.rate != 1 {
+		t.Errorf("default rate = %v, want 1", d.rate)
+	}
+}
+
+func TestManualZeroValueUsable(t *testing.T) {
+	var c Manual
+	if c.Now() != 0 {
+		t.Errorf("zero-value clock Now = %v, want 0", c.Now())
+	}
+	c.Advance(1)
+	if c.Now() != 1 {
+		t.Errorf("zero-value clock Advance broken: %v", c.Now())
+	}
+}

@@ -1,0 +1,121 @@
+package vector
+
+import (
+	"errors"
+	"math"
+)
+
+// Normalizer standardizes features to zero mean and unit variance, matching
+// the preprocessing applied to the paper's datasets ("we normalize each
+// feature of the three datasets to have zero mean and unit variance").
+//
+// A Normalizer is fit once on a sample and then applied record-by-record;
+// it can also be updated incrementally (Welford's algorithm) for streaming
+// use before being frozen.
+type Normalizer struct {
+	mean  Vector
+	m2    Vector // sum of squared deviations
+	count int
+	// std caches the per-feature standard deviation after Freeze.
+	std    Vector
+	frozen bool
+}
+
+// NewNormalizer returns an empty normalizer for dim-dimensional records.
+func NewNormalizer(dim int) *Normalizer {
+	return &Normalizer{
+		mean: New(dim),
+		m2:   New(dim),
+	}
+}
+
+// Observe folds one record into the running mean/variance estimate using
+// Welford's online algorithm. Observe after Freeze returns an error.
+func (n *Normalizer) Observe(x Vector) error {
+	if n.frozen {
+		return errors.New("vector: normalizer is frozen")
+	}
+	if len(x) != len(n.mean) {
+		return ErrDimensionMismatch
+	}
+	n.count++
+	for i, xi := range x {
+		delta := xi - n.mean[i]
+		n.mean[i] += delta / float64(n.count)
+		n.m2[i] += delta * (xi - n.mean[i])
+	}
+	return nil
+}
+
+// Fit observes every vector in sample, replacing any previous state.
+func (n *Normalizer) Fit(sample []Vector) error {
+	if len(sample) == 0 {
+		return errors.New("vector: empty sample")
+	}
+	dim := len(sample[0])
+	n.mean = New(dim)
+	n.m2 = New(dim)
+	n.count = 0
+	n.frozen = false
+	n.std = nil
+	for _, v := range sample {
+		if err := n.Observe(v); err != nil {
+			return err
+		}
+	}
+	n.Freeze()
+	return nil
+}
+
+// Freeze finalizes the statistics; after Freeze, Apply may be used.
+// Features with zero variance are given std 1 so they normalize to 0.
+func (n *Normalizer) Freeze() {
+	n.std = New(len(n.mean))
+	for i := range n.std {
+		if n.count > 1 {
+			n.std[i] = math.Sqrt(n.m2[i] / float64(n.count-1))
+		}
+		if n.std[i] == 0 {
+			n.std[i] = 1
+		}
+	}
+	n.frozen = true
+}
+
+// Count returns the number of observed records.
+func (n *Normalizer) Count() int { return n.count }
+
+// Mean returns a copy of the current per-feature mean.
+func (n *Normalizer) Mean() Vector { return n.mean.Clone() }
+
+// Std returns a copy of the per-feature standard deviation. It is only
+// valid after Freeze or Fit.
+func (n *Normalizer) Std() Vector {
+	if n.std == nil {
+		return nil
+	}
+	return n.std.Clone()
+}
+
+// Apply standardizes x in place: x_i = (x_i - mean_i) / std_i.
+func (n *Normalizer) Apply(x Vector) error {
+	if !n.frozen {
+		return errors.New("vector: normalizer not frozen; call Fit or Freeze first")
+	}
+	if len(x) != len(n.mean) {
+		return ErrDimensionMismatch
+	}
+	for i := range x {
+		x[i] = (x[i] - n.mean[i]) / n.std[i]
+	}
+	return nil
+}
+
+// ApplyCopy returns a standardized copy of x, leaving x untouched.
+func (n *Normalizer) ApplyCopy(x Vector) (Vector, error) {
+	out := x.Clone()
+	if err := n.Apply(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

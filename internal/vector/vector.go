@@ -1,0 +1,205 @@
+// Package vector provides dense float64 vector math used throughout the
+// stream clustering algorithms: element-wise arithmetic, Euclidean
+// distances, and feature normalization.
+//
+// All operations are allocation-conscious: the mutating variants (Add,
+// Scale, AXPY) work in place so that hot update loops in the clustering
+// algorithms do not allocate per record.
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two vectors of different lengths
+// are combined.
+var ErrDimensionMismatch = errors.New("vector: dimension mismatch")
+
+// Vector is a dense vector of float64 components.
+type Vector []float64
+
+// New returns a zero vector with dim components.
+func New(dim int) Vector {
+	return make(Vector, dim)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dim returns the number of components.
+func (v Vector) Dim() int { return len(v) }
+
+// Add adds other to v in place. The receiver is returned for chaining.
+func (v Vector) Add(other Vector) Vector {
+	for i := range v {
+		v[i] += other[i]
+	}
+	return v
+}
+
+// Sub subtracts other from v in place. The receiver is returned for chaining.
+func (v Vector) Sub(other Vector) Vector {
+	for i := range v {
+		v[i] -= other[i]
+	}
+	return v
+}
+
+// Scale multiplies every component of v by s in place.
+func (v Vector) Scale(s float64) Vector {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// AXPY computes v += a*x in place (the BLAS "axpy" primitive).
+func (v Vector) AXPY(a float64, x Vector) Vector {
+	for i := range v {
+		v[i] += a * x[i]
+	}
+	return v
+}
+
+// AddSquared adds the element-wise square of x to v in place. It is the
+// update primitive for CF2 (squared-sum) cluster feature vectors.
+func (v Vector) AddSquared(x Vector) Vector {
+	for i := range v {
+		v[i] += x[i] * x[i]
+	}
+	return v
+}
+
+// AddSquaredScaled adds a * x_i^2 element-wise to v in place.
+func (v Vector) AddSquaredScaled(a float64, x Vector) Vector {
+	for i := range v {
+		v[i] += a * x[i] * x[i]
+	}
+	return v
+}
+
+// Dot returns the inner product of v and other.
+func (v Vector) Dot(other Vector) float64 {
+	var sum float64
+	for i := range v {
+		sum += v[i] * other[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Sum returns the sum of all components.
+func (v Vector) Sum() float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}
+
+// Equal reports whether v and other have identical length and components.
+func (v Vector) Equal(other Vector) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	for i := range v {
+		if v[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether v and other differ by at most eps in every
+// component.
+func (v Vector) ApproxEqual(other Vector, eps float64) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-other[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+// It panics if dimensions differ; callers that accept untrusted input
+// should use CheckedSquaredDistance.
+func SquaredDistance(a, b Vector) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Distance returns the Euclidean distance between a and b.
+func Distance(a, b Vector) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// CheckedSquaredDistance is SquaredDistance with an explicit dimension
+// check instead of a runtime panic.
+func CheckedSquaredDistance(a, b Vector) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	return SquaredDistance(a, b), nil
+}
+
+// Mean returns the component-wise mean of vs. It returns a zero-length
+// vector when vs is empty.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		return Vector{}
+	}
+	out := New(len(vs[0]))
+	for _, v := range vs {
+		out.Add(v)
+	}
+	return out.Scale(1 / float64(len(vs)))
+}
+
+// WeightedMean returns the weighted component-wise mean of vs. Weights must
+// be the same length as vs and sum to a non-zero value.
+func WeightedMean(vs []Vector, weights []float64) (Vector, error) {
+	if len(vs) != len(weights) {
+		return nil, fmt.Errorf("vector: %d vectors but %d weights", len(vs), len(weights))
+	}
+	if len(vs) == 0 {
+		return Vector{}, nil
+	}
+	var total float64
+	out := New(len(vs[0]))
+	for i, v := range vs {
+		out.AXPY(weights[i], v)
+		total += weights[i]
+	}
+	if total == 0 {
+		return nil, errors.New("vector: weights sum to zero")
+	}
+	return out.Scale(1 / total), nil
+}
+
+// IsFinite reports whether every component is finite (not NaN or Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

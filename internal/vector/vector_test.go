@@ -1,0 +1,337 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(4)
+	if v.Dim() != 4 {
+		t.Fatalf("Dim() = %d, want 4", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("component %d = %v, want 0", i, x)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Errorf("mutating clone changed original: %v", v)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.Add(Vector{1, 1, 1})
+	if !v.Equal(Vector{2, 3, 4}) {
+		t.Errorf("Add: got %v", v)
+	}
+	v.Sub(Vector{2, 3, 4})
+	if !v.Equal(Vector{0, 0, 0}) {
+		t.Errorf("Sub: got %v", v)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Vector{1, -2, 0.5}
+	v.Scale(2)
+	if !v.Equal(Vector{2, -4, 1}) {
+		t.Errorf("Scale: got %v", v)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	v := Vector{1, 1}
+	v.AXPY(3, Vector{2, -1})
+	if !v.Equal(Vector{7, -2}) {
+		t.Errorf("AXPY: got %v", v)
+	}
+}
+
+func TestAddSquared(t *testing.T) {
+	v := Vector{0, 1}
+	v.AddSquared(Vector{3, -2})
+	if !v.Equal(Vector{9, 5}) {
+		t.Errorf("AddSquared: got %v", v)
+	}
+}
+
+func TestAddSquaredScaled(t *testing.T) {
+	v := Vector{0, 0}
+	v.AddSquaredScaled(0.5, Vector{2, 4})
+	if !v.Equal(Vector{2, 8}) {
+		t.Errorf("AddSquaredScaled: got %v", v)
+	}
+}
+
+func TestDotNormSum(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Dot(Vector{1, 2}); got != 11 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Sum(); got != 7 {
+		t.Errorf("Sum = %v, want 7", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a, b := Vector{0, 0}, Vector{3, 4}
+	if got := SquaredDistance(a, b); got != 25 {
+		t.Errorf("SquaredDistance = %v, want 25", got)
+	}
+	if got := Distance(a, b); got != 5 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+}
+
+func TestCheckedSquaredDistanceMismatch(t *testing.T) {
+	_, err := CheckedSquaredDistance(Vector{1}, Vector{1, 2})
+	if err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestMean(t *testing.T) {
+	got := Mean([]Vector{{0, 0}, {2, 4}})
+	if !got.Equal(Vector{1, 2}) {
+		t.Errorf("Mean = %v, want [1 2]", got)
+	}
+	if empty := Mean(nil); empty.Dim() != 0 {
+		t.Errorf("Mean(nil) = %v, want empty", empty)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]Vector{{0, 0}, {4, 4}}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Vector{1, 1}) {
+		t.Errorf("WeightedMean = %v, want [1 1]", got)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedMean([]Vector{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := WeightedMean([]Vector{{1}, {2}}, []float64{1, -1}); err == nil {
+		t.Error("expected zero-weight error")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vector{1, 2}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vector{math.Inf(1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := Vector{1, 2}
+	if !a.ApproxEqual(Vector{1.0001, 2}, 0.001) {
+		t.Error("expected approx equal")
+	}
+	if a.ApproxEqual(Vector{1.1, 2}, 0.001) {
+		t.Error("expected not approx equal")
+	}
+	if a.ApproxEqual(Vector{1}, 1) {
+		t.Error("different dims must not be approx equal")
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gen := func() Vector {
+		v := New(8)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 10
+		}
+		return v
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := gen(), gen(), gen()
+		if math.Abs(Distance(a, b)-Distance(b, a)) > 1e-9 {
+			t.Fatalf("distance not symmetric: %v vs %v", Distance(a, b), Distance(b, a))
+		}
+		if Distance(a, c) > Distance(a, b)+Distance(b, c)+1e-9 {
+			t.Fatalf("triangle inequality violated")
+		}
+		if Distance(a, a) != 0 {
+			t.Fatalf("d(a,a) != 0")
+		}
+	}
+}
+
+// Property: Add then Sub restores the original vector.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b []float64) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		va := Vector(a).Clone()
+		orig := va.Clone()
+		va.Add(b).Sub(b)
+		return va.ApproxEqual(orig, 1e-6*(1+orig.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Scale by s then 1/s restores the original (s != 0, finite).
+func TestScaleRoundTrip(t *testing.T) {
+	f := func(a []float64, s float64) bool {
+		if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) < 1e-6 || math.Abs(s) > 1e6 {
+			return true
+		}
+		v := Vector(a).Clone()
+		for i := range v {
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				v[i] = 0
+			}
+		}
+		orig := v.Clone()
+		v.Scale(s).Scale(1 / s)
+		return v.ApproxEqual(orig, 1e-6*(1+orig.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerFitApply(t *testing.T) {
+	sample := []Vector{{0, 10}, {2, 10}, {4, 10}}
+	n := NewNormalizer(2)
+	if err := n.Fit(sample); err != nil {
+		t.Fatal(err)
+	}
+	mean := n.Mean()
+	if !mean.ApproxEqual(Vector{2, 10}, 1e-9) {
+		t.Errorf("Mean = %v, want [2 10]", mean)
+	}
+	// Second feature has zero variance; std should default to 1.
+	std := n.Std()
+	if std[1] != 1 {
+		t.Errorf("zero-variance std = %v, want 1", std[1])
+	}
+	x := Vector{4, 10}
+	if err := n.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	if x[1] != 0 {
+		t.Errorf("constant feature normalized to %v, want 0", x[1])
+	}
+	if x[0] <= 0 {
+		t.Errorf("above-mean feature normalized to %v, want > 0", x[0])
+	}
+}
+
+func TestNormalizerStreamingMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sample := make([]Vector, 500)
+	for i := range sample {
+		sample[i] = Vector{rng.NormFloat64() * 3, rng.Float64() * 100}
+	}
+	batch := NewNormalizer(2)
+	if err := batch.Fit(sample); err != nil {
+		t.Fatal(err)
+	}
+	streaming := NewNormalizer(2)
+	for _, v := range sample {
+		if err := streaming.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streaming.Freeze()
+	if !batch.Mean().ApproxEqual(streaming.Mean(), 1e-9) {
+		t.Errorf("means differ: %v vs %v", batch.Mean(), streaming.Mean())
+	}
+	if !batch.Std().ApproxEqual(streaming.Std(), 1e-9) {
+		t.Errorf("stds differ: %v vs %v", batch.Std(), streaming.Std())
+	}
+}
+
+func TestNormalizerErrors(t *testing.T) {
+	n := NewNormalizer(2)
+	if err := n.Apply(Vector{1, 2}); err == nil {
+		t.Error("Apply before Freeze should error")
+	}
+	if err := n.Fit(nil); err == nil {
+		t.Error("Fit(nil) should error")
+	}
+	if err := n.Observe(Vector{1}); err == nil {
+		t.Error("Observe with wrong dim should error")
+	}
+	n2 := NewNormalizer(1)
+	if err := n2.Fit([]Vector{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Observe(Vector{3}); err == nil {
+		t.Error("Observe after Fit/Freeze should error")
+	}
+	if err := n2.Apply(Vector{1, 2}); err == nil {
+		t.Error("Apply with wrong dim should error")
+	}
+}
+
+// Property: after Fit+Apply on the sample itself, the sample mean is ~0 and
+// std is ~1 for features with variance.
+func TestNormalizerStandardizesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sample := make([]Vector, 1000)
+	for i := range sample {
+		sample[i] = Vector{rng.NormFloat64()*5 + 20}
+	}
+	n := NewNormalizer(1)
+	if err := n.Fit(sample); err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for _, v := range sample {
+		x, err := n.ApplyCopy(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += x[0]
+		sumSq += x[0] * x[0]
+	}
+	m := sum / float64(len(sample))
+	sd := math.Sqrt(sumSq/float64(len(sample)) - m*m)
+	if math.Abs(m) > 1e-9 {
+		t.Errorf("normalized mean = %v, want ~0", m)
+	}
+	if math.Abs(sd-1) > 0.01 {
+		t.Errorf("normalized std = %v, want ~1", sd)
+	}
+}
+
+func BenchmarkSquaredDistance54(b *testing.B) {
+	x, y := New(54), New(54)
+	for i := range x {
+		x[i], y[i] = float64(i), float64(i*2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SquaredDistance(x, y)
+	}
+}
