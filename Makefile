@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the pre-merge gate: static analysis plus the full suite under
+# the race detector.
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

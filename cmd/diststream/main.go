@@ -16,6 +16,7 @@
 //	batch-sweep   Figure 9 — throughput vs batch interval at p=32
 //	other-algos   Figure 10 — D-Stream and ClusTree scalability
 //	ablate        §V-A / §V-C design-choice ablations
+//	fault         kill a TCP worker mid-run; show recovery + determinism
 //	all           run everything at the default scale
 package main
 
@@ -91,9 +92,13 @@ func (o *options) algorithms() []string {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|all> [flags]")
+		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|fault|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "fault" {
+		// fault has its own flag set (cluster size, kill point, deadline).
+		return runFault(w, rest)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	var o options
 	o.bind(fs)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,8 +54,11 @@ func run(args []string) error {
 	}
 	fmt.Printf("mbsp-worker %d listening on %s\n", *id, worker.Addr())
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
+	// Serve until interrupted. Drivers tolerate a worker dying mid-run
+	// (tasks are re-dispatched onto surviving workers), so SIGTERM here
+	// is safe even with a pipeline in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
 	return worker.Close()
 }

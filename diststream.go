@@ -19,12 +19,19 @@
 //	stats, err := pl.Run(source)
 //	clustering, err := pl.Offline()
 //
+// Runs can be cancelled or bounded with a context:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	stats, err := pl.RunContext(ctx, source)
+//
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package diststream
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"diststream/internal/clustream"
 	"diststream/internal/clustree"
@@ -76,6 +83,26 @@ const (
 	OrderUnordered = core.OrderUnordered
 )
 
+// RPCOptions tunes the TCP executor's fault tolerance (TCP mode only;
+// ignored for the in-process executor). Zero-valued fields take the
+// documented defaults.
+type RPCOptions struct {
+	// DialTimeout bounds each TCP connection attempt to a worker.
+	// Default 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds each task/broadcast round trip; a worker that
+	// stalls past it fails that attempt and the call is retried on a
+	// fresh connection. Default 30s; negative disables the deadline.
+	CallTimeout time.Duration
+	// MaxRetries is the number of extra attempts (each with a reconnect)
+	// a call gets before its worker is declared lost and the worker's
+	// tasks are re-dispatched onto the survivors. Default 2.
+	MaxRetries int
+	// Backoff is the sleep before the first retry, doubling on each
+	// subsequent one. Default 50ms.
+	Backoff time.Duration
+}
+
 // Options configures a System.
 type Options struct {
 	// Parallelism is the number of workers (the paper's parallelism
@@ -85,6 +112,8 @@ type Options struct {
 	// with cmd/mbsp-worker or rpcexec.NewWorker) instead of in-process
 	// goroutines. Parallelism is then len(WorkerAddrs).
 	WorkerAddrs []string
+	// RPC tunes timeouts, retries and backoff for the TCP executor.
+	RPC RPCOptions
 }
 
 // System owns the execution engine and the algorithm registry. Create one
@@ -110,7 +139,12 @@ func New(opts Options) (*System, error) {
 	var exec mbsp.Executor
 	if len(opts.WorkerAddrs) > 0 {
 		RegisterWireTypes()
-		exec, err = rpcexec.Dial(opts.WorkerAddrs)
+		exec, err = rpcexec.DialConfig(opts.WorkerAddrs, rpcexec.Config{
+			DialTimeout: opts.RPC.DialTimeout,
+			CallTimeout: opts.RPC.CallTimeout,
+			MaxRetries:  opts.RPC.MaxRetries,
+			Backoff:     opts.RPC.Backoff,
+		})
 		if err != nil {
 			return nil, err
 		}

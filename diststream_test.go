@@ -1,7 +1,10 @@
 package diststream_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"diststream"
 	"diststream/internal/core"
@@ -186,5 +189,154 @@ func TestMaxBatchSecondsFacade(t *testing.T) {
 	}
 	if _, err := diststream.MaxBatchSeconds(0, 0); err == nil {
 		t.Error("invalid params accepted")
+	}
+}
+
+// startFacadeCluster boots a TCP cluster whose workers mirror the facade's
+// registries, for fault-tolerance tests against the public API.
+func startFacadeCluster(t *testing.T, n int) ([]*rpcexec.Worker, []string) {
+	t.Helper()
+	diststream.RegisterWireTypes()
+	algos, err := diststream.NewAlgorithmRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mbsp.NewRegistry()
+	if err := core.RegisterOps(reg, algos); err != nil {
+		t.Fatal(err)
+	}
+	workers, addrs, err := rpcexec.StartLocalCluster(n, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	})
+	return workers, addrs
+}
+
+type facadeRunResult struct {
+	stats       diststream.RunStats
+	modelLen    int
+	modelWeight float64
+}
+
+// runFacadeTCP runs a CluStream pipeline over a fresh 3-worker TCP
+// cluster; with kill set, one worker crashes at the start of batch 3.
+func runFacadeTCP(t *testing.T, kill bool) facadeRunResult {
+	t.Helper()
+	workers, addrs := startFacadeCluster(t, 3)
+	sys, err := diststream.New(diststream.Options{
+		WorkerAddrs: addrs,
+		RPC: diststream.RPCOptions{
+			CallTimeout: 10 * time.Second,
+			MaxRetries:  1,
+			Backoff:     10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	algo, err := sys.NewCluStream(diststream.CluStreamOptions{
+		Dim:              4,
+		MaxMicroClusters: 20,
+		NumMacro:         2,
+		NewRadius:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := 0
+	pl, err := sys.NewPipeline(algo, diststream.PipelineOptions{
+		BatchSeconds: 1,
+		InitRecords:  100,
+		OnBatch: func(stream.Batch, *diststream.Model) error {
+			batches++
+			if kill && batches == 2 {
+				// Crash the worker on its next task: the driver must
+				// re-dispatch onto the two survivors mid-run.
+				workers[2].SetFault(func(string, int) (rpcexec.Fault, time.Duration) {
+					return rpcexec.FaultCrash, 0
+				})
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.RunContext(context.Background(), stream.NewSliceSource(blobStream(1200, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return facadeRunResult{
+		stats:       stats,
+		modelLen:    pl.Model().Len(),
+		modelWeight: pl.Model().TotalWeight(),
+	}
+}
+
+// The ISSUE acceptance scenario: a TCP pipeline run survives one worker
+// killed mid-run, produces clustering identical to an undisturbed run, and
+// reports the retries in RunStats.
+func TestFacadeSurvivesWorkerCrashIdenticalClustering(t *testing.T) {
+	clean := runFacadeTCP(t, false)
+	injured := runFacadeTCP(t, true)
+	if injured.stats.Records != clean.stats.Records || injured.stats.Batches != clean.stats.Batches {
+		t.Errorf("injured run processed %d records / %d batches, clean %d / %d",
+			injured.stats.Records, injured.stats.Batches, clean.stats.Records, clean.stats.Batches)
+	}
+	if injured.modelLen != clean.modelLen || injured.modelWeight != clean.modelWeight {
+		t.Errorf("models diverged: injured %d clusters / weight %v, clean %d / %v",
+			injured.modelLen, injured.modelWeight, clean.modelLen, clean.modelWeight)
+	}
+	if clean.stats.TaskRetries != 0 || clean.stats.LostWorkers != 0 {
+		t.Errorf("clean run reported %d retries, %d lost workers", clean.stats.TaskRetries, clean.stats.LostWorkers)
+	}
+	if injured.stats.TaskRetries < 1 {
+		t.Errorf("injured run reported no retries: %+v", injured.stats)
+	}
+	if injured.stats.LostWorkers != 1 {
+		t.Errorf("LostWorkers = %d, want 1", injured.stats.LostWorkers)
+	}
+}
+
+func TestFacadeRunContextCancelStopsWithinOneBatch(t *testing.T) {
+	sys, err := diststream.New(diststream.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	algo, err := sys.NewCluStream(diststream.CluStreamOptions{
+		Dim:              4,
+		MaxMicroClusters: 20,
+		NumMacro:         2,
+		NewRadius:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pl, err := sys.NewPipeline(algo, diststream.PipelineOptions{
+		BatchSeconds: 1,
+		InitRecords:  100,
+		OnBatch: func(stream.Batch, *diststream.Model) error {
+			cancel()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.RunContext(ctx, stream.NewSliceSource(blobStream(2000, 4)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Batches != 1 {
+		t.Errorf("Batches = %d, want 1 (cancel honored within one batch)", stats.Batches)
 	}
 }

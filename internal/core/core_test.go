@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -205,6 +206,13 @@ func (s *toySnapshot) Len() int { return len(s.mcs) }
 
 func newToyEngine(t testing.TB, p int) *mbsp.Engine {
 	t.Helper()
+	return newToyEngineCfg(t, mbsp.LocalConfig{Parallelism: p})
+}
+
+// newToyEngineCfg builds a toy-algorithm engine over a local executor with
+// explicit fault-injection settings (cfg.Registry is filled in here).
+func newToyEngineCfg(t testing.TB, cfg mbsp.LocalConfig) *mbsp.Engine {
+	t.Helper()
 	reg := mbsp.NewRegistry()
 	algos := NewAlgorithmRegistry()
 	if err := algos.Register("toy", func(params Params) (Algorithm, error) {
@@ -219,7 +227,8 @@ func newToyEngine(t testing.TB, p int) *mbsp.Engine {
 	if err := RegisterOps(reg, algos); err != nil {
 		t.Fatal(err)
 	}
-	exec, err := mbsp.NewLocalExecutor(mbsp.LocalConfig{Parallelism: p, Registry: reg})
+	cfg.Registry = reg
+	exec, err := mbsp.NewLocalExecutor(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -905,5 +914,111 @@ func TestPipelineAdaptiveBatchSizing(t *testing.T) {
 	// Adaptation reduces batch count versus the fixed 1s interval.
 	if stats.Batches >= 390 {
 		t.Errorf("batches = %d; interval never grew", stats.Batches)
+	}
+}
+
+func TestRunContextCancelStopsBetweenBatches(t *testing.T) {
+	eng := newToyEngine(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   50,
+		OnBatch: func(stream.Batch, *Model) error {
+			cancel() // first processed batch cancels the run
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.RunContext(ctx, stream.NewSliceSource(twoBlobStream(2000, 100)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Batches != 1 {
+		t.Errorf("Batches = %d, want 1 (stop within one batch of the cancel)", stats.Batches)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	eng := newToyEngine(t, 2)
+	pl, err := NewPipeline(Config{Algorithm: newToyAlgo(), Engine: eng, BatchInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := pl.RunContext(ctx, stream.NewSliceSource(twoBlobStream(100, 100)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Batches != 0 || stats.Records != 0 {
+		t.Errorf("stats = %+v, want untouched", stats)
+	}
+}
+
+func TestRunStatsSurfaceTaskRetries(t *testing.T) {
+	// Fail the first attempt of assign task 0 in every batch; with one
+	// engine-level retry the run must succeed and report the retries.
+	eng := newToyEngineCfg(t, mbsp.LocalConfig{
+		Parallelism: 2,
+		TaskRetries: 1,
+		Fail: func(stage string, taskID, attempt int) error {
+			if stage == "assign" && taskID == 0 && attempt == 0 {
+				return errors.New("injected transient failure")
+			}
+			return nil
+		},
+	})
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(twoBlobStream(1000, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TaskRetries < 1 {
+		t.Errorf("TaskRetries = %d, want >= 1", stats.TaskRetries)
+	}
+	if stats.FailedStages != 0 {
+		t.Errorf("FailedStages = %d, want 0", stats.FailedStages)
+	}
+}
+
+func TestRunStatsSurfaceFailedStages(t *testing.T) {
+	// A permanent failure with no retries budget fails the stage; the
+	// failure must be visible in the stats even though Run errors out.
+	eng := newToyEngineCfg(t, mbsp.LocalConfig{
+		Parallelism: 2,
+		Fail: func(stage string, _, _ int) error {
+			if stage == "local-update" {
+				return errors.New("injected permanent failure")
+			}
+			return nil
+		},
+	})
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        eng,
+		BatchInterval: 1,
+		InitRecords:   50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(stream.NewSliceSource(twoBlobStream(1000, 100))); err == nil {
+		t.Fatal("expected run failure")
+	}
+	if got := pl.Stats().FailedStages; got != 1 {
+		t.Errorf("FailedStages = %d, want 1", got)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -91,6 +92,17 @@ type RunStats struct {
 	TotalWall      time.Duration
 	// StragglerTasks and TotalTasks aggregate over all parallel stages.
 	StragglerTasks, TotalTasks int
+	// TaskRetries counts task re-executions across all parallel stages:
+	// op-level retries on the local executor, transport retries and
+	// re-dispatches after worker loss on the TCP executor. A fault-free
+	// run reports 0.
+	TaskRetries int
+	// FailedStages counts parallel stage executions that returned an
+	// error (the run then aborted, unless the executor recovered).
+	FailedStages int
+	// LostWorkers counts workers declared permanently lost during the
+	// run (TCP executor only): the run degraded onto the survivors.
+	LostWorkers int
 	// AdaptiveAdjustments counts batch-interval changes made by the
 	// adaptive controller; FinalBatchSeconds is the interval it settled
 	// on (0 when adaptation is off).
@@ -175,14 +187,28 @@ func (p *Pipeline) Offline() (*Clustering, error) {
 }
 
 // Run consumes the source to exhaustion, cutting it into mini-batches of
-// the configured interval and processing each.
+// the configured interval and processing each. It is RunContext with a
+// background context; prefer RunContext when the caller needs to cancel
+// or bound a streaming run.
 func (p *Pipeline) Run(src stream.Source) (RunStats, error) {
+	return p.RunContext(context.Background(), src)
+}
+
+// RunContext is Run under a context: cancelling ctx (or hitting its
+// deadline) stops the run between batches — and interrupts in-flight
+// worker calls on executors that support it — returning the context's
+// error with the statistics accumulated so far.
+func (p *Pipeline) RunContext(ctx context.Context, src stream.Source) (RunStats, error) {
 	start := time.Now()
 	batcher, err := stream.NewBatcher(src, p.cfg.BatchInterval)
 	if err != nil {
 		return p.stats, err
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			p.stats.TotalWall = time.Since(start)
+			return p.stats, err
+		}
 		batch, err := batcher.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -190,7 +216,7 @@ func (p *Pipeline) Run(src stream.Source) (RunStats, error) {
 		if err != nil {
 			return p.stats, err
 		}
-		if err := p.ProcessBatch(batch); err != nil {
+		if err := p.ProcessBatchContext(ctx, batch); err != nil {
 			return p.stats, err
 		}
 		if p.cfg.Adaptive != nil {
@@ -215,6 +241,12 @@ func (p *Pipeline) Run(src stream.Source) (RunStats, error) {
 // Records consumed by warm-up initialization do not flow through the
 // parallel stages.
 func (p *Pipeline) ProcessBatch(batch stream.Batch) error {
+	return p.ProcessBatchContext(context.Background(), batch)
+}
+
+// ProcessBatchContext is ProcessBatch under a context, which bounds the
+// batch's broadcasts and parallel stages.
+func (p *Pipeline) ProcessBatchContext(ctx context.Context, batch stream.Batch) error {
 	records := batch.Records
 	if !p.initialized {
 		var err error
@@ -229,7 +261,7 @@ func (p *Pipeline) ProcessBatch(batch stream.Batch) error {
 	p.stats.Batches++
 	p.stats.Records += len(records)
 
-	if err := p.broadcastBatchState(); err != nil {
+	if err := p.broadcastBatchState(ctx); err != nil {
 		return err
 	}
 
@@ -243,8 +275,9 @@ func (p *Pipeline) ProcessBatch(batch stream.Batch) error {
 		return err
 	}
 	assignStart := time.Now()
-	keyed, err := p.cfg.Engine.MapStage("assign", OpAssign, parts)
+	keyed, err := p.cfg.Engine.MapStage(ctx, "assign", OpAssign, parts)
 	if err != nil {
+		p.accountEngineMetrics()
 		return fmt.Errorf("core: assign stage: %w", err)
 	}
 	p.stats.Assign.Wall += time.Since(assignStart)
@@ -261,8 +294,9 @@ func (p *Pipeline) ProcessBatch(batch stream.Batch) error {
 
 	// Step 2: model-parallel local update (§V-B).
 	localStart := time.Now()
-	updateParts, err := p.cfg.Engine.MapStage("local-update", OpLocalUpdate, grouped)
+	updateParts, err := p.cfg.Engine.MapStage(ctx, "local-update", OpLocalUpdate, grouped)
 	if err != nil {
+		p.accountEngineMetrics()
 		return fmt.Errorf("core: local-update stage: %w", err)
 	}
 	p.stats.LocalUpdate.Wall += time.Since(localStart)
@@ -289,7 +323,7 @@ func (p *Pipeline) ProcessBatch(batch stream.Batch) error {
 	p.model.SetNow(batch.End)
 
 	p.accountUpdates(updates)
-	p.accountStragglers()
+	p.accountEngineMetrics()
 
 	if p.cfg.OnBatch != nil {
 		if err := p.cfg.OnBatch(batch, p.model); err != nil {
@@ -344,9 +378,9 @@ func (p *Pipeline) runInit() error {
 
 // broadcastBatchState ships the frozen model snapshot (every batch) and
 // the task config (once) to the workers.
-func (p *Pipeline) broadcastBatchState() error {
+func (p *Pipeline) broadcastBatchState(ctx context.Context) error {
 	snap := p.cfg.Algorithm.NewSnapshot(p.model.CloneList())
-	if err := p.cfg.Engine.Broadcast(BroadcastModel, snap); err != nil {
+	if err := p.cfg.Engine.Broadcast(ctx, BroadcastModel, snap); err != nil {
 		return fmt.Errorf("core: broadcast model: %w", err)
 	}
 	if p.configSent {
@@ -358,7 +392,7 @@ func (p *Pipeline) broadcastBatchState() error {
 		PreMerge:      !p.cfg.DisablePreMerge,
 		OutlierGroups: uint64(p.cfg.Engine.Parallelism()),
 	}
-	if err := p.cfg.Engine.Broadcast(BroadcastConfig, cfg); err != nil {
+	if err := p.cfg.Engine.Broadcast(ctx, BroadcastConfig, cfg); err != nil {
 		return fmt.Errorf("core: broadcast config: %w", err)
 	}
 	p.configSent = true
@@ -390,12 +424,21 @@ func (p *Pipeline) accountUpdates(updates []Update) {
 	}
 }
 
-func (p *Pipeline) accountStragglers() {
+func (p *Pipeline) accountEngineMetrics() {
 	// Fold the engine's per-stage task metrics into run totals, then
-	// clear them so the next batch starts fresh.
+	// clear them so the next batch starts fresh. Runs on the error path
+	// too, so failed stages and the retries leading up to a failure still
+	// show in the stats.
 	for _, sm := range p.cfg.Engine.Metrics() {
 		p.stats.StragglerTasks += sm.Stragglers()
 		p.stats.TotalTasks += len(sm.Tasks)
+		p.stats.TaskRetries += sm.Retries()
+		if sm.Failed {
+			p.stats.FailedStages++
+		}
 	}
 	p.cfg.Engine.ResetMetrics()
+	// Worker losses can be detected on the broadcast path too, so this is
+	// a level (not a delta): recompute it whenever metrics are folded.
+	p.stats.LostWorkers = p.cfg.Engine.Parallelism() - p.cfg.Engine.AliveWorkers()
 }

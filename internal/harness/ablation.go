@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -229,7 +230,7 @@ func RunParallelismChoiceAblation(records, microClusters, dim, parallelism int, 
 	}
 
 	// --- record-based run ---
-	if err := eng.Broadcast("centers", centers); err != nil {
+	if err := eng.Broadcast(context.Background(), "centers", centers); err != nil {
 		return nil, err
 	}
 	items := make([]mbsp.Item, len(recs))
@@ -241,13 +242,13 @@ func RunParallelismChoiceAblation(records, microClusters, dim, parallelism int, 
 		return nil, err
 	}
 	startRB := time.Now()
-	if _, err := eng.MapStage("ablate-rb", "ablate.record-based", parts); err != nil {
+	if _, err := eng.MapStage(context.Background(), "ablate-rb", "ablate.record-based", parts); err != nil {
 		return nil, err
 	}
 	recordBased := time.Since(startRB)
 
 	// --- model-based run ---
-	if err := eng.Broadcast("records", recs); err != nil {
+	if err := eng.Broadcast(context.Background(), "records", recs); err != nil {
 		return nil, err
 	}
 	centerItems := make([]mbsp.Item, len(centers))
@@ -259,7 +260,7 @@ func RunParallelismChoiceAblation(records, microClusters, dim, parallelism int, 
 		return nil, err
 	}
 	startMB := time.Now()
-	partials, err := eng.MapStage("ablate-mb", "ablate.model-based", centerParts)
+	partials, err := eng.MapStage(context.Background(), "ablate-mb", "ablate.model-based", centerParts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package mbsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,18 +28,33 @@ func NewEngine(exec Executor) (*Engine, error) {
 // Parallelism returns the executor's worker count.
 func (e *Engine) Parallelism() int { return e.exec.Parallelism() }
 
+// AliveWorkers returns how many workers are still serving tasks, for
+// executors that track losses (the TCP executor); others report full
+// strength.
+func (e *Engine) AliveWorkers() int {
+	if a, ok := e.exec.(interface{ AliveWorkers() int }); ok {
+		return a.AliveWorkers()
+	}
+	return e.exec.Parallelism()
+}
+
 // Broadcast publishes a value to all workers under id.
-func (e *Engine) Broadcast(id string, v Item) error { return e.exec.Broadcast(id, v) }
+func (e *Engine) Broadcast(ctx context.Context, id string, v Item) error {
+	return e.exec.Broadcast(ctx, id, v)
+}
 
 // MapStage runs the named op over every input partition in parallel and
-// returns the per-partition outputs, recording stage metrics.
-func (e *Engine) MapStage(stage, op string, inputs []Partition) ([]Partition, error) {
+// returns the per-partition outputs, recording stage metrics. A failed
+// stage still appends its metrics, marked Failed, so callers can account
+// for partial work and retries before the error surfaced.
+func (e *Engine) MapStage(ctx context.Context, stage, op string, inputs []Partition) ([]Partition, error) {
 	start := time.Now()
-	outputs, taskMetrics, err := e.exec.RunTasks(stage, op, inputs)
+	outputs, taskMetrics, err := e.exec.RunTasks(ctx, stage, op, inputs)
 	e.metrics = append(e.metrics, StageMetrics{
-		Stage: stage,
-		Tasks: taskMetrics,
-		Wall:  time.Since(start),
+		Stage:  stage,
+		Tasks:  taskMetrics,
+		Wall:   time.Since(start),
+		Failed: err != nil,
 	})
 	if err != nil {
 		return nil, err

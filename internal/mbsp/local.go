@@ -1,6 +1,7 @@
 package mbsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -14,6 +15,13 @@ import (
 // contended cluster deterministically.
 type DelayFunc func(stage string, taskID, workerID int) time.Duration
 
+// FailFunc injects artificial task failures; it receives the stage, task
+// id and attempt number and returns a non-nil error to make that attempt
+// fail before the op body runs. Combined with TaskRetries it makes
+// worker-crash recovery testable in-process: fail attempt 0, let the
+// retry succeed, and assert the retry count in the task metrics.
+type FailFunc func(stage string, taskID, attempt int) error
+
 // LocalConfig configures a LocalExecutor.
 type LocalConfig struct {
 	// Parallelism is the number of worker goroutines (the paper's p).
@@ -22,6 +30,8 @@ type LocalConfig struct {
 	Registry *Registry
 	// Delay optionally injects straggler latency.
 	Delay DelayFunc
+	// Fail optionally injects task failures (see FailFunc).
+	Fail FailFunc
 	// TaskRetries re-runs a failed task up to this many additional times
 	// before failing the stage — the engine-level analogue of Spark
 	// Streaming's task re-execution, which the paper relies on for fault
@@ -57,12 +67,15 @@ func NewLocalExecutor(cfg LocalConfig) (*LocalExecutor, error) {
 func (e *LocalExecutor) Parallelism() int { return e.cfg.Parallelism }
 
 // Broadcast implements Executor.
-func (e *LocalExecutor) Broadcast(id string, value Item) error {
+func (e *LocalExecutor) Broadcast(ctx context.Context, id string, value Item) error {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if id == "" {
 		return errors.New("mbsp: empty broadcast id")
@@ -75,7 +88,7 @@ func (e *LocalExecutor) Broadcast(id string, value Item) error {
 // (task i runs on worker i%p); outputs are returned in input order. The
 // call blocks until every task finishes (a synchronous stage barrier,
 // matching the paper's synchronous update protocol).
-func (e *LocalExecutor) RunTasks(stage, op string, inputs []Partition) ([]Partition, []TaskMetrics, error) {
+func (e *LocalExecutor) RunTasks(ctx context.Context, stage, op string, inputs []Partition) ([]Partition, []TaskMetrics, error) {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -99,13 +112,16 @@ func (e *LocalExecutor) RunTasks(stage, op string, inputs []Partition) ([]Partit
 		go func() {
 			defer wg.Done()
 			for task := w; task < n; task += p {
+				if ctx.Err() != nil {
+					return
+				}
 				start := time.Now()
 				if e.cfg.Delay != nil {
 					if d := e.cfg.Delay(stage, task, w); d > 0 {
 						time.Sleep(d)
 					}
 				}
-				ctx := &TaskContext{
+				tctx := &TaskContext{
 					StageName:  stage,
 					TaskID:     task,
 					WorkerID:   w,
@@ -114,11 +130,18 @@ func (e *LocalExecutor) RunTasks(stage, op string, inputs []Partition) ([]Partit
 				var out Partition
 				var err error
 				for attempt := 0; ; attempt++ {
-					out, err = fn(ctx, inputs[task])
-					if err == nil || attempt >= e.cfg.TaskRetries {
+					tctx.Attempt = attempt
+					if e.cfg.Fail != nil {
+						err = e.cfg.Fail(stage, task, attempt)
+					} else {
+						err = nil
+					}
+					if err == nil {
+						out, err = fn(tctx, inputs[task])
+					}
+					if err == nil || attempt >= e.cfg.TaskRetries || ctx.Err() != nil {
 						break
 					}
-					ctx.Attempt = attempt + 1
 				}
 				if err != nil {
 					errs[task] = &TaskError{Stage: stage, TaskID: task, Err: err}
@@ -132,11 +155,15 @@ func (e *LocalExecutor) RunTasks(stage, op string, inputs []Partition) ([]Partit
 					Duration: time.Since(start),
 					InItems:  len(inputs[task]),
 					OutItems: len(out),
+					Retries:  tctx.Attempt,
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, metrics, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, metrics, err

@@ -1,6 +1,7 @@
 package mbsp
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync/atomic"
@@ -97,7 +98,7 @@ func TestRegistry(t *testing.T) {
 func TestLocalExecutorBasicMap(t *testing.T) {
 	reg := newTestRegistry(t)
 	exec := newLocal(t, 4, reg)
-	outputs, metrics, err := exec.RunTasks("s1", "double", intParts([]int{1, 2}, []int{3}, nil, []int{4, 5, 6}))
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s1", "double", intParts([]int{1, 2}, []int{3}, nil, []int{4, 5, 6}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,10 +132,10 @@ func TestLocalExecutorBasicMap(t *testing.T) {
 func TestLocalExecutorBroadcast(t *testing.T) {
 	reg := newTestRegistry(t)
 	exec := newLocal(t, 2, reg)
-	if err := exec.Broadcast("offset", 100); err != nil {
+	if err := exec.Broadcast(context.Background(), "offset", 100); err != nil {
 		t.Fatal(err)
 	}
-	outputs, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}, []int{2}))
+	outputs, _, err := exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}, []int{2}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,17 +143,17 @@ func TestLocalExecutorBroadcast(t *testing.T) {
 		t.Errorf("outputs = %v", outputs)
 	}
 	// Re-broadcast replaces.
-	if err := exec.Broadcast("offset", 200); err != nil {
+	if err := exec.Broadcast(context.Background(), "offset", 200); err != nil {
 		t.Fatal(err)
 	}
-	outputs, _, err = exec.RunTasks("s", "add-broadcast", intParts([]int{1}))
+	outputs, _, err = exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if outputs[0][0].(int) != 201 {
 		t.Errorf("after rebroadcast: %v", outputs[0][0])
 	}
-	if err := exec.Broadcast("", 1); err == nil {
+	if err := exec.Broadcast(context.Background(), "", 1); err == nil {
 		t.Error("empty broadcast id accepted")
 	}
 }
@@ -160,7 +161,7 @@ func TestLocalExecutorBroadcast(t *testing.T) {
 func TestLocalExecutorMissingBroadcast(t *testing.T) {
 	reg := newTestRegistry(t)
 	exec := newLocal(t, 1, reg)
-	_, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}))
+	_, _, err := exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}))
 	if err == nil || !errors.Is(err, ErrNoBroadcast) {
 		t.Errorf("err = %v, want ErrNoBroadcast", err)
 	}
@@ -175,7 +176,7 @@ func TestLocalExecutorMissingBroadcast(t *testing.T) {
 func TestLocalExecutorTaskFailure(t *testing.T) {
 	reg := newTestRegistry(t)
 	exec := newLocal(t, 2, reg)
-	_, _, err := exec.RunTasks("s", "fail", intParts([]int{1}, []int{2}))
+	_, _, err := exec.RunTasks(context.Background(), "s", "fail", intParts([]int{1}, []int{2}))
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -188,7 +189,7 @@ func TestLocalExecutorTaskFailure(t *testing.T) {
 func TestLocalExecutorUnknownOp(t *testing.T) {
 	reg := newTestRegistry(t)
 	exec := newLocal(t, 1, reg)
-	if _, _, err := exec.RunTasks("s", "nope", nil); !errors.Is(err, ErrUnknownOp) {
+	if _, _, err := exec.RunTasks(context.Background(), "s", "nope", nil); !errors.Is(err, ErrUnknownOp) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -202,10 +203,10 @@ func TestLocalExecutorClosed(t *testing.T) {
 	if err := exec.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := exec.RunTasks("s", "double", nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := exec.RunTasks(context.Background(), "s", "double", nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("RunTasks after close = %v", err)
 	}
-	if err := exec.Broadcast("x", 1); !errors.Is(err, ErrClosed) {
+	if err := exec.Broadcast(context.Background(), "x", 1); !errors.Is(err, ErrClosed) {
 		t.Errorf("Broadcast after close = %v", err)
 	}
 }
@@ -239,7 +240,7 @@ func TestLocalExecutorParallelismActuallyConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer exec.Close()
-	if _, _, err := exec.RunTasks("s", "slow", intParts([]int{1}, []int{2}, []int{3}, []int{4})); err != nil {
+	if _, _, err := exec.RunTasks(context.Background(), "s", "slow", intParts([]int{1}, []int{2}, []int{3}, []int{4})); err != nil {
 		t.Fatal(err)
 	}
 	if peak.Load() < 2 {
@@ -286,7 +287,7 @@ func TestEngineMapStageAndMetrics(t *testing.T) {
 	if eng.Parallelism() != 2 {
 		t.Errorf("Parallelism = %d", eng.Parallelism())
 	}
-	out, err := eng.MapStage("assign", "double", intParts([]int{1, 2}, []int{3}))
+	out, err := eng.MapStage(context.Background(), "assign", "double", intParts([]int{1, 2}, []int{3}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -510,7 +511,7 @@ func TestDelayInjectionProducesStragglers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.MapStage("s", "double", intParts([]int{1}, []int{2}, []int{3}, []int{4})); err != nil {
+	if _, err := eng.MapStage(context.Background(), "s", "double", intParts([]int{1}, []int{2}, []int{3}, []int{4})); err != nil {
 		t.Fatal(err)
 	}
 	ms := eng.Metrics()
@@ -534,7 +535,7 @@ func TestTaskRetriesRecoverTransientFailures(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer exec.Close()
-	out, _, err := exec.RunTasks("s", "flaky", intParts([]int{7}))
+	out, _, err := exec.RunTasks(context.Background(), "s", "flaky", intParts([]int{7}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -543,6 +544,92 @@ func TestTaskRetriesRecoverTransientFailures(t *testing.T) {
 	}
 	if calls.Load() != 3 {
 		t.Errorf("calls = %d, want 3 (two failures + success)", calls.Load())
+	}
+}
+
+func TestFailInjectionRecordsRetries(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec, err := NewLocalExecutor(LocalConfig{
+		Parallelism: 2,
+		Registry:    reg,
+		TaskRetries: 2,
+		Fail: func(_ string, taskID, attempt int) error {
+			if taskID == 1 && attempt == 0 {
+				return errors.New("injected crash")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s", "double", intParts([]int{1}, []int{2}, []int{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[1][0].(int) != 4 {
+		t.Errorf("outputs = %v", outputs)
+	}
+	if metrics[0].Retries != 0 || metrics[1].Retries != 1 || metrics[2].Retries != 0 {
+		t.Errorf("retries = %d,%d,%d; want 0,1,0", metrics[0].Retries, metrics[1].Retries, metrics[2].Retries)
+	}
+}
+
+func TestLocalExecutorContextCancel(t *testing.T) {
+	reg := NewRegistry()
+	started := make(chan struct{}, 8)
+	reg.MustRegister("slow", func(_ *TaskContext, in Partition) (Partition, error) {
+		started <- struct{}{}
+		time.Sleep(20 * time.Millisecond)
+		return in, nil
+	})
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, _, err = exec.RunTasks(ctx, "s", "slow", intParts([]int{1}, []int{2}, []int{3}, []int{4}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineRecordsFailedStage(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 2, reg)
+	eng, err := NewEngine(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.MapStage(context.Background(), "bad", "fail", intParts([]int{1})); err == nil {
+		t.Fatal("expected stage failure")
+	}
+	ms := eng.Metrics()
+	if len(ms) != 1 || !ms[0].Failed {
+		t.Fatalf("metrics = %+v, want one failed stage", ms)
+	}
+	if _, err := eng.MapStage(context.Background(), "good", "double", intParts([]int{1})); err != nil {
+		t.Fatal(err)
+	}
+	ms = eng.Metrics()
+	if len(ms) != 2 || ms[1].Failed {
+		t.Fatalf("metrics = %+v, want second stage not failed", ms)
+	}
+}
+
+func TestStageMetricsRetries(t *testing.T) {
+	s := StageMetrics{Tasks: []TaskMetrics{{Retries: 2}, {}, {Retries: 1}}}
+	if got := s.Retries(); got != 3 {
+		t.Errorf("Retries = %d, want 3", got)
+	}
+	if got := (StageMetrics{}).Retries(); got != 0 {
+		t.Errorf("empty Retries = %d", got)
 	}
 }
 
@@ -558,7 +645,7 @@ func TestTaskRetriesExhausted(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer exec.Close()
-	if _, _, err := exec.RunTasks("s", "always-fails", intParts([]int{1})); err == nil {
+	if _, _, err := exec.RunTasks(context.Background(), "s", "always-fails", intParts([]int{1})); err == nil {
 		t.Fatal("expected failure after retries exhausted")
 	}
 	if calls.Load() != 3 {

@@ -1,42 +1,202 @@
 package rpcexec
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"diststream/internal/mbsp"
 )
 
+// Default fault-tolerance parameters, used by Dial and wherever a Config
+// field is left zero.
+const (
+	// DefaultDialTimeout bounds one TCP connection attempt to a worker.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultCallTimeout bounds one request/response round trip. A worker
+	// that stalls past it is treated as failed for that attempt.
+	DefaultCallTimeout = 30 * time.Second
+	// DefaultMaxRetries is how many extra attempts (with reconnect) a
+	// single call gets before its worker is declared lost.
+	DefaultMaxRetries = 2
+	// DefaultBackoff is the sleep before the first retry; it doubles on
+	// each subsequent one.
+	DefaultBackoff = 50 * time.Millisecond
+)
+
+// Config tunes the TCP executor's fault tolerance. The zero value of any
+// field selects its default; CallTimeout can be set negative to disable
+// the per-call deadline entirely (useful under a debugger).
+type Config struct {
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds each request/response round trip; on expiry the
+	// connection is torn down and the call retried. Default 30s; negative
+	// disables.
+	CallTimeout time.Duration
+	// MaxRetries is the number of extra attempts per call, each preceded
+	// by a reconnect, before the worker is declared lost and its tasks
+	// re-dispatched. Default 2.
+	MaxRetries int
+	// Backoff is the sleep before the first retry, doubling each attempt.
+	// Default 50ms.
+	Backoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = DefaultCallTimeout
+	}
+	if c.CallTimeout < 0 {
+		c.CallTimeout = 0
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Backoff == 0 {
+		c.Backoff = DefaultBackoff
+	}
+	return c
+}
+
+// Fault-tolerance errors.
+var (
+	// ErrWorkerLost marks a worker that failed a call even after retries
+	// and reconnects. Its pending tasks are re-dispatched onto survivors.
+	ErrWorkerLost = errors.New("rpcexec: worker lost")
+	// ErrAllWorkersLost is returned when no worker survives to run the
+	// remaining tasks.
+	ErrAllWorkersLost = errors.New("rpcexec: all workers lost")
+)
+
 // Executor is the driver-side TCP executor: it holds one connection per
-// remote worker and implements mbsp.Executor. Task i of a stage runs on
-// worker i % len(workers); requests on one connection are serialized
-// (each paper worker owns one physical core, so per-worker serialization
-// is faithful), while different workers run concurrently.
+// remote worker and implements mbsp.Executor. Task i of a stage initially
+// runs on worker i % p; requests on one connection are serialized (each
+// paper worker owns one physical core, so per-worker serialization is
+// faithful), while different workers run concurrently.
+//
+// Unlike Spark, which leans on the cluster manager, fault tolerance is
+// built in: calls carry deadlines, failed connections are redialed with
+// exponential backoff (replaying broadcast state onto the fresh
+// connection), and when a worker is lost for good its tasks are
+// re-dispatched onto the survivors in task-index order, preserving the
+// order-aware guarantee. The run degrades gracefully until no worker is
+// left.
 type Executor struct {
+	cfg   Config
 	conns []*workerConn
 
 	mu     sync.Mutex
 	closed bool
+
+	// bmu guards the driver-side broadcast cache replayed on reconnect.
+	bmu    sync.Mutex
+	border []string
+	bcast  map[string]mbsp.Item
 }
 
 var _ mbsp.Executor = (*Executor)(nil)
 
-// workerConn is one driver→worker connection with lockstep framing.
+// workerConn is one driver→worker connection with lockstep framing and
+// automatic reconnection.
 type workerConn struct {
+	addr   string
+	cfg    Config
+	replay func(enc *gob.Encoder, dec *gob.Decoder) error
+
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	dead bool
 }
 
-// call sends one request and waits for its response.
-func (w *workerConn) call(req request) (response, error) {
+// alive reports whether the worker has not been declared lost.
+func (w *workerConn) alive() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return !w.dead
+}
+
+// teardown closes and forgets the current connection (the gob stream is
+// unusable after any transport error).
+func (w *workerConn) teardown() {
+	if w.conn != nil {
+		_ = w.conn.Close()
+	}
+	w.conn, w.enc, w.dec = nil, nil, nil
+}
+
+// redial establishes a fresh connection and replays cached broadcast
+// state so the worker (whose process may have kept running across a
+// transient network failure) sees a complete environment. The replay runs
+// under the per-call deadline: a worker that accepts the connection but
+// never answers (e.g. a stopped process whose kernel still completes the
+// TCP handshake) must not hang the reconnect.
+func (w *workerConn) redial(ctx context.Context) error {
+	d := net.Dialer{Timeout: w.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", w.addr)
+	if err != nil {
+		return fmt.Errorf("rpcexec: dial %s: %w", w.addr, err)
+	}
+	w.conn = conn
+	w.enc = gob.NewEncoder(conn)
+	w.dec = gob.NewDecoder(conn)
+	if w.replay != nil {
+		_ = conn.SetDeadline(w.callDeadline(ctx))
+		stop := context.AfterFunc(ctx, func() {
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		})
+		err := w.replay(w.enc, w.dec)
+		stop()
+		if err != nil {
+			w.teardown()
+			return fmt.Errorf("rpcexec: replay broadcasts to %s: %w", w.addr, err)
+		}
+		_ = conn.SetDeadline(time.Time{})
+	}
+	return nil
+}
+
+// callDeadline computes the connection deadline for one round trip: the
+// per-call timeout, capped by the context deadline plus a grace period so
+// the context timer fires first and failures report ctx.Err.
+func (w *workerConn) callDeadline(ctx context.Context) time.Time {
+	deadline := time.Time{}
+	if w.cfg.CallTimeout > 0 {
+		deadline = time.Now().Add(w.cfg.CallTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if d = d.Add(100 * time.Millisecond); deadline.IsZero() || d.Before(deadline) {
+			deadline = d
+		}
+	}
+	return deadline
+}
+
+// callOnce performs one round trip on the current connection under the
+// per-call deadline. Context cancellation interrupts the call in flight
+// by expiring the connection deadline.
+func (w *workerConn) callOnce(ctx context.Context, req request) (response, error) {
+	conn := w.conn
+	_ = conn.SetDeadline(w.callDeadline(ctx))
+	// SetDeadline is safe to call concurrently with I/O in flight, so a
+	// context cancellation can interrupt a blocked Encode/Decode.
+	stop := context.AfterFunc(ctx, func() {
+		_ = conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
 	if err := w.enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("rpcexec: send: %w", err)
 	}
@@ -44,51 +204,154 @@ func (w *workerConn) call(req request) (response, error) {
 	if err := w.dec.Decode(&resp); err != nil {
 		return response{}, fmt.Errorf("rpcexec: recv: %w", err)
 	}
+	_ = conn.SetDeadline(time.Time{})
 	return resp, nil
 }
 
-// Dial connects to the given worker addresses.
+// call sends one request with bounded retry: on a transport failure the
+// connection is torn down, the call backs off, redials and tries again,
+// up to cfg.MaxRetries extra attempts. When they are exhausted the worker
+// is marked dead and ErrWorkerLost returned. The second return value is
+// the number of retries consumed (for task metrics).
+func (w *workerConn) call(ctx context.Context, req request) (response, int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return response{}, 0, fmt.Errorf("%w: %s", ErrWorkerLost, w.addr)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			backoff := w.cfg.Backoff << (attempt - 1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return response{}, attempt, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return response{}, attempt, err
+		}
+		if w.conn == nil {
+			if err := w.redial(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := w.callOnce(ctx, req)
+		if err == nil {
+			return resp, attempt, nil
+		}
+		lastErr = err
+		w.teardown()
+		if err := ctx.Err(); err != nil {
+			return response{}, attempt, err
+		}
+	}
+	w.dead = true
+	w.teardown()
+	return response{}, w.cfg.MaxRetries, fmt.Errorf("%w: %s: %v", ErrWorkerLost, w.addr, lastErr)
+}
+
+// Dial connects to the given worker addresses with default fault
+// tolerance (see the Default* constants).
 func Dial(addrs []string) (*Executor, error) {
+	return DialConfig(addrs, Config{})
+}
+
+// DialConfig connects to the given worker addresses with explicit
+// fault-tolerance settings. Zero-valued Config fields take defaults.
+func DialConfig(addrs []string, cfg Config) (*Executor, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpcexec: no worker addresses")
 	}
 	registerOnce.Do(registerBuiltins)
-	e := &Executor{conns: make([]*workerConn, 0, len(addrs))}
+	cfg = cfg.withDefaults()
+	e := &Executor{
+		cfg:   cfg,
+		conns: make([]*workerConn, 0, len(addrs)),
+		bcast: make(map[string]mbsp.Item),
+	}
 	for _, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-		if err != nil {
+		wc := &workerConn{addr: addr, cfg: cfg, replay: e.replayBroadcasts}
+		if err := wc.redial(context.Background()); err != nil {
 			_ = e.Close()
-			return nil, fmt.Errorf("rpcexec: dial %s: %w", addr, err)
+			return nil, err
 		}
-		e.conns = append(e.conns, &workerConn{
-			conn: conn,
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(conn),
-		})
+		e.conns = append(e.conns, wc)
 	}
 	return e, nil
 }
 
-// Parallelism implements mbsp.Executor.
+// replayBroadcasts re-sends every cached broadcast on a fresh connection,
+// in first-publication order.
+func (e *Executor) replayBroadcasts(enc *gob.Encoder, dec *gob.Decoder) error {
+	e.bmu.Lock()
+	reqs := make([]request, 0, len(e.border))
+	for _, id := range e.border {
+		reqs = append(reqs, request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: e.bcast[id]})
+	}
+	e.bmu.Unlock()
+	for _, req := range reqs {
+		if err := enc.Encode(req); err != nil {
+			return err
+		}
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return errors.New(resp.Err)
+		}
+	}
+	return nil
+}
+
+// Parallelism implements mbsp.Executor. It reports the configured worker
+// count even after losses, so partitioning stays stable across a run.
 func (e *Executor) Parallelism() int { return len(e.conns) }
 
-// Broadcast implements mbsp.Executor: the value is replicated to every
-// worker synchronously (the model broadcast at the start of each batch).
-func (e *Executor) Broadcast(id string, value mbsp.Item) error {
+// AliveWorkers returns how many workers have not been declared lost.
+func (e *Executor) AliveWorkers() int {
+	n := 0
+	for _, wc := range e.conns {
+		if wc.alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// Broadcast implements mbsp.Executor: the value is cached driver-side
+// (for replay on reconnect) and replicated to every live worker
+// synchronously. A worker that fails the broadcast even after retries is
+// declared lost — its state would otherwise go stale — and the broadcast
+// succeeds as long as at least one worker holds the value.
+func (e *Executor) Broadcast(ctx context.Context, id string, value mbsp.Item) error {
 	if e.isClosed() {
 		return mbsp.ErrClosed
 	}
 	if id == "" {
 		return errors.New("rpcexec: empty broadcast id")
 	}
+	e.bmu.Lock()
+	if _, seen := e.bcast[id]; !seen {
+		e.border = append(e.border, id)
+	}
+	e.bcast[id] = value
+	e.bmu.Unlock()
+
 	var wg sync.WaitGroup
 	errs := make([]error, len(e.conns))
 	for i, wc := range e.conns {
+		if !wc.alive() {
+			continue
+		}
 		i, wc := i, wc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := wc.call(request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: value})
+			resp, _, err := wc.call(ctx, request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: value})
 			if err != nil {
 				errs[i] = err
 				return
@@ -99,68 +362,155 @@ func (e *Executor) Broadcast(id string, value mbsp.Item) error {
 		}()
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var fatal []error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrWorkerLost):
+			// Degraded but consistent: the lost worker receives no more
+			// tasks, so its stale state cannot surface.
+		default:
+			fatal = append(fatal, err)
+		}
+	}
+	if len(fatal) > 0 {
+		return errors.Join(fatal...)
+	}
+	if e.AliveWorkers() == 0 {
+		return ErrAllWorkersLost
+	}
+	return nil
 }
 
-// RunTasks implements mbsp.Executor.
-func (e *Executor) RunTasks(stage, op string, inputs []mbsp.Partition) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
+// RunTasks implements mbsp.Executor with worker-loss recovery. Tasks run
+// in rounds: round one deals task i to worker i%p (identical to the
+// fault-free assignment); any tasks stranded by a lost worker are
+// collected and re-dispatched in ascending task-index order, round-robin
+// over the surviving workers, until every task has run or no worker
+// remains. Because assignment depends only on task indices and the sorted
+// set of survivors — never on timing — a run with a given failure pattern
+// is deterministic, and outputs are always returned in input order.
+func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp.Partition) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
 	if e.isClosed() {
 		return nil, nil, mbsp.ErrClosed
 	}
 	n := len(inputs)
 	outputs := make([]mbsp.Partition, n)
 	metrics := make([]mbsp.TaskMetrics, n)
-	errs := make([]error, n)
+	retries := make([]int, n)
 
-	var wg sync.WaitGroup
-	for w := range e.conns {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for task := w; task < n; task += len(e.conns) {
-				start := time.Now()
-				resp, err := e.conns[w].call(request{
-					Kind:   kindTask,
-					Stage:  stage,
-					Op:     op,
-					TaskID: task,
-					Input:  inputs[task],
-				})
-				if err != nil {
-					errs[task] = &mbsp.TaskError{Stage: stage, TaskID: task, Err: err}
-					continue
-				}
-				if resp.Err != "" {
-					errs[task] = &mbsp.TaskError{Stage: stage, TaskID: task, Err: errors.New(resp.Err)}
-					continue
-				}
-				outputs[task] = resp.Output
-				metrics[task] = mbsp.TaskMetrics{
-					Stage:    stage,
-					TaskID:   task,
-					WorkerID: w,
-					// Duration is the round-trip wall time seen by the
-					// driver (includes serialization + network), matching
-					// what a Spark driver observes per task.
-					Duration: time.Since(start),
-					InItems:  len(inputs[task]),
-					OutItems: len(resp.Output),
-				}
-				_ = resp.DurMicro // worker-side compute time, available for finer breakdowns
-			}
-		}()
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	var lastLoss error
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
 			return nil, metrics, err
 		}
+		var alive []int
+		for w, wc := range e.conns {
+			if wc.alive() {
+				alive = append(alive, w)
+			}
+		}
+		if len(alive) == 0 {
+			if lastLoss != nil {
+				return nil, metrics, fmt.Errorf("%w (stage %q, %d tasks stranded): %v", ErrAllWorkersLost, stage, len(pending), lastLoss)
+			}
+			return nil, metrics, fmt.Errorf("%w (stage %q)", ErrAllWorkersLost, stage)
+		}
+		// Deal pending tasks (already in ascending order) round-robin over
+		// the survivors. On the first round with all workers alive this
+		// reproduces the static task i → worker i%p assignment.
+		assign := make([][]int, len(alive))
+		for j, task := range pending {
+			assign[j%len(alive)] = append(assign[j%len(alive)], task)
+		}
+
+		var mu sync.Mutex
+		var requeue []int
+		var taskErrs []*mbsp.TaskError
+		var wg sync.WaitGroup
+		for wi, worker := range alive {
+			tasks := assign[wi]
+			if len(tasks) == 0 {
+				continue
+			}
+			worker := worker
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wc := e.conns[worker]
+				for k, task := range tasks {
+					if ctx.Err() != nil {
+						return
+					}
+					start := time.Now()
+					resp, tries, err := wc.call(ctx, request{
+						Kind:   kindTask,
+						Stage:  stage,
+						Op:     op,
+						TaskID: task,
+						Input:  inputs[task],
+					})
+					retries[task] += tries
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						// Worker lost: strand its remaining tasks for the
+						// next round and stop driving this connection.
+						mu.Lock()
+						lastLoss = err
+						requeue = append(requeue, tasks[k:]...)
+						mu.Unlock()
+						return
+					}
+					if resp.Err != "" {
+						// Application-level failure: deterministic, so
+						// re-running it elsewhere cannot help. Abort the
+						// stage after this round.
+						mu.Lock()
+						taskErrs = append(taskErrs, &mbsp.TaskError{Stage: stage, TaskID: task, Err: errors.New(resp.Err)})
+						mu.Unlock()
+						continue
+					}
+					outputs[task] = resp.Output
+					metrics[task] = mbsp.TaskMetrics{
+						Stage:    stage,
+						TaskID:   task,
+						WorkerID: worker,
+						// Duration is the round-trip wall time seen by the
+						// driver (includes serialization + network),
+						// matching what a Spark driver observes per task.
+						Duration: time.Since(start),
+						InItems:  len(inputs[task]),
+						OutItems: len(resp.Output),
+						Retries:  retries[task],
+					}
+					_ = resp.DurMicro // worker-side compute time, available for finer breakdowns
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, metrics, err
+		}
+		if len(taskErrs) > 0 {
+			sort.Slice(taskErrs, func(i, j int) bool { return taskErrs[i].TaskID < taskErrs[j].TaskID })
+			return nil, metrics, taskErrs[0]
+		}
+		sort.Ints(requeue)
+		pending = requeue
 	}
 	return outputs, metrics, nil
 }
 
-// Close implements mbsp.Executor: it sends a shutdown frame to each
+// Close implements mbsp.Executor: it sends a shutdown frame to each live
 // worker connection and closes the sockets. The workers themselves stay
 // up to serve other drivers; use Worker.Close to stop them.
 func (e *Executor) Close() error {
@@ -173,13 +523,20 @@ func (e *Executor) Close() error {
 	e.mu.Unlock()
 	var errs []error
 	for _, wc := range e.conns {
-		if wc == nil || wc.conn == nil {
-			continue
+		wc.mu.Lock()
+		if wc.conn != nil {
+			_ = wc.conn.SetDeadline(time.Now().Add(time.Second))
+			if err := wc.enc.Encode(request{Kind: kindShutdown}); err == nil {
+				var resp response
+				_ = wc.dec.Decode(&resp)
+			}
+			if err := wc.conn.Close(); err != nil {
+				errs = append(errs, err)
+			}
+			wc.conn, wc.enc, wc.dec = nil, nil, nil
 		}
-		_, _ = wc.call(request{Kind: kindShutdown})
-		if err := wc.conn.Close(); err != nil {
-			errs = append(errs, err)
-		}
+		wc.dead = true
+		wc.mu.Unlock()
 	}
 	return errors.Join(errs...)
 }

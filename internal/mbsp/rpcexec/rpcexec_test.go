@@ -1,9 +1,12 @@
 package rpcexec
 
 import (
+	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"diststream/internal/mbsp"
 )
@@ -41,6 +44,11 @@ func testRegistry(t *testing.T) *mbsp.Registry {
 
 func startCluster(t *testing.T, n int) (*Executor, []*Worker) {
 	t.Helper()
+	return startClusterCfg(t, n, Config{})
+}
+
+func startClusterCfg(t *testing.T, n int, cfg Config) (*Executor, []*Worker) {
+	t.Helper()
 	reg := testRegistry(t)
 	workers, addrs, err := StartLocalCluster(n, reg)
 	if err != nil {
@@ -51,12 +59,18 @@ func startCluster(t *testing.T, n int) (*Executor, []*Worker) {
 			_ = w.Close()
 		}
 	})
-	exec, err := Dial(addrs)
+	exec, err := DialConfig(addrs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = exec.Close() })
 	return exec, workers
+}
+
+// faultCfg keeps the fault tests fast: short call timeout, one retry,
+// near-instant backoff.
+func faultCfg() Config {
+	return Config{CallTimeout: 2 * time.Second, MaxRetries: 1, Backoff: 10 * time.Millisecond}
 }
 
 func intParts(parts ...[]int) []mbsp.Partition {
@@ -75,7 +89,7 @@ func TestTCPMapStage(t *testing.T) {
 	if exec.Parallelism() != 3 {
 		t.Fatalf("Parallelism = %d", exec.Parallelism())
 	}
-	outputs, metrics, err := exec.RunTasks("s", "double", intParts([]int{1, 2}, []int{3}, []int{4, 5, 6}))
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s", "double", intParts([]int{1, 2}, []int{3}, []int{4, 5, 6}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,10 +116,10 @@ func TestTCPMapStage(t *testing.T) {
 
 func TestTCPBroadcast(t *testing.T) {
 	exec, _ := startCluster(t, 2)
-	if err := exec.Broadcast("offset", 10); err != nil {
+	if err := exec.Broadcast(context.Background(), "offset", 10); err != nil {
 		t.Fatal(err)
 	}
-	outputs, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}, []int{2}, []int{3}))
+	outputs, _, err := exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}, []int{2}, []int{3}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,24 +128,24 @@ func TestTCPBroadcast(t *testing.T) {
 		t.Errorf("outputs = %v", outputs)
 	}
 	// Rebroadcast replaces on all workers.
-	if err := exec.Broadcast("offset", 100); err != nil {
+	if err := exec.Broadcast(context.Background(), "offset", 100); err != nil {
 		t.Fatal(err)
 	}
-	outputs, _, err = exec.RunTasks("s", "add-broadcast", intParts([]int{1}, []int{1}))
+	outputs, _, err = exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}, []int{1}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if outputs[0][0].(int) != 101 || outputs[1][0].(int) != 101 {
 		t.Errorf("after rebroadcast: %v", outputs)
 	}
-	if err := exec.Broadcast("", 1); err == nil {
+	if err := exec.Broadcast(context.Background(), "", 1); err == nil {
 		t.Error("empty broadcast id accepted")
 	}
 }
 
 func TestTCPMissingBroadcastPropagates(t *testing.T) {
 	exec, _ := startCluster(t, 1)
-	_, _, err := exec.RunTasks("s", "add-broadcast", intParts([]int{1}))
+	_, _, err := exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}))
 	if err == nil || !strings.Contains(err.Error(), "broadcast id not found") {
 		t.Errorf("err = %v", err)
 	}
@@ -139,7 +153,7 @@ func TestTCPMissingBroadcastPropagates(t *testing.T) {
 
 func TestTCPTaskFailure(t *testing.T) {
 	exec, _ := startCluster(t, 2)
-	_, _, err := exec.RunTasks("s", "fail", intParts([]int{1}, []int{2}))
+	_, _, err := exec.RunTasks(context.Background(), "s", "fail", intParts([]int{1}, []int{2}))
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -154,7 +168,7 @@ func TestTCPTaskFailure(t *testing.T) {
 
 func TestTCPUnknownOp(t *testing.T) {
 	exec, _ := startCluster(t, 1)
-	_, _, err := exec.RunTasks("s", "missing-op", intParts([]int{1}))
+	_, _, err := exec.RunTasks(context.Background(), "s", "missing-op", intParts([]int{1}))
 	if err == nil || !strings.Contains(err.Error(), "unknown op") {
 		t.Errorf("err = %v", err)
 	}
@@ -162,7 +176,7 @@ func TestTCPUnknownOp(t *testing.T) {
 
 func TestTCPWorkerIdentity(t *testing.T) {
 	exec, _ := startCluster(t, 2)
-	outputs, _, err := exec.RunTasks("s", "worker-id", intParts(nil, nil, nil, nil))
+	outputs, _, err := exec.RunTasks(context.Background(), "s", "worker-id", intParts(nil, nil, nil, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +228,7 @@ func TestTCPEngineIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	keyed, err := eng.MapStage("map", "key-parity", intParts([]int{1, 2, 3}, []int{4, 5, 6}))
+	keyed, err := eng.MapStage(context.Background(), "map", "key-parity", intParts([]int{1, 2, 3}, []int{4, 5, 6}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +236,7 @@ func TestTCPEngineIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sums, err := eng.MapStage("reduce", "sum-groups", grouped)
+	sums, err := eng.MapStage(context.Background(), "reduce", "sum-groups", grouped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,10 +258,10 @@ func TestTCPClosedExecutor(t *testing.T) {
 	if err := exec.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := exec.RunTasks("s", "double", nil); !errors.Is(err, mbsp.ErrClosed) {
+	if _, _, err := exec.RunTasks(context.Background(), "s", "double", nil); !errors.Is(err, mbsp.ErrClosed) {
 		t.Errorf("RunTasks after close = %v", err)
 	}
-	if err := exec.Broadcast("x", 1); !errors.Is(err, mbsp.ErrClosed) {
+	if err := exec.Broadcast(context.Background(), "x", 1); !errors.Is(err, mbsp.ErrClosed) {
 		t.Errorf("Broadcast after close = %v", err)
 	}
 	if err := exec.Close(); err != nil {
@@ -286,5 +300,249 @@ func TestWorkerDoubleClose(t *testing.T) {
 	}
 	if err := w.Close(); err != nil {
 		t.Errorf("double close = %v", err)
+	}
+}
+
+// A worker that crashes mid-stage loses its tasks to the survivors, dealt
+// deterministically in task-index order, and the stage still produces the
+// exact same outputs.
+func TestTCPWorkerCrashRedispatch(t *testing.T) {
+	exec, workers := startClusterCfg(t, 3, faultCfg())
+	workers[1].SetFault(func(string, int) (Fault, time.Duration) {
+		return FaultCrash, 0
+	})
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s", "double",
+		intParts([]int{1}, []int{2}, []int{3}, []int{4}, []int{5}, []int{6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{2, 4, 6, 8, 10, 12} {
+		if outputs[i][0].(int) != want {
+			t.Fatalf("outputs = %v", outputs)
+		}
+	}
+	if got := exec.AliveWorkers(); got != 2 {
+		t.Errorf("AliveWorkers = %d, want 2", got)
+	}
+	// Worker 1's tasks (1 and 4) are re-dealt round-robin, in index order,
+	// over the sorted survivors {0, 2}.
+	if metrics[1].WorkerID != 0 || metrics[4].WorkerID != 2 {
+		t.Errorf("re-dispatch targets: task1->%d task4->%d, want 0 and 2",
+			metrics[1].WorkerID, metrics[4].WorkerID)
+	}
+	if metrics[1].Retries < 1 {
+		t.Errorf("task 1 retries = %d, want >= 1", metrics[1].Retries)
+	}
+	// Healthy workers keep the static assignment.
+	for _, task := range []int{0, 2, 3, 5} {
+		if got := metrics[task].WorkerID; got != task%3 {
+			t.Errorf("task %d ran on worker %d, want %d", task, got, task%3)
+		}
+	}
+}
+
+// A single stall past the call timeout is absorbed by retry + reconnect:
+// the worker stays in the pool and the task succeeds on its second attempt.
+func TestTCPStallRecoversWithRetry(t *testing.T) {
+	cfg := Config{CallTimeout: 150 * time.Millisecond, MaxRetries: 2, Backoff: 10 * time.Millisecond}
+	exec, workers := startClusterCfg(t, 1, cfg)
+	var calls atomic.Int32
+	workers[0].SetFault(func(string, int) (Fault, time.Duration) {
+		if calls.Add(1) == 1 {
+			return FaultStall, 500 * time.Millisecond
+		}
+		return FaultNone, 0
+	})
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s", "double", intParts([]int{21}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0][0].(int) != 42 {
+		t.Errorf("output = %v", outputs[0])
+	}
+	if metrics[0].Retries != 1 {
+		t.Errorf("retries = %d, want 1", metrics[0].Retries)
+	}
+	if metrics[0].WorkerID != 0 || exec.AliveWorkers() != 1 {
+		t.Errorf("worker declared lost after a recoverable stall")
+	}
+}
+
+// A worker that stalls persistently exhausts its retries, is declared
+// lost, and its tasks complete on the survivor.
+func TestTCPPersistentStallRedispatch(t *testing.T) {
+	cfg := Config{CallTimeout: 150 * time.Millisecond, MaxRetries: 1, Backoff: 10 * time.Millisecond}
+	exec, workers := startClusterCfg(t, 2, cfg)
+	workers[0].SetFault(func(string, int) (Fault, time.Duration) {
+		return FaultStall, time.Second
+	})
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s", "double",
+		intParts([]int{1}, []int{2}, []int{3}, []int{4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{2, 4, 6, 8} {
+		if outputs[i][0].(int) != want {
+			t.Fatalf("outputs = %v", outputs)
+		}
+	}
+	if exec.AliveWorkers() != 1 {
+		t.Errorf("AliveWorkers = %d, want 1", exec.AliveWorkers())
+	}
+	for _, task := range []int{0, 2} {
+		if metrics[task].WorkerID != 1 {
+			t.Errorf("task %d ran on worker %d, want survivor 1", task, metrics[task].WorkerID)
+		}
+	}
+}
+
+// A dropped connection (worker process still alive) is healed by a
+// reconnect; the worker is not declared lost.
+func TestTCPDropRetriesOnFreshConnection(t *testing.T) {
+	exec, workers := startClusterCfg(t, 1, Config{CallTimeout: 2 * time.Second, MaxRetries: 2, Backoff: 10 * time.Millisecond})
+	var drops atomic.Int32
+	workers[0].SetFault(func(string, int) (Fault, time.Duration) {
+		if drops.Add(1) == 1 {
+			return FaultDrop, 0
+		}
+		return FaultNone, 0
+	})
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s", "double", intParts([]int{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0][0].(int) != 6 {
+		t.Errorf("output = %v", outputs[0])
+	}
+	if metrics[0].Retries != 1 || exec.AliveWorkers() != 1 {
+		t.Errorf("retries = %d, alive = %d; want 1 and 1", metrics[0].Retries, exec.AliveWorkers())
+	}
+}
+
+// Reconnecting replays the driver's cached broadcasts: even a worker
+// process restarted from scratch (empty broadcast store) sees the full
+// environment before its first task.
+func TestTCPReconnectReplaysBroadcasts(t *testing.T) {
+	reg := testRegistry(t)
+	w1, err := NewWorker(0, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := w1.Addr()
+	exec, err := DialConfig([]string{addr}, Config{CallTimeout: 2 * time.Second, MaxRetries: 4, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	if err := exec.Broadcast(context.Background(), "offset", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the worker on the same port with a fresh (empty) state.
+	var w2 *Worker
+	for i := 0; i < 50; i++ {
+		w2, err = NewWorker(0, addr, reg)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { _ = w2.Close() })
+	outputs, metrics, err := exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}, []int{5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0][0].(int) != 11 || outputs[1][0].(int) != 15 {
+		t.Errorf("outputs = %v (broadcast not replayed?)", outputs)
+	}
+	if metrics[0].Retries < 1 {
+		t.Errorf("task 0 retries = %d, want >= 1", metrics[0].Retries)
+	}
+	if exec.AliveWorkers() != 1 {
+		t.Errorf("worker lost despite successful reconnect")
+	}
+}
+
+func TestTCPAllWorkersLost(t *testing.T) {
+	exec, workers := startClusterCfg(t, 2, faultCfg())
+	for _, w := range workers {
+		w.SetFault(func(string, int) (Fault, time.Duration) {
+			return FaultCrash, 0
+		})
+	}
+	_, _, err := exec.RunTasks(context.Background(), "s", "double", intParts([]int{1}, []int{2}))
+	if !errors.Is(err, ErrAllWorkersLost) {
+		t.Fatalf("err = %v, want ErrAllWorkersLost", err)
+	}
+	if exec.AliveWorkers() != 0 {
+		t.Errorf("AliveWorkers = %d", exec.AliveWorkers())
+	}
+	if err := exec.Broadcast(context.Background(), "offset", 1); !errors.Is(err, ErrAllWorkersLost) {
+		t.Errorf("Broadcast after total loss = %v, want ErrAllWorkersLost", err)
+	}
+	// Parallelism stays at the configured degree so partitioning is stable.
+	if exec.Parallelism() != 2 {
+		t.Errorf("Parallelism = %d, want 2", exec.Parallelism())
+	}
+}
+
+// Broadcast survives losing a worker: the loss degrades the pool instead
+// of failing the call, and the dead worker gets no further tasks.
+func TestTCPBroadcastToleratesWorkerLoss(t *testing.T) {
+	exec, workers := startClusterCfg(t, 2, faultCfg())
+	if err := workers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Broadcast(context.Background(), "offset", 7); err != nil {
+		t.Fatalf("Broadcast with one dead worker = %v", err)
+	}
+	if exec.AliveWorkers() != 1 {
+		t.Errorf("AliveWorkers = %d, want 1", exec.AliveWorkers())
+	}
+	outputs, _, err := exec.RunTasks(context.Background(), "s", "add-broadcast", intParts([]int{1}, []int{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[0][0].(int) != 8 || outputs[1][0].(int) != 9 {
+		t.Errorf("outputs = %v", outputs)
+	}
+}
+
+// Cancelling the context interrupts a call blocked on a stalled worker
+// immediately, without waiting out the stall or the call timeout.
+func TestTCPContextCancelInterruptsCall(t *testing.T) {
+	exec, workers := startClusterCfg(t, 1, Config{CallTimeout: -1, MaxRetries: -1, Backoff: 10 * time.Millisecond})
+	workers[0].SetFault(func(string, int) (Fault, time.Duration) {
+		return FaultStall, time.Second
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(100*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	start := time.Now()
+	_, _, err := exec.RunTasks(ctx, "s", "double", intParts([]int{1}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 700*time.Millisecond {
+		t.Errorf("cancellation took %v; the stall was not interrupted", elapsed)
+	}
+}
+
+func TestTCPContextDeadlineBoundsRun(t *testing.T) {
+	exec, workers := startClusterCfg(t, 1, Config{CallTimeout: -1, MaxRetries: -1, Backoff: 10 * time.Millisecond})
+	workers[0].SetFault(func(string, int) (Fault, time.Duration) {
+		return FaultStall, time.Second
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, _, err := exec.RunTasks(ctx, "s", "double", intParts([]int{1}))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -13,6 +13,31 @@ import (
 
 var registerOnce sync.Once
 
+// Fault is an injected worker failure mode, used to exercise the driver's
+// fault-tolerance paths in-process (tests and demos).
+type Fault int
+
+// Fault kinds.
+const (
+	// FaultNone runs the task normally.
+	FaultNone Fault = iota
+	// FaultStall sleeps for the returned duration before serving the task
+	// (a network or GC stall: the driver's call deadline fires).
+	FaultStall
+	// FaultDrop closes the serving connection without responding (a
+	// transient connection failure: the worker process survives, so the
+	// driver's reconnect succeeds and cached broadcasts are replayed).
+	FaultDrop
+	// FaultCrash kills the whole worker — listener and all connections —
+	// without responding (a process death: reconnects fail and the driver
+	// re-dispatches onto the survivors).
+	FaultCrash
+)
+
+// FaultFunc decides the fault for one task request. It runs on the worker
+// before the task body.
+type FaultFunc func(stage string, taskID int) (Fault, time.Duration)
+
 // Worker is one remote executor node: it serves task and broadcast
 // requests from a driver over TCP. Each accepted connection is served by
 // its own goroutine; broadcast state is shared across connections.
@@ -25,6 +50,8 @@ type Worker struct {
 
 	mu     sync.Mutex
 	closed bool
+	fault  FaultFunc
+	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 }
 
@@ -66,6 +93,7 @@ func NewWorker(id int, addr string, registry *mbsp.Registry) (*Worker, error) {
 		registry:   registry,
 		ln:         ln,
 		broadcasts: &workerStore{m: make(map[string]mbsp.Item)},
+		conns:      make(map[net.Conn]struct{}),
 	}
 	w.wg.Add(1)
 	go w.acceptLoop()
@@ -75,7 +103,23 @@ func NewWorker(id int, addr string, registry *mbsp.Registry) (*Worker, error) {
 // Addr returns the worker's listen address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
 
-// Close stops the worker and waits for connection goroutines to exit.
+// SetFault installs (or, with nil, removes) a fault-injection hook
+// consulted before every task. Test-only machinery: it lets worker-crash
+// and network-stall scenarios run in-process, deterministically.
+func (w *Worker) SetFault(f FaultFunc) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fault = f
+}
+
+func (w *Worker) currentFault() FaultFunc {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fault
+}
+
+// Close stops the worker — listener and every open connection, like a
+// process death — and waits for connection goroutines to exit.
 func (w *Worker) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -83,8 +127,15 @@ func (w *Worker) Close() error {
 		return nil
 	}
 	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
 	w.mu.Unlock()
 	err := w.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	w.wg.Wait()
 	return err
 }
@@ -96,10 +147,23 @@ func (w *Worker) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
-			defer conn.Close()
+			defer func() {
+				_ = conn.Close()
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+			}()
 			w.serve(conn)
 		}()
 	}
@@ -121,6 +185,19 @@ func (w *Worker) serve(conn net.Conn) {
 				return
 			}
 		case kindTask:
+			if f := w.currentFault(); f != nil {
+				switch kind, d := f(req.Stage, req.TaskID); kind {
+				case FaultStall:
+					time.Sleep(d)
+				case FaultDrop:
+					return // drop just this connection; worker survives
+				case FaultCrash:
+					// Close runs elsewhere: it waits for this very
+					// goroutine, which exits right away.
+					go func() { _ = w.Close() }()
+					return
+				}
+			}
 			resp := w.runTask(req)
 			if err := enc.Encode(resp); err != nil {
 				return

@@ -18,6 +18,7 @@
 package mbsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -54,6 +55,11 @@ type TaskMetrics struct {
 	Duration time.Duration
 	// InItems and OutItems count the task's input and output sizes.
 	InItems, OutItems int
+	// Retries counts extra executions beyond the first attempt: op-level
+	// re-runs on the local executor, transport retries and re-dispatches
+	// after a worker loss on the TCP executor. 0 means the task succeeded
+	// first try.
+	Retries int
 }
 
 // StageMetrics aggregates one stage execution.
@@ -62,6 +68,21 @@ type StageMetrics struct {
 	Tasks []TaskMetrics
 	// Wall is the stage's end-to-end wall time (barrier to barrier).
 	Wall time.Duration
+	// Failed marks a stage whose execution returned an error. Task metrics
+	// for the tasks that did complete are still present, so callers can
+	// tell a failed stage from a successful one instead of inferring it
+	// from a missing result.
+	Failed bool
+}
+
+// Retries sums the per-task retry counts: how many extra task executions
+// (beyond one per task) the stage needed to complete.
+func (s StageMetrics) Retries() int {
+	n := 0
+	for _, t := range s.Tasks {
+		n += t.Retries
+	}
+	return n
 }
 
 // StragglerThreshold is the paper's straggler definition: a task is a
@@ -132,11 +153,15 @@ type Executor interface {
 	Parallelism() int
 	// Broadcast publishes a value under an id so that subsequent tasks can
 	// read it via TaskContext.Broadcast. Re-broadcasting an id replaces
-	// the value (the model is re-broadcast every batch).
-	Broadcast(id string, value Item) error
+	// the value (the model is re-broadcast every batch). The context
+	// bounds the publication; a canceled context aborts it.
+	Broadcast(ctx context.Context, id string, value Item) error
 	// RunTasks executes the named op over each input partition as one
 	// task, in parallel, and returns per-partition outputs plus metrics.
-	RunTasks(stage, op string, inputs []Partition) ([]Partition, []TaskMetrics, error)
+	// Cancelling the context stops the stage between tasks (and, for
+	// executors with in-flight network calls, interrupts those calls);
+	// RunTasks then returns the context's error.
+	RunTasks(ctx context.Context, stage, op string, inputs []Partition) ([]Partition, []TaskMetrics, error)
 	// Close releases executor resources. The executor is unusable after.
 	Close() error
 }
