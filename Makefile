@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet check bench fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,11 @@ check: vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...
+
+# fuzz-smoke runs each checkpoint-codec fuzzer briefly: corrupted
+# snapshots and model blobs must error, never panic.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzModelStateCodec$$' -fuzztime $(FUZZTIME) ./internal/core

@@ -66,11 +66,13 @@ func runFault(w io.Writer, args []string) error {
 			row.name, row.r.stats.Batches, row.r.stats.Records, row.r.stats.TaskRetries,
 			row.r.stats.LostWorkers, row.r.modelLen, row.r.modelWeight)
 	}
-	if injured.modelLen == clean.modelLen && injured.modelWeight == clean.modelWeight {
-		fmt.Fprintln(w, "  models identical: order-aware determinism preserved under re-dispatch")
-	} else {
-		fmt.Fprintln(w, "  WARNING: models diverged under re-dispatch")
+	if injured.modelLen != clean.modelLen || injured.modelWeight != clean.modelWeight {
+		// A divergent model means the order-aware guarantee broke under
+		// re-dispatch — fail loudly (non-zero exit) so CI catches it.
+		return fmt.Errorf("fault: models diverged under re-dispatch: clean %d MCs / %.3f weight, injured %d MCs / %.3f weight",
+			clean.modelLen, clean.modelWeight, injured.modelLen, injured.modelWeight)
 	}
+	fmt.Fprintln(w, "  models identical: order-aware determinism preserved under re-dispatch")
 	return nil
 }
 

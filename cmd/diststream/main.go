@@ -17,6 +17,7 @@
 //	other-algos   Figure 10 — D-Stream and ClusTree scalability
 //	ablate        §V-A / §V-C design-choice ablations
 //	fault         kill a TCP worker mid-run; show recovery + determinism
+//	resume        crash the driver mid-run; resume from a checkpoint
 //	all           run everything at the default scale
 package main
 
@@ -92,12 +93,16 @@ func (o *options) algorithms() []string {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|fault|all> [flags]")
+		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|fault|resume|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "fault" {
 		// fault has its own flag set (cluster size, kill point, deadline).
 		return runFault(w, rest)
+	}
+	if cmd == "resume" {
+		// resume has its own flag set (checkpoint cadence, crash point).
+		return runResume(w, rest)
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	var o options

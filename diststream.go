@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"time"
 
+	"diststream/internal/checkpoint"
 	"diststream/internal/clustream"
 	"diststream/internal/clustree"
 	"diststream/internal/core"
@@ -66,6 +67,13 @@ type (
 	OrderMode = core.OrderMode
 	// AdaptiveBatch configures run-time batch-interval adaptation.
 	AdaptiveBatch = core.AdaptiveBatch
+	// CheckpointConfig enables durable checkpoint/resume of pipeline runs.
+	CheckpointConfig = core.CheckpointConfig
+	// StateCodec is implemented by algorithms that support checkpointing.
+	StateCodec = core.StateCodec
+	// SpeculationConfig enables speculative re-execution of straggling
+	// tasks on either executor.
+	SpeculationConfig = mbsp.SpeculationConfig
 	// Record is one stream element.
 	Record = stream.Record
 	// Source is a pull-based record stream.
@@ -73,6 +81,10 @@ type (
 	// Time is a virtual timestamp in seconds.
 	Time = vclock.Time
 )
+
+// ErrNoCheckpoint is returned by Pipeline.ResumeFrom when the checkpoint
+// directory holds no valid checkpoint file.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
 
 // Order modes.
 const (
@@ -114,6 +126,9 @@ type Options struct {
 	WorkerAddrs []string
 	// RPC tunes timeouts, retries and backoff for the TCP executor.
 	RPC RPCOptions
+	// Speculation, when set, launches backup copies of straggling tasks
+	// on idle workers; the first result wins. Works on both executors.
+	Speculation *SpeculationConfig
 }
 
 // System owns the execution engine and the algorithm registry. Create one
@@ -144,6 +159,7 @@ func New(opts Options) (*System, error) {
 			CallTimeout: opts.RPC.CallTimeout,
 			MaxRetries:  opts.RPC.MaxRetries,
 			Backoff:     opts.RPC.Backoff,
+			Speculation: opts.Speculation,
 		})
 		if err != nil {
 			return nil, err
@@ -152,6 +168,7 @@ func New(opts Options) (*System, error) {
 		exec, err = mbsp.NewLocalExecutor(mbsp.LocalConfig{
 			Parallelism: opts.Parallelism,
 			Registry:    reg,
+			Speculation: opts.Speculation,
 		})
 		if err != nil {
 			return nil, err
@@ -218,6 +235,11 @@ type PipelineOptions struct {
 	// Adaptive, when set, adjusts the batch interval at run time toward a
 	// target records-per-batch (the paper's §VII-D3 future work).
 	Adaptive *AdaptiveBatch
+	// Checkpoint, when set, durably snapshots the run to Checkpoint.Dir
+	// every Checkpoint.EveryNBatches batches; an interrupted run continues
+	// bit-identically via Pipeline.ResumeFrom. The algorithm must
+	// implement StateCodec (all shipped algorithms do).
+	Checkpoint *CheckpointConfig
 	// OnBatch, when set, runs on the driver after each batch.
 	OnBatch func(batch stream.Batch, model *Model) error
 }
@@ -240,6 +262,7 @@ func (s *System) NewPipeline(algo Algorithm, opts PipelineOptions) (*Pipeline, e
 		DecayAlpha:      opts.DecayAlpha,
 		DecayBeta:       opts.DecayBeta,
 		Adaptive:        opts.Adaptive,
+		Checkpoint:      opts.Checkpoint,
 		OnBatch:         opts.OnBatch,
 	})
 }

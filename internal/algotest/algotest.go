@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"math"
+	"reflect"
 	"testing"
 
 	"diststream/internal/core"
@@ -74,6 +75,51 @@ func Run(t *testing.T, s Suite) {
 	t.Run("SequentialRun", func(t *testing.T) { sequentialRun(t, s) })
 	t.Run("PipelineOverTCP", func(t *testing.T) { pipelineOverTCP(t, s) })
 	t.Run("OrderedMatchesAcrossParallelism", func(t *testing.T) { parallelismInvariance(t, s) })
+	t.Run("StateCodecRoundTrip", func(t *testing.T) { stateCodecRoundTrip(t, s) })
+}
+
+// stateCodecRoundTrip checks the checkpoint state codec: a model
+// populated by a real pipeline run must survive EncodeState/DecodeState
+// deep-equal, and corrupt input must yield errors, never panics.
+func stateCodecRoundTrip(t *testing.T, s Suite) {
+	pl := NewPipeline(t, s, 2, core.OrderAware, 1)
+	if _, err := pl.Run(stream.NewSliceSource(TwoBlobStream(600, s.Dim, 100))); err != nil {
+		t.Fatal(err)
+	}
+	algo := s.New()
+	codec, ok := algo.(core.StateCodec)
+	if !ok {
+		t.Fatalf("%s does not implement core.StateCodec", algo.Name())
+	}
+	model := pl.Model()
+	data, err := codec.EncodeState(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.DecodeState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(model.List(), back.List()) {
+		t.Error("micro-clusters changed across the codec round trip")
+	}
+	if back.Now() != model.Now() || !reflect.DeepEqual(back.IDs(), model.IDs()) {
+		t.Error("model clock or id order changed across the codec round trip")
+	}
+	// A restored model must keep allocating ids above every live one.
+	id := back.Add(algo.Create(rec(9999, back.Now(), s.Dim, 5, 5)))
+	if back.Get(id) == nil {
+		t.Error("restored model cannot admit a new micro-cluster")
+	}
+	for name, bad := range map[string][]byte{
+		"nil":       nil,
+		"garbage":   []byte("not a model state"),
+		"truncated": data[:len(data)/2],
+	} {
+		if _, err := codec.DecodeState(bad); err == nil {
+			t.Errorf("%s input decoded without error", name)
+		}
+	}
 }
 
 func rec(seq uint64, ts vclock.Time, dim int, x0, x1 float64) stream.Record {

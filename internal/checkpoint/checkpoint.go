@@ -1,0 +1,276 @@
+// Package checkpoint provides the durable-snapshot substrate of the
+// recovery subsystem: an append-only directory of versioned, checksummed
+// checkpoint files written with the atomic temp-file + rename protocol.
+//
+// The package is deliberately payload-agnostic — it stores opaque bytes
+// under a monotonically increasing sequence number. The pipeline layer
+// (internal/core) decides what goes into a snapshot; this layer
+// guarantees that a crash at any instant never leaves a checkpoint that
+// loads but is corrupt:
+//
+//   - writes go to "<name>.tmp", are fsynced, then renamed into place
+//     (rename is atomic on POSIX filesystems), and the directory is
+//     fsynced so the rename itself is durable;
+//   - every file carries a magic header, the envelope format version,
+//     its sequence number, an explicit payload length and a trailing
+//     CRC-64/ECMA of the payload, so truncation, bit rot and trailing
+//     garbage are all detected at load time;
+//   - LoadLatest walks files newest-first and returns the first one that
+//     validates, so a torn write of checkpoint N falls back to N-1.
+//
+// Decoding is total: malformed input of any shape produces an error,
+// never a panic (fuzzed in checkpoint_test.go).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatVersion is the envelope format written by this package. Readers
+// reject other versions instead of guessing.
+const FormatVersion = 1
+
+// magic identifies a DistStream checkpoint file. Exactly 8 bytes.
+const magic = "DSCKPT\x00\x01"
+
+// headerSize is magic(8) + version(4) + seq(8) + payload length(8).
+const headerSize = 8 + 4 + 8 + 8
+
+// footerSize is the trailing CRC-64 of the payload.
+const footerSize = 8
+
+// maxPayload bounds a declared payload length so a corrupt header cannot
+// drive a huge allocation. 1 GiB is far beyond any model snapshot.
+const maxPayload = 1 << 30
+
+// Sentinel errors. ErrCorrupt wraps every validation failure so callers
+// can distinguish "bad file" from I/O errors.
+var (
+	// ErrNoCheckpoint is returned by LoadLatest when the directory holds
+	// no checkpoint files at all.
+	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+	// ErrCorrupt marks a file that exists but fails validation
+	// (truncated, checksum mismatch, bad magic or version).
+	ErrCorrupt = errors.New("checkpoint: corrupt file")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Encode builds the on-disk envelope for one checkpoint.
+func Encode(seq uint64, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+footerSize)
+	copy(buf, magic)
+	binary.BigEndian.PutUint32(buf[8:], FormatVersion)
+	binary.BigEndian.PutUint64(buf[12:], seq)
+	binary.BigEndian.PutUint64(buf[20:], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	crc := crc64.Checksum(payload, crcTable)
+	binary.BigEndian.PutUint64(buf[headerSize+len(payload):], crc)
+	return buf
+}
+
+// Decode validates an envelope and returns its sequence number and
+// payload. It never panics: any malformed input yields an error wrapping
+// ErrCorrupt.
+func Decode(data []byte) (seq uint64, payload []byte, err error) {
+	if len(data) < headerSize+footerSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than the minimum envelope", ErrCorrupt, len(data))
+	}
+	if string(data[:8]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint32(data[8:]); v != FormatVersion {
+		return 0, nil, fmt.Errorf("%w: envelope version %d, want %d", ErrCorrupt, v, FormatVersion)
+	}
+	seq = binary.BigEndian.Uint64(data[12:])
+	n := binary.BigEndian.Uint64(data[20:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: declared payload %d exceeds limit", ErrCorrupt, n)
+	}
+	if uint64(len(data)) != headerSize+n+footerSize {
+		return 0, nil, fmt.Errorf("%w: file is %d bytes, envelope declares %d",
+			ErrCorrupt, len(data), headerSize+n+footerSize)
+	}
+	payload = data[headerSize : headerSize+n]
+	want := binary.BigEndian.Uint64(data[headerSize+n:])
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return 0, nil, fmt.Errorf("%w: payload checksum %016x, want %016x", ErrCorrupt, got, want)
+	}
+	return seq, payload, nil
+}
+
+// fileName renders the canonical checkpoint file name for a sequence
+// number. Zero-padding keeps lexical and numeric order identical.
+func fileName(seq uint64) string {
+	return fmt.Sprintf("ckpt-%016d.dsckpt", seq)
+}
+
+// parseFileName extracts the sequence number from a canonical name.
+func parseFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".dsckpt") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".dsckpt")
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Write durably stores payload as checkpoint seq in dir, creating the
+// directory if needed, and returns the final path. The write is atomic:
+// a crash at any point leaves either the previous set of checkpoints or
+// the previous set plus a fully valid new file — never a partial one.
+func Write(dir string, seq uint64, payload []byte) (string, error) {
+	if dir == "" {
+		return "", errors.New("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	final := filepath.Join(dir, fileName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	_, werr := f.Write(Encode(seq, payload))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: write %s: %w", tmp, werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	syncDir(dir)
+	return final, nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best effort: some filesystems reject directory fsync, and the write
+// itself is already atomic with respect to process crashes.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Entry describes one checkpoint file found in a directory.
+type Entry struct {
+	// Seq is the sequence number parsed from the file name.
+	Seq uint64
+	// Path is the absolute or dir-joined file path.
+	Path string
+}
+
+// List returns the checkpoint entries in dir in ascending sequence
+// order. Files that do not match the canonical name (including leftover
+// .tmp files) are ignored. A missing directory lists as empty.
+func List(dir string) ([]Entry, error) {
+	des, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read dir: %w", err)
+	}
+	var out []Entry
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		seq, ok := parseFileName(de.Name())
+		if !ok {
+			continue
+		}
+		out = append(out, Entry{Seq: seq, Path: filepath.Join(dir, de.Name())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Load reads and validates one checkpoint file.
+func Load(path string) (seq uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	seq, payload, err = Decode(data)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return seq, payload, nil
+}
+
+// LoadLatest returns the newest valid checkpoint in dir. Invalid files
+// are skipped (falling back to the previous checkpoint — the torn-write
+// recovery path); their errors are joined into the returned error only
+// when no valid checkpoint remains. An empty or missing directory
+// returns ErrNoCheckpoint.
+func LoadLatest(dir string) (seq uint64, payload []byte, path string, err error) {
+	entries, err := List(dir)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if len(entries) == 0 {
+		return 0, nil, "", fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+	}
+	var loadErrs []error
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		seq, payload, lerr := Load(e.Path)
+		if lerr != nil {
+			loadErrs = append(loadErrs, lerr)
+			continue
+		}
+		if seq != e.Seq {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w: file claims seq %d, name says %d",
+				e.Path, ErrCorrupt, seq, e.Seq))
+			continue
+		}
+		return seq, payload, e.Path, nil
+	}
+	return 0, nil, "", fmt.Errorf("checkpoint: no valid checkpoint in %s: %w", dir, errors.Join(loadErrs...))
+}
+
+// Prune removes all but the newest keep checkpoints. keep < 1 is treated
+// as 1: the latest checkpoint is never deleted.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := List(dir)
+	if err != nil {
+		return err
+	}
+	if len(entries) <= keep {
+		return nil
+	}
+	var errs []error
+	for _, e := range entries[:len(entries)-keep] {
+		if err := os.Remove(e.Path); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,187 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("model state bytes")
+	path, err := Write(dir, 7, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("Load = (%d, %q), want (7, %q)", seq, got, payload)
+	}
+}
+
+func TestLoadLatestPicksNewestValid(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{1, 2, 3} {
+		if _, err := Write(dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, payload, _, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 || !bytes.Equal(payload, []byte{3}) {
+		t.Fatalf("LoadLatest = (%d, %v)", seq, payload)
+	}
+}
+
+func TestLoadLatestFallsBackPastCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, 1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	path, err := Write(dir, 2, []byte("soon to be torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write that somehow survived the rename: truncate
+	// the newest file mid-payload.
+	if err := os.Truncate(path, 25); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, _, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || string(payload) != "good" {
+		t.Fatalf("LoadLatest = (%d, %q), want fallback to seq 1", seq, payload)
+	}
+}
+
+func TestLoadLatestErrors(t *testing.T) {
+	if _, _, _, err := LoadLatest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, fileName(5)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadLatest(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("all-corrupt dir: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsMutations(t *testing.T) {
+	env := Encode(9, []byte("payload"))
+	cases := map[string][]byte{
+		"truncated header":  env[:10],
+		"truncated payload": env[:len(env)-12],
+		"truncated crc":     env[:len(env)-3],
+		"empty":             {},
+	}
+	flippedMagic := append([]byte(nil), env...)
+	flippedMagic[0] ^= 0xff
+	cases["bad magic"] = flippedMagic
+	flippedPayload := append([]byte(nil), env...)
+	flippedPayload[headerSize] ^= 0x01
+	cases["payload bit flip"] = flippedPayload
+	badVersion := append([]byte(nil), env...)
+	badVersion[11] = 99
+	cases["future version"] = badVersion
+	trailing := append(append([]byte(nil), env...), 0xde, 0xad)
+	cases["trailing garbage"] = trailing
+	for name, data := range cases {
+		if _, _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 1 || des[0].Name() != fileName(1) {
+		t.Fatalf("dir contents = %v, want exactly %s", des, fileName(1))
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := Write(dir, seq, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Seq != 4 || entries[1].Seq != 5 {
+		t.Fatalf("entries after prune = %+v, want seqs 4 and 5", entries)
+	}
+	// keep < 1 still retains the newest checkpoint.
+	if err := Prune(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = List(dir)
+	if len(entries) != 1 || entries[0].Seq != 5 {
+		t.Fatalf("entries after prune(0) = %+v, want seq 5 only", entries)
+	}
+}
+
+func TestListIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"ckpt-0000000000000001.dsckpt.tmp", "notes.txt", "ckpt-x.dsckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("entries = %+v, want none", entries)
+	}
+}
+
+// FuzzDecode asserts decoding is total: arbitrary bytes must produce an
+// error or a valid (seq, payload) pair — never a panic — and anything
+// that decodes must re-encode to a decodable envelope with the same
+// contents.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(Encode(0, nil))
+	f.Add(Encode(42, []byte("model state")))
+	long := Encode(1<<40, bytes.Repeat([]byte{0xab}, 1024))
+	f.Add(long)
+	f.Add(long[:len(long)-5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		seq2, payload2, err := Decode(Encode(seq, payload))
+		if err != nil {
+			t.Fatalf("re-encode of valid envelope failed: %v", err)
+		}
+		if seq2 != seq || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip changed contents: (%d,%q) -> (%d,%q)", seq, payload, seq2, payload2)
+		}
+	})
+}

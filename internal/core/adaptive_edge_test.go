@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// slowStream emits one record per virtual second — the workload that
+// makes the adaptive controller grow the interval toward its maximum.
+func slowStream(n int) []stream.Record {
+	recs := make([]stream.Record, n)
+	for i := range recs {
+		recs[i] = stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(i),
+			Values:    vector.Vector{0.01 * float64(i%5), 0},
+		}
+	}
+	return recs
+}
+
+func TestAdaptiveRejectsZeroAndNegativeTarget(t *testing.T) {
+	eng := newToyEngine(t, 2)
+	for _, target := range []int{0, -5} {
+		_, err := NewPipeline(Config{
+			Algorithm:     newToyAlgo(),
+			Engine:        eng,
+			BatchInterval: 1,
+			Adaptive:      &AdaptiveBatch{TargetRecords: target},
+		})
+		if err == nil {
+			t.Errorf("TargetRecords=%d accepted", target)
+		}
+	}
+}
+
+func TestAdaptiveIntervalClampedByDecayBoundDuringRun(t *testing.T) {
+	// With DecayAlpha/DecayBeta set, the §IV-D maximum log_beta(1/alpha)
+	// (~25.3s for alpha=0.01, beta=1.2) must cap the adaptive interval at
+	// run time even when the configured MaxSeconds is far larger.
+	limit, err := MaxBatchSeconds(0.01, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        newToyEngine(t, 2),
+		BatchInterval: 1,
+		InitRecords:   10,
+		DecayAlpha:    0.01,
+		DecayBeta:     1.2,
+		Adaptive:      &AdaptiveBatch{TargetRecords: 5000, MinSeconds: 1, MaxSeconds: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(slowStream(600)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AdaptiveAdjustments == 0 {
+		t.Fatal("controller never adjusted")
+	}
+	if stats.FinalBatchSeconds > float64(limit) {
+		t.Errorf("final interval %v exceeds decay bound %v", stats.FinalBatchSeconds, float64(limit))
+	}
+	// The clamp must actually bind: a 5000-record target over a 1 rec/s
+	// stream would otherwise push the interval well past the bound.
+	if stats.FinalBatchSeconds < float64(limit)/2 {
+		t.Errorf("final interval %v never approached the decay bound %v", stats.FinalBatchSeconds, float64(limit))
+	}
+}
+
+func TestAdaptiveStateSurvivesResume(t *testing.T) {
+	// The checkpointed batcher state carries the adapted interval, and the
+	// checkpointed stats carry the adjustment counter: a crashed-and-
+	// resumed adaptive run must finish with exactly the statistics of an
+	// uninterrupted one.
+	recs := slowStream(400)
+	adaptive := func() *AdaptiveBatch {
+		return &AdaptiveBatch{TargetRecords: 50, MinSeconds: 1, MaxSeconds: 8}
+	}
+	build := func(dir string, killAfter int) *Pipeline {
+		cfg := Config{
+			Algorithm:     newToyAlgo(),
+			Engine:        newToyEngine(t, 2),
+			BatchInterval: 1,
+			InitRecords:   20,
+			Adaptive:      adaptive(),
+		}
+		if dir != "" {
+			cfg.Checkpoint = &CheckpointConfig{Dir: dir, EveryNBatches: 1}
+		}
+		if killAfter > 0 {
+			batches := 0
+			cfg.OnBatch = func(stream.Batch, *Model) error {
+				batches++
+				if batches >= killAfter {
+					return errKill
+				}
+				return nil
+			}
+		}
+		pl, err := NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+
+	ref := build("", 0)
+	refStats, err := ref.Run(stream.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.AdaptiveAdjustments == 0 {
+		t.Fatal("reference run never adapted; the test exercises nothing")
+	}
+
+	dir := t.TempDir()
+	killed := build(dir, 4)
+	if _, err := killed.Run(stream.NewSliceSource(recs)); !errors.Is(err, errKill) {
+		t.Fatalf("interrupted run: err = %v, want injected crash", err)
+	}
+
+	resumed := build(dir, 0)
+	if err := resumed.ResumeFrom(dir); err != nil {
+		t.Fatal(err)
+	}
+	resStats, err := resumed.Run(stream.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resStats.FinalBatchSeconds != refStats.FinalBatchSeconds {
+		t.Errorf("final interval diverged: resumed %v, reference %v",
+			resStats.FinalBatchSeconds, refStats.FinalBatchSeconds)
+	}
+	if resStats.AdaptiveAdjustments != refStats.AdaptiveAdjustments {
+		t.Errorf("adjustment counts diverged: resumed %d, reference %d",
+			resStats.AdaptiveAdjustments, refStats.AdaptiveAdjustments)
+	}
+	if resStats.Batches != refStats.Batches || resStats.Records != refStats.Records {
+		t.Errorf("run shape diverged: resumed %d batches / %d records, reference %d / %d",
+			resStats.Batches, resStats.Records, refStats.Batches, refStats.Records)
+	}
+}

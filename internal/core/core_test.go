@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"math"
@@ -115,6 +116,25 @@ func (a *toyAlgo) Create(rec stream.Record) MicroCluster {
 
 func (a *toyAlgo) AbsorbIntoNew(mc MicroCluster, rec stream.Record) bool {
 	return vector.Distance(rec.Values, mc.Center()) <= a.radius
+}
+
+func (a *toyAlgo) EncodeState(m *Model) ([]byte, error) {
+	gob.Register(&toyMC{})
+	return m.EncodeState()
+}
+
+func (a *toyAlgo) DecodeState(data []byte) (*Model, error) {
+	gob.Register(&toyMC{})
+	m, err := DecodeModelState(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, mc := range m.List() {
+		if _, ok := mc.(*toyMC); !ok {
+			return nil, fmt.Errorf("toy: micro-cluster %T is not a toy micro-cluster", mc)
+		}
+	}
+	return m, nil
 }
 
 func (a *toyAlgo) GlobalUpdate(model *Model, updates []Update, now vclock.Time) error {

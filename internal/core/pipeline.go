@@ -67,6 +67,10 @@ type Config struct {
 	// a target records-per-batch (the paper's §VII-D3 future work). The
 	// BatchInterval is then only the starting point.
 	Adaptive *AdaptiveBatch
+	// Checkpoint, when set, durably snapshots the run every
+	// EveryNBatches batches so it can be continued with ResumeFrom after
+	// a driver crash. Requires an Algorithm implementing StateCodec.
+	Checkpoint *CheckpointConfig
 	// OnBatch, when set, runs after every batch's global update.
 	OnBatch BatchHook
 }
@@ -108,6 +112,15 @@ type RunStats struct {
 	// on (0 when adaptation is off).
 	AdaptiveAdjustments int
 	FinalBatchSeconds   float64
+	// Checkpoints counts durable snapshots written during the run
+	// (carried across a resume, so an interrupted-and-resumed run
+	// reports the same total as an uninterrupted one).
+	Checkpoints int
+	// SpeculativeLaunches counts backup task copies dispatched for
+	// suspected stragglers; SpeculativeWins counts backups whose result
+	// was committed before the primary finished.
+	SpeculativeLaunches int
+	SpeculativeWins     int
 }
 
 // Throughput returns processed records per wall-clock second.
@@ -137,6 +150,16 @@ type Pipeline struct {
 	initBuf     []stream.Record
 	initialized bool
 	configSent  bool
+
+	// Checkpoint/resume bookkeeping. batchesSeen counts every batch the
+	// batcher emitted (including ones fully absorbed by warm-up, which
+	// ProcessBatch does not count in stats.Batches) and doubles as the
+	// checkpoint sequence number. resume holds a restored stream
+	// position until the next RunContext applies it; wallBase carries
+	// the interrupted run's wall time into the resumed total.
+	batchesSeen int
+	resume      *stream.BatcherState
+	wallBase    time.Duration
 }
 
 // NewPipeline validates cfg and builds a pipeline.
@@ -168,6 +191,17 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 			return nil, err
 		}
 		cfg.Adaptive = &validated
+	}
+	if cfg.Checkpoint != nil {
+		validated, err := cfg.Checkpoint.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := cfg.Algorithm.(StateCodec); !ok {
+			return nil, fmt.Errorf("core: checkpointing requires algorithm %q to implement StateCodec",
+				cfg.Algorithm.Name())
+		}
+		cfg.Checkpoint = &validated
 	}
 	return &Pipeline{cfg: cfg, model: NewModel()}, nil
 }
@@ -204,9 +238,14 @@ func (p *Pipeline) RunContext(ctx context.Context, src stream.Source) (RunStats,
 	if err != nil {
 		return p.stats, err
 	}
+	if p.resume != nil {
+		if err := p.applyResume(ctx, src, batcher); err != nil {
+			return p.stats, err
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
-			p.stats.TotalWall = time.Since(start)
+			p.stats.TotalWall = p.wallBase + time.Since(start)
 			return p.stats, err
 		}
 		batch, err := batcher.Next()
@@ -229,11 +268,17 @@ func (p *Pipeline) RunContext(ctx context.Context, src stream.Source) (RunStats,
 			}
 			p.stats.FinalBatchSeconds = float64(batcher.Interval())
 		}
+		p.batchesSeen++
+		if p.cfg.Checkpoint != nil && p.batchesSeen%p.cfg.Checkpoint.EveryNBatches == 0 {
+			if err := p.writeCheckpoint(batcher); err != nil {
+				return p.stats, fmt.Errorf("core: checkpoint after batch %d: %w", p.batchesSeen, err)
+			}
+		}
 	}
 	if err := p.finishInit(); err != nil {
 		return p.stats, err
 	}
-	p.stats.TotalWall = time.Since(start)
+	p.stats.TotalWall = p.wallBase + time.Since(start)
 	return p.stats, nil
 }
 
@@ -433,6 +478,8 @@ func (p *Pipeline) accountEngineMetrics() {
 		p.stats.StragglerTasks += sm.Stragglers()
 		p.stats.TotalTasks += len(sm.Tasks)
 		p.stats.TaskRetries += sm.Retries()
+		p.stats.SpeculativeLaunches += sm.SpeculativeLaunches()
+		p.stats.SpeculativeWins += sm.SpeculativeWins()
 		if sm.Failed {
 			p.stats.FailedStages++
 		}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"diststream/internal/clustream"
+	"diststream/internal/clustree"
+	"diststream/internal/core"
+	"diststream/internal/denstream"
+	"diststream/internal/dstream"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// codecs returns one instance per shipped algorithm, as the StateCodec
+// view the checkpoint subsystem uses.
+func codecs() map[string]core.StateCodec {
+	return map[string]core.StateCodec{
+		clustream.Name: clustream.New(clustream.Config{Dim: 2}),
+		denstream.Name: denstream.New(denstream.Config{Dim: 2}),
+		dstream.Name:   dstream.New(dstream.Config{Dim: 2}),
+		clustree.Name:  clustree.New(clustree.Config{Dim: 2}),
+	}
+}
+
+// seedModel builds a small populated model for an algorithm by feeding
+// its Init phase a few records from two separated blobs.
+func seedModel(tb testing.TB, algo core.Algorithm) *core.Model {
+	tb.Helper()
+	var recs []stream.Record
+	for i := 0; i < 40; i++ {
+		v := vector.Vector{0, 0}
+		if i%2 == 1 {
+			v = vector.Vector{20, 20}
+		}
+		v[0] += 0.1 * float64(i%5)
+		recs = append(recs, stream.Record{
+			Seq:       uint64(i),
+			Timestamp: vclock.Time(float64(i) * 0.01),
+			Values:    v,
+		})
+	}
+	mcs, err := algo.Init(recs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := core.NewModel()
+	for _, mc := range mcs {
+		m.Add(mc)
+	}
+	m.SetNow(recs[len(recs)-1].Timestamp)
+	return m
+}
+
+// FuzzModelStateCodec asserts the checkpoint state codec is total for
+// every shipped algorithm: arbitrary bytes must decode to either an
+// error or a valid model — never a panic — and any state that decodes
+// must survive a re-encode/decode cycle deep-equal. The committed seeds
+// include each algorithm's genuine encoded state, so the corpus starts
+// from structurally valid gob streams and mutates from there (covering
+// the cross-algorithm case: denstream decoding clustream state, etc.).
+func FuzzModelStateCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not gob at all"))
+	for name, codec := range codecs() {
+		algo := codec.(core.Algorithm)
+		data, err := codec.EncodeState(seedModel(f, algo))
+		if err != nil {
+			f.Fatalf("%s: seed encode: %v", name, err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(data[:len(data)-1])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for name, codec := range codecs() {
+			m, err := codec.DecodeState(data)
+			if err != nil {
+				continue
+			}
+			again, err := codec.EncodeState(m)
+			if err != nil {
+				t.Fatalf("%s: re-encode of decoded state failed: %v", name, err)
+			}
+			m2, err := codec.DecodeState(again)
+			if err != nil {
+				t.Fatalf("%s: re-decode failed: %v", name, err)
+			}
+			if !reflect.DeepEqual(m.List(), m2.List()) || m.Now() != m2.Now() ||
+				!reflect.DeepEqual(m.IDs(), m2.IDs()) {
+				t.Fatalf("%s: round trip changed the model", name)
+			}
+		}
+	})
+}
+
+// TestStateCodecCrossAlgorithmRejection pins the behavior the fuzzer
+// explores: state written by one algorithm must not decode as another's.
+func TestStateCodecCrossAlgorithmRejection(t *testing.T) {
+	all := codecs()
+	for writer, wc := range all {
+		data, err := wc.EncodeState(seedModel(t, wc.(core.Algorithm)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for reader, rc := range all {
+			if reader == writer {
+				continue
+			}
+			if _, err := rc.DecodeState(data); err == nil {
+				t.Errorf("%s decoded %s state without error", reader, writer)
+			}
+		}
+	}
+}

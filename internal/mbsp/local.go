@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -37,6 +38,11 @@ type LocalConfig struct {
 	// Streaming's task re-execution, which the paper relies on for fault
 	// tolerance (§VI). Default 0 (no retries).
 	TaskRetries int
+	// Speculation, when set, enables speculative re-execution of
+	// straggling tasks: idle workers run backup copies of tasks that
+	// exceed the configured multiple of the stage's median task duration,
+	// and the first result wins.
+	Speculation *SpeculationConfig
 }
 
 // LocalExecutor runs tasks on a pool of in-process worker goroutines. It
@@ -59,6 +65,13 @@ func NewLocalExecutor(cfg LocalConfig) (*LocalExecutor, error) {
 	}
 	if cfg.Registry == nil {
 		return nil, errors.New("mbsp: registry is required")
+	}
+	if cfg.Speculation != nil {
+		validated, err := cfg.Speculation.WithDefaults()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Speculation = &validated
 	}
 	return &LocalExecutor{cfg: cfg, broadcasts: newMapStore()}, nil
 }
@@ -99,6 +112,9 @@ func (e *LocalExecutor) RunTasks(ctx context.Context, stage, op string, inputs [
 	if err != nil {
 		return nil, nil, err
 	}
+	if e.cfg.Speculation != nil {
+		return e.runTasksSpeculative(ctx, stage, fn, inputs)
+	}
 	n := len(inputs)
 	outputs := make([]Partition, n)
 	metrics := make([]TaskMetrics, n)
@@ -115,52 +131,221 @@ func (e *LocalExecutor) RunTasks(ctx context.Context, stage, op string, inputs [
 				if ctx.Err() != nil {
 					return
 				}
-				start := time.Now()
-				if e.cfg.Delay != nil {
-					if d := e.cfg.Delay(stage, task, w); d > 0 {
-						time.Sleep(d)
-					}
-				}
-				tctx := &TaskContext{
-					StageName:  stage,
-					TaskID:     task,
-					WorkerID:   w,
-					broadcasts: e.broadcasts,
-				}
-				var out Partition
-				var err error
-				for attempt := 0; ; attempt++ {
-					tctx.Attempt = attempt
-					if e.cfg.Fail != nil {
-						err = e.cfg.Fail(stage, task, attempt)
-					} else {
-						err = nil
-					}
-					if err == nil {
-						out, err = fn(tctx, inputs[task])
-					}
-					if err == nil || attempt >= e.cfg.TaskRetries || ctx.Err() != nil {
-						break
-					}
-				}
+				out, m, err := e.attemptTask(ctx, stage, fn, inputs, task, w)
 				if err != nil {
-					errs[task] = &TaskError{Stage: stage, TaskID: task, Err: err}
+					errs[task] = err
 					continue
 				}
 				outputs[task] = out
-				metrics[task] = TaskMetrics{
-					Stage:    stage,
-					TaskID:   task,
-					WorkerID: w,
-					Duration: time.Since(start),
-					InItems:  len(inputs[task]),
-					OutItems: len(out),
-					Retries:  tctx.Attempt,
-				}
+				metrics[task] = m
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, metrics, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, metrics, err
+		}
+	}
+	return outputs, metrics, nil
+}
+
+// attemptTask runs one copy of a task — injected delay, injected
+// failures, the op body (with panic containment) and the retry loop —
+// and returns its output, metrics and error. It is shared by the plain
+// path (one copy per task) and the speculative path (primary + backup
+// copies).
+func (e *LocalExecutor) attemptTask(ctx context.Context, stage string, fn OpFunc, inputs []Partition, task, worker int) (Partition, TaskMetrics, error) {
+	start := time.Now()
+	if e.cfg.Delay != nil {
+		if d := e.cfg.Delay(stage, task, worker); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	tctx := &TaskContext{
+		StageName:  stage,
+		TaskID:     task,
+		WorkerID:   worker,
+		broadcasts: e.broadcasts,
+	}
+	var out Partition
+	var err error
+	for attempt := 0; ; attempt++ {
+		tctx.Attempt = attempt
+		if e.cfg.Fail != nil {
+			err = e.cfg.Fail(stage, task, attempt)
+		} else {
+			err = nil
+		}
+		if err == nil {
+			out, err = SafeCall(fn, tctx, inputs[task])
+		}
+		if err == nil || attempt >= e.cfg.TaskRetries || ctx.Err() != nil {
+			break
+		}
+	}
+	m := TaskMetrics{
+		Stage:    stage,
+		TaskID:   task,
+		WorkerID: worker,
+		Duration: time.Since(start),
+		InItems:  len(inputs[task]),
+		OutItems: len(out),
+		Retries:  tctx.Attempt,
+	}
+	if err != nil {
+		return nil, m, &TaskError{Stage: stage, TaskID: task, Err: err}
+	}
+	return out, m, nil
+}
+
+// specTracker is the shared scheduling state of one speculative stage.
+// All fields are guarded by mu; results commit first-wins under the
+// lock, which makes the tie-break deterministic in effect: ops are pure
+// functions of (broadcasts, input partition), so whichever copy commits,
+// the committed output is identical.
+type specTracker struct {
+	mu        sync.Mutex
+	durations []time.Duration   // committed successful task durations
+	starts    map[int]time.Time // start time of each running primary
+	backups   map[int]bool      // tasks with a backup copy launched
+	failed    map[int]bool      // speculated tasks with one failed copy
+	committed []bool
+	remaining int
+	aborted   bool
+	done      chan struct{} // closed when every task has committed
+}
+
+// candidate picks the straggler to back up: the lowest-id uncommitted
+// task with no backup yet whose elapsed time exceeds the speculation
+// bound. Marks it backed-up before returning. Caller holds mu.
+func (st *specTracker) candidate(spec *SpeculationConfig) (int, bool) {
+	if len(st.durations) < spec.MinCompleted {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), st.durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	bound := time.Duration(float64(median) * spec.Multiplier)
+	best := -1
+	for task, started := range st.starts {
+		if st.backups[task] || st.committed[task] || time.Since(started) <= bound {
+			continue
+		}
+		if best < 0 || task < best {
+			best = task
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	st.backups[best] = true
+	return best, true
+}
+
+// runTasksSpeculative is RunTasks with straggler mitigation: workers
+// first drain their own static task queue (task i on worker i%p, as in
+// the plain path), then poll for straggling tasks and run backup copies.
+// The stage completes as soon as every task has a committed result —
+// without waiting for straggling copies that already lost, which is
+// where the wall-time win over the plain path comes from.
+func (e *LocalExecutor) runTasksSpeculative(ctx context.Context, stage string, fn OpFunc, inputs []Partition) ([]Partition, []TaskMetrics, error) {
+	n := len(inputs)
+	outputs := make([]Partition, n)
+	metrics := make([]TaskMetrics, n)
+	errs := make([]error, n)
+	spec := e.cfg.Speculation
+	st := &specTracker{
+		starts:    make(map[int]time.Time),
+		backups:   make(map[int]bool),
+		failed:    make(map[int]bool),
+		committed: make([]bool, n),
+		remaining: n,
+		done:      make(chan struct{}),
+	}
+	if n == 0 {
+		close(st.done)
+	}
+
+	commit := func(task int, out Partition, m TaskMetrics, err error, isBackup bool) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.aborted || st.committed[task] {
+			return // the other copy won (or the stage aborted); discard
+		}
+		if err != nil && st.backups[task] && !st.failed[task] {
+			// First failed copy of a speculated task: keep the task open so
+			// the surviving copy can still deliver a good result.
+			st.failed[task] = true
+			return
+		}
+		st.committed[task] = true
+		delete(st.starts, task)
+		m.Speculative = st.backups[task]
+		m.SpeculativeWin = isBackup && err == nil
+		outputs[task], metrics[task], errs[task] = out, m, err
+		if err == nil {
+			st.durations = append(st.durations, m.Duration)
+		}
+		st.remaining--
+		if st.remaining == 0 {
+			close(st.done)
+		}
+	}
+
+	p := e.cfg.Parallelism
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			for task := w; task < n; task += p {
+				if ctx.Err() != nil {
+					return
+				}
+				st.mu.Lock()
+				if st.aborted {
+					st.mu.Unlock()
+					return
+				}
+				st.starts[task] = time.Now()
+				st.mu.Unlock()
+				out, m, err := e.attemptTask(ctx, stage, fn, inputs, task, w)
+				commit(task, out, m, err, false)
+			}
+			// Queue drained: this worker is idle. Poll for stragglers.
+			ticker := time.NewTicker(spec.Poll)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-st.done:
+					return
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				st.mu.Lock()
+				task, ok := st.candidate(spec)
+				st.mu.Unlock()
+				if !ok {
+					continue
+				}
+				out, m, err := e.attemptTask(ctx, stage, fn, inputs, task, w)
+				commit(task, out, m, err, true)
+			}
+		}(w)
+	}
+
+	select {
+	case <-st.done:
+		// Closed under st.mu after the last commit: all slice writes are
+		// visible here, and no goroutine writes after its discard check.
+	case <-ctx.Done():
+		st.mu.Lock()
+		st.aborted = true // poison: in-flight copies discard their results
+		st.mu.Unlock()
+		return nil, metrics, ctx.Err()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, metrics, err
 	}

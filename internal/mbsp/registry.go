@@ -2,6 +2,7 @@ package mbsp
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -59,6 +60,21 @@ func (r *Registry) Lookup(name string) (OpFunc, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownOp, name)
 	}
 	return fn, nil
+}
+
+// SafeCall invokes an op with panic containment: a panic inside fn is
+// recovered and returned as a *PanicError carrying the panic value and
+// stack, so one bad record fails a task (which the retry/abort machinery
+// then handles) instead of taking down the whole executor process. Both
+// executors route every op invocation through here.
+func SafeCall(fn OpFunc, ctx *TaskContext, in Partition) (out Partition, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, in)
 }
 
 // Names returns the registered op names (order unspecified).

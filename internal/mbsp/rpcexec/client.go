@@ -46,6 +46,12 @@ type Config struct {
 	// Backoff is the sleep before the first retry, doubling each attempt.
 	// Default 50ms.
 	Backoff time.Duration
+	// Speculation, when set, enables speculative re-execution of
+	// straggling tasks: workers that drain their queue run backup copies
+	// of tasks exceeding the configured multiple of the stage's median
+	// duration, the first result wins, and the loser's in-flight call is
+	// cancelled so the stage barrier does not wait out the straggler.
+	Speculation *mbsp.SpeculationConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -267,6 +273,13 @@ func DialConfig(addrs []string, cfg Config) (*Executor, error) {
 	}
 	registerOnce.Do(registerBuiltins)
 	cfg = cfg.withDefaults()
+	if cfg.Speculation != nil {
+		validated, err := cfg.Speculation.WithDefaults()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Speculation = &validated
+	}
 	e := &Executor{
 		cfg:   cfg,
 		conns: make([]*workerConn, 0, len(addrs)),
@@ -397,6 +410,9 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 	if e.isClosed() {
 		return nil, nil, mbsp.ErrClosed
 	}
+	if e.cfg.Speculation != nil {
+		return e.runTasksSpeculative(ctx, stage, op, inputs)
+	}
 	n := len(inputs)
 	outputs := make([]mbsp.Partition, n)
 	metrics := make([]mbsp.TaskMetrics, n)
@@ -506,6 +522,366 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 		}
 		sort.Ints(requeue)
 		pending = requeue
+	}
+	return outputs, metrics, nil
+}
+
+// specState is the shared scheduling state of one speculative stage on
+// the TCP executor — the remote analogue of the local executor's
+// speculation tracker, extended with per-copy cancel functions so a
+// committed backup can interrupt its straggling primary's in-flight call.
+// The cancellation makes wc.call return the context error without marking
+// the worker dead; the torn-down connection simply redials on next use.
+type specState struct {
+	mu         sync.Mutex
+	durations  []time.Duration // committed successful task durations
+	starts     map[int]time.Time
+	backups    map[int]bool // a backup copy is armed or in flight
+	speculated map[int]bool // ever speculated (for metrics)
+	failed     map[int]bool // one copy of a speculated task already failed
+	retries    map[int]int
+	cancels    map[int][]context.CancelFunc
+	committed  []bool
+	remaining  int
+	aborted    bool
+	done       chan struct{} // closed when every task has committed
+}
+
+func newSpecState(n int) *specState {
+	st := &specState{
+		starts:     make(map[int]time.Time),
+		backups:    make(map[int]bool),
+		speculated: make(map[int]bool),
+		failed:     make(map[int]bool),
+		retries:    make(map[int]int),
+		cancels:    make(map[int][]context.CancelFunc),
+		committed:  make([]bool, n),
+		remaining:  n,
+		done:       make(chan struct{}),
+	}
+	if n == 0 {
+		close(st.done)
+	}
+	return st
+}
+
+// beginPrimary registers a primary copy: it records the straggler clock
+// and the cancel hook, and reports false when the task already committed
+// (a backup from this or an earlier round won) so the caller skips it.
+func (st *specState) beginPrimary(task int, cancel context.CancelFunc) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.aborted || st.committed[task] {
+		return false
+	}
+	st.starts[task] = time.Now()
+	st.cancels[task] = append(st.cancels[task], cancel)
+	return true
+}
+
+// beginBackup registers a backup copy's cancel hook; false means the task
+// committed between candidate selection and the backup's start.
+func (st *specState) beginBackup(task int, cancel context.CancelFunc) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.aborted || st.committed[task] {
+		return false
+	}
+	st.cancels[task] = append(st.cancels[task], cancel)
+	return true
+}
+
+// candidate picks the straggler to back up: the lowest-id uncommitted
+// task with a running primary, no backup yet, and an elapsed time beyond
+// Multiplier times the stage median. It arms the backup before returning.
+func (st *specState) candidate(spec *mbsp.SpeculationConfig) (int, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.aborted || len(st.durations) < spec.MinCompleted {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), st.durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	bound := time.Duration(float64(median) * spec.Multiplier)
+	best := -1
+	for task, started := range st.starts {
+		if st.backups[task] || st.committed[task] || time.Since(started) <= bound {
+			continue
+		}
+		if best < 0 || task < best {
+			best = task
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	st.backups[best] = true
+	st.speculated[best] = true
+	return best, true
+}
+
+// releaseBackup clears the armed-backup mark after a backup copy died on
+// transport (its worker was lost), so another idle worker may speculate
+// the task again.
+func (st *specState) releaseBackup(task int) {
+	st.mu.Lock()
+	st.backups[task] = false
+	st.mu.Unlock()
+}
+
+// clearStart drops a stranded primary's straggler clock so pollers stop
+// treating it as a running straggler; the round loop re-dispatches it.
+func (st *specState) clearStart(task int) {
+	st.mu.Lock()
+	delete(st.starts, task)
+	st.mu.Unlock()
+}
+
+func (st *specState) noteRetries(task, tries int) {
+	if tries == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.retries[task] += tries
+	st.mu.Unlock()
+}
+
+// abort poisons the stage: in-flight copies discard their results and
+// their calls are interrupted.
+func (st *specState) abort() {
+	st.mu.Lock()
+	st.aborted = true
+	for _, cancels := range st.cancels {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}
+	st.cancels = make(map[int][]context.CancelFunc)
+	st.mu.Unlock()
+}
+
+// runOneCopy executes one copy of a task on one worker and returns the
+// response, driver-observed metrics and transport retry count. The error
+// return is transport-level (worker loss or context cancellation);
+// application failures come back inside the response.
+func (e *Executor) runOneCopy(ctx context.Context, worker int, stage, op string, task int, input mbsp.Partition) (response, mbsp.TaskMetrics, int, error) {
+	start := time.Now()
+	resp, tries, err := e.conns[worker].call(ctx, request{
+		Kind:   kindTask,
+		Stage:  stage,
+		Op:     op,
+		TaskID: task,
+		Input:  input,
+	})
+	m := mbsp.TaskMetrics{
+		Stage:    stage,
+		TaskID:   task,
+		WorkerID: worker,
+		Duration: time.Since(start),
+		InItems:  len(input),
+	}
+	if err != nil {
+		return resp, m, tries, err
+	}
+	m.OutItems = len(resp.Output)
+	return resp, m, tries, nil
+}
+
+// runTasksSpeculative is RunTasks with straggler mitigation, keeping the
+// plain path's round structure for worker-loss recovery. Within a round,
+// workers that drain their task list poll for straggling primaries and
+// run backup copies on their own connections; the first result to commit
+// wins and cancels the losing copy's in-flight call. Ops are pure, so
+// either copy yields the same output and order-aware semantics hold.
+func (e *Executor) runTasksSpeculative(ctx context.Context, stage, op string, inputs []mbsp.Partition) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
+	n := len(inputs)
+	outputs := make([]mbsp.Partition, n)
+	metrics := make([]mbsp.TaskMetrics, n)
+	errs := make([]error, n)
+	spec := e.cfg.Speculation
+	st := newSpecState(n)
+
+	commit := func(task int, out mbsp.Partition, m mbsp.TaskMetrics, err error, isBackup bool) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.aborted || st.committed[task] {
+			return // the other copy won (or the stage aborted); discard
+		}
+		if err != nil && st.backups[task] && !st.failed[task] {
+			// First failed copy of a speculated task: the surviving copy
+			// may still deliver a good result, so keep the task open.
+			st.failed[task] = true
+			return
+		}
+		st.committed[task] = true
+		delete(st.starts, task)
+		for _, cancel := range st.cancels[task] {
+			cancel() // unblock the losing copy's in-flight call
+		}
+		delete(st.cancels, task)
+		m.Speculative = st.speculated[task]
+		m.SpeculativeWin = isBackup && err == nil
+		m.Retries = st.retries[task]
+		outputs[task], metrics[task], errs[task] = out, m, err
+		if err == nil {
+			st.durations = append(st.durations, m.Duration)
+		}
+		st.remaining--
+		if st.remaining == 0 {
+			close(st.done)
+		}
+	}
+
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	var mu sync.Mutex // guards lastLoss
+	var lastLoss error
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			st.abort()
+			return nil, metrics, err
+		}
+		var alive []int
+		for w, wc := range e.conns {
+			if wc.alive() {
+				alive = append(alive, w)
+			}
+		}
+		if len(alive) == 0 {
+			if lastLoss != nil {
+				return nil, metrics, fmt.Errorf("%w (stage %q, %d tasks stranded): %v", ErrAllWorkersLost, stage, len(pending), lastLoss)
+			}
+			return nil, metrics, fmt.Errorf("%w (stage %q)", ErrAllWorkersLost, stage)
+		}
+		assign := make([][]int, len(alive))
+		for j, task := range pending {
+			assign[j%len(alive)] = append(assign[j%len(alive)], task)
+		}
+
+		// roundOver releases pollers when every primary goroutine has
+		// finished but some tasks were stranded by a lost worker (st.done
+		// never closes in that round).
+		roundOver := make(chan struct{})
+		var wgPrimary, wgAll sync.WaitGroup
+		for wi, worker := range alive {
+			tasks := assign[wi]
+			worker := worker
+			wgPrimary.Add(1)
+			wgAll.Add(1)
+			go func() {
+				defer wgAll.Done()
+				var primaryOnce sync.Once
+				donePrimary := func() { primaryOnce.Do(wgPrimary.Done) }
+				defer donePrimary()
+				for k, task := range tasks {
+					if ctx.Err() != nil {
+						return
+					}
+					tctx, cancel := context.WithCancel(ctx)
+					if !st.beginPrimary(task, cancel) {
+						cancel()
+						continue
+					}
+					resp, m, tries, err := e.runOneCopy(tctx, worker, stage, op, task, inputs[task])
+					cancel()
+					st.noteRetries(task, tries)
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						if tctx.Err() != nil {
+							continue // a backup won and cancelled this call
+						}
+						// Worker lost: strand the remaining tasks for the
+						// next round and stop driving this connection.
+						mu.Lock()
+						lastLoss = err
+						mu.Unlock()
+						for _, t := range tasks[k:] {
+							st.clearStart(t)
+						}
+						return
+					}
+					if resp.Err != "" {
+						commit(task, nil, m, &mbsp.TaskError{Stage: stage, TaskID: task, Err: errors.New(resp.Err)}, false)
+						continue
+					}
+					commit(task, resp.Output, m, nil, false)
+				}
+				donePrimary()
+				// List drained: this worker is idle. Poll for stragglers.
+				ticker := time.NewTicker(spec.Poll)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-st.done:
+						return
+					case <-roundOver:
+						return
+					case <-ctx.Done():
+						return
+					case <-ticker.C:
+					}
+					task, ok := st.candidate(spec)
+					if !ok {
+						continue
+					}
+					bctx, cancel := context.WithCancel(ctx)
+					if !st.beginBackup(task, cancel) {
+						cancel()
+						continue
+					}
+					resp, m, tries, err := e.runOneCopy(bctx, worker, stage, op, task, inputs[task])
+					cancel()
+					st.noteRetries(task, tries)
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						if bctx.Err() != nil {
+							continue // the primary won and cancelled this call
+						}
+						// Backup's worker lost: let the task be speculated
+						// again or re-dispatched next round.
+						st.releaseBackup(task)
+						return
+					}
+					if resp.Err != "" {
+						commit(task, nil, m, &mbsp.TaskError{Stage: stage, TaskID: task, Err: errors.New(resp.Err)}, true)
+						continue
+					}
+					commit(task, resp.Output, m, nil, true)
+				}
+			}()
+		}
+		wgPrimary.Wait()
+		close(roundOver)
+		wgAll.Wait()
+		if err := ctx.Err(); err != nil {
+			st.abort()
+			return nil, metrics, err
+		}
+		// Application failures abort the stage after the round, lowest
+		// task first — the same policy as the plain path.
+		for task := 0; task < n; task++ {
+			if errs[task] != nil {
+				st.abort()
+				return nil, metrics, errs[task]
+			}
+		}
+		// Next round: whatever is still uncommitted, in ascending order.
+		var next []int
+		st.mu.Lock()
+		for task := 0; task < n; task++ {
+			if !st.committed[task] {
+				next = append(next, task)
+			}
+		}
+		st.mu.Unlock()
+		pending = next
 	}
 	return outputs, metrics, nil
 }

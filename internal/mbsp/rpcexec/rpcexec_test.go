@@ -39,6 +39,20 @@ func testRegistry(t *testing.T) *mbsp.Registry {
 	reg.MustRegister("worker-id", func(ctx *mbsp.TaskContext, _ mbsp.Partition) (mbsp.Partition, error) {
 		return mbsp.Partition{ctx.WorkerID}, nil
 	})
+	reg.MustRegister("fail-on-worker-zero", func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		if ctx.WorkerID == 0 {
+			return nil, errors.New("sick worker")
+		}
+		return in, nil
+	})
+	reg.MustRegister("panic-on-three", func(_ *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		for _, item := range in {
+			if item.(int) == 3 {
+				panic("poison record")
+			}
+		}
+		return in, nil
+	})
 	return reg
 }
 

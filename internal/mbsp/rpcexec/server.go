@@ -218,7 +218,10 @@ func (w *Worker) runTask(req request) response {
 	}
 	ctx := mbsp.NewTaskContext(req.Stage, req.TaskID, w.id, w.broadcasts)
 	start := time.Now()
-	out, err := fn(ctx, req.Input)
+	// SafeCall contains panics: a poisonous record fails this one task
+	// (the error string, stack included, travels back to the driver's
+	// retry/abort machinery) instead of killing the worker process.
+	out, err := mbsp.SafeCall(fn, ctx, req.Input)
 	dur := time.Since(start)
 	if err != nil {
 		return response{TaskID: req.TaskID, Err: err.Error(), DurMicro: dur.Microseconds()}

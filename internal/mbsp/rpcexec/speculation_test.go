@@ -1,0 +1,144 @@
+package rpcexec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"diststream/internal/mbsp"
+)
+
+// specCfg keeps the per-call deadline well above the injected stalls so
+// speculation — not the timeout/retry machinery — is what resolves the
+// straggler.
+func specCfg() Config {
+	return Config{
+		CallTimeout: 10 * time.Second,
+		Speculation: &mbsp.SpeculationConfig{Multiplier: 1.5, MinCompleted: 2, Poll: time.Millisecond},
+	}
+}
+
+// stallWorker makes one worker stall every task of a stage — a slow node,
+// not a dead one: the process keeps running and eventually answers.
+func stallWorker(w *Worker, stage string, d time.Duration) {
+	w.SetFault(func(s string, _ int) (Fault, time.Duration) {
+		if s == stage {
+			return FaultStall, d
+		}
+		return FaultNone, 0
+	})
+}
+
+func TestTCPSpeculationBackupWinsAndImprovesWallTime(t *testing.T) {
+	const stall = 600 * time.Millisecond
+	exec, workers := startClusterCfg(t, 4, specCfg())
+	stallWorker(workers[0], "map", stall)
+
+	inputs := intParts([]int{1, 2}, []int{3}, []int{4}, []int{5})
+	start := time.Now()
+	out, metrics, err := exec.RunTasks(context.Background(), "map", "double", inputs)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall >= stall/2 {
+		t.Errorf("wall %v did not improve on the %v stall", wall, stall)
+	}
+
+	want := [][]int{{2, 4}, {6}, {8}, {10}}
+	for i := range want {
+		if len(out[i]) != len(want[i]) {
+			t.Fatalf("partition %d = %v", i, out[i])
+		}
+		for j := range want[i] {
+			if out[i][j].(int) != want[i][j] {
+				t.Errorf("partition %d item %d = %v, want %d", i, j, out[i][j], want[i][j])
+			}
+		}
+	}
+
+	sm := mbsp.StageMetrics{Stage: "map", Tasks: metrics}
+	if sm.SpeculativeLaunches() < 1 || sm.SpeculativeWins() < 1 {
+		t.Errorf("launches=%d wins=%d, want both >= 1", sm.SpeculativeLaunches(), sm.SpeculativeWins())
+	}
+	if !metrics[0].Speculative || !metrics[0].SpeculativeWin {
+		t.Errorf("task 0 metrics = %+v, want speculative win", metrics[0])
+	}
+	if metrics[0].WorkerID == 0 {
+		t.Errorf("winning copy ran on the stalled worker %d", metrics[0].WorkerID)
+	}
+
+	// Cancelling the straggling primary's call must not have marked the
+	// slow worker dead: after the stall it is just as alive as the rest,
+	// and the next stage can use it (over a redialed connection).
+	if n := exec.AliveWorkers(); n != 4 {
+		t.Fatalf("AliveWorkers = %d after speculation, want 4", n)
+	}
+	workers[0].SetFault(nil)
+	out, _, err = exec.RunTasks(context.Background(), "map2", "double", intParts([]int{7}, []int{8}, []int{9}, []int{10}))
+	if err != nil {
+		t.Fatalf("stage after speculation failed: %v", err)
+	}
+	if out[0][0].(int) != 14 {
+		t.Errorf("redialed worker output = %v, want 14", out[0][0])
+	}
+}
+
+func TestTCPSpeculationBackupCoversSickWorker(t *testing.T) {
+	// Worker 0 is a sick node: it stalls and its copy of any task fails.
+	// Task 0's primary is doomed; the backup on a healthy worker must win
+	// and the stage must succeed with the backup's result.
+	exec, workers := startClusterCfg(t, 4, specCfg())
+	stallWorker(workers[0], "map", 300*time.Millisecond)
+
+	out, metrics, err := exec.RunTasks(context.Background(), "map", "fail-on-worker-zero",
+		intParts([]int{1}, []int{2}, []int{3}, []int{4}))
+	if err != nil {
+		t.Fatalf("stage failed despite a healthy backup: %v", err)
+	}
+	if out[0][0].(int) != 1 {
+		t.Errorf("task 0 output = %v, want 1", out[0][0])
+	}
+	if !metrics[0].Speculative || !metrics[0].SpeculativeWin || metrics[0].WorkerID == 0 {
+		t.Errorf("task 0 metrics = %+v, want a backup win on a healthy worker", metrics[0])
+	}
+}
+
+func TestTCPSpeculationAppErrorStillAborts(t *testing.T) {
+	// A deterministic op failure with speculation enabled must still abort
+	// the stage (re-running a pure op elsewhere cannot help) — speculation
+	// must not swallow real errors.
+	exec, _ := startClusterCfg(t, 2, specCfg())
+	_, _, err := exec.RunTasks(context.Background(), "map", "fail", intParts([]int{1}, []int{2}))
+	var te *mbsp.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TaskError", err)
+	}
+	if !strings.Contains(te.Error(), "kaput") {
+		t.Errorf("err = %v, want the op's failure message", te)
+	}
+}
+
+func TestTCPWorkerPanicContainment(t *testing.T) {
+	// A panic inside an op on a remote worker fails that one task — the
+	// stack travels back in the error — and the worker process survives to
+	// serve the next stage.
+	exec, _ := startCluster(t, 2)
+	_, _, err := exec.RunTasks(context.Background(), "map", "panic-on-three", intParts([]int{1, 2}, []int{3}))
+	var te *mbsp.TaskError
+	if !errors.As(err, &te) || te.TaskID != 1 {
+		t.Fatalf("err = %v, want TaskError for task 1", err)
+	}
+	if !strings.Contains(err.Error(), "poison record") || !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("err = %v, want panic value and stack", err)
+	}
+	out, _, err := exec.RunTasks(context.Background(), "map", "double", intParts([]int{21}))
+	if err != nil {
+		t.Fatalf("worker unusable after contained panic: %v", err)
+	}
+	if out[0][0].(int) != 42 {
+		t.Errorf("output = %v, want 42", out[0][0])
+	}
+}

@@ -1,0 +1,256 @@
+package mbsp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stallWorkerZero delays the named stage's tasks only when they run on
+// worker 0 — modelling one slow node, so a backup copy dispatched to any
+// other worker runs at full speed.
+func stallWorkerZero(stage string, d time.Duration) DelayFunc {
+	return func(s string, _, workerID int) time.Duration {
+		if s == stage && workerID == 0 {
+			return d
+		}
+		return 0
+	}
+}
+
+func newSpecLocal(t *testing.T, p int, reg *Registry, cfg LocalConfig) *LocalExecutor {
+	t.Helper()
+	cfg.Parallelism = p
+	cfg.Registry = reg
+	exec, err := NewLocalExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	return exec
+}
+
+func TestSpeculationBackupWinsAndImprovesWallTime(t *testing.T) {
+	const stall = 400 * time.Millisecond
+	reg := newTestRegistry(t)
+	inputs := intParts([]int{1, 2}, []int{3}, []int{4}, []int{5})
+
+	run := func(spec *SpeculationConfig) ([]Partition, []TaskMetrics, time.Duration) {
+		exec := newSpecLocal(t, 4, reg, LocalConfig{
+			Delay:       stallWorkerZero("map", stall),
+			Speculation: spec,
+		})
+		start := time.Now()
+		out, metrics, err := exec.RunTasks(context.Background(), "map", "double", inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, metrics, time.Since(start)
+	}
+
+	plainOut, _, plainWall := run(nil)
+	specOut, metrics, specWall := run(&SpeculationConfig{
+		Multiplier:   1.5,
+		MinCompleted: 2,
+		Poll:         time.Millisecond,
+	})
+
+	// The plain run is gated on the stalled worker; the speculative run
+	// must finish well before the stall elapses.
+	if plainWall < stall {
+		t.Fatalf("plain wall %v shorter than the %v stall; delay not injected", plainWall, stall)
+	}
+	if specWall >= stall/2 {
+		t.Errorf("speculative wall %v did not improve on the %v stall", specWall, stall)
+	}
+
+	// First-result-wins must not change output: task 0's backup computes
+	// the same pure function over the same partition.
+	if len(specOut) != len(plainOut) {
+		t.Fatalf("output partition counts differ: %d vs %d", len(specOut), len(plainOut))
+	}
+	for i := range plainOut {
+		if len(specOut[i]) != len(plainOut[i]) {
+			t.Fatalf("partition %d sizes differ", i)
+		}
+		for j := range plainOut[i] {
+			if specOut[i][j] != plainOut[i][j] {
+				t.Errorf("partition %d item %d: %v vs %v", i, j, specOut[i][j], plainOut[i][j])
+			}
+		}
+	}
+
+	// The straggling task must be marked speculative with a backup win,
+	// executed by a worker other than the stalled one.
+	sm := StageMetrics{Stage: "map", Tasks: metrics}
+	if sm.SpeculativeLaunches() < 1 {
+		t.Error("no speculative launches recorded")
+	}
+	if sm.SpeculativeWins() < 1 {
+		t.Error("no speculative wins recorded")
+	}
+	if !metrics[0].Speculative || !metrics[0].SpeculativeWin {
+		t.Errorf("task 0 metrics = %+v, want speculative win", metrics[0])
+	}
+	if metrics[0].WorkerID == 0 {
+		t.Errorf("winning copy ran on the stalled worker %d", metrics[0].WorkerID)
+	}
+}
+
+func TestSpeculationBackupCoversFailedPrimary(t *testing.T) {
+	// Worker 0 is a sick node: its copy of any task stalls and then fails.
+	// Task 0 is dealt to worker 0, so its primary is doomed; the backup on
+	// a healthy worker must win and the stage must succeed with the
+	// backup's result instead of aborting on the primary's error.
+	reg := newTestRegistry(t)
+	reg.MustRegister("fail-on-worker-zero", func(ctx *TaskContext, in Partition) (Partition, error) {
+		if ctx.WorkerID == 0 {
+			return nil, errors.New("sick worker")
+		}
+		return in, nil
+	})
+	exec := newSpecLocal(t, 4, reg, LocalConfig{
+		Delay:       stallWorkerZero("map", 200*time.Millisecond),
+		Speculation: &SpeculationConfig{Multiplier: 1.5, MinCompleted: 2, Poll: time.Millisecond},
+	})
+	out, metrics, err := exec.RunTasks(context.Background(), "map", "fail-on-worker-zero",
+		intParts([]int{1}, []int{2}, []int{3}, []int{4}))
+	if err != nil {
+		t.Fatalf("stage failed despite a healthy backup: %v", err)
+	}
+	if out[0][0] != 1 {
+		t.Errorf("task 0 output = %v, want 1", out[0][0])
+	}
+	if !metrics[0].Speculative || !metrics[0].SpeculativeWin || metrics[0].WorkerID == 0 {
+		t.Errorf("task 0 metrics = %+v, want a backup win on a healthy worker", metrics[0])
+	}
+}
+
+func TestSpeculationDisabledKeepsSingleCopies(t *testing.T) {
+	reg := newTestRegistry(t)
+	exec := newLocal(t, 2, reg)
+	_, metrics, err := exec.RunTasks(context.Background(), "map", "double", intParts([]int{1}, []int{2}, []int{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := StageMetrics{Stage: "map", Tasks: metrics}
+	if sm.SpeculativeLaunches() != 0 || sm.SpeculativeWins() != 0 {
+		t.Errorf("speculation metrics nonzero without speculation: %+v", metrics)
+	}
+}
+
+func TestSpeculationConfigValidation(t *testing.T) {
+	reg := newTestRegistry(t)
+	bad := []SpeculationConfig{
+		{Multiplier: -1},
+		{Multiplier: 0.5},
+		{MinCompleted: -1},
+		{Poll: -time.Second},
+	}
+	for _, cfg := range bad {
+		cfg := cfg
+		if _, err := NewLocalExecutor(LocalConfig{Parallelism: 1, Registry: reg, Speculation: &cfg}); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: 1, Registry: reg, Speculation: &SpeculationConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	got := exec.cfg.Speculation
+	if got.Multiplier != 1.5 || got.MinCompleted != 2 || got.Poll != time.Millisecond {
+		t.Errorf("defaults = %+v", got)
+	}
+}
+
+func TestSpeculativeContextCancel(t *testing.T) {
+	// Cancelling mid-stage must return promptly with the context error,
+	// not wait out the straggler.
+	reg := newTestRegistry(t)
+	exec := newSpecLocal(t, 2, reg, LocalConfig{
+		Delay:       stallWorkerZero("map", 2*time.Second),
+		Speculation: &SpeculationConfig{MinCompleted: 100}, // never speculate
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := exec.RunTasks(ctx, "map", "double", intParts([]int{1}, []int{2}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancel took %v; stage waited for the straggler", elapsed)
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	reg := newTestRegistry(t)
+	reg.MustRegister("panics-on-three", func(_ *TaskContext, in Partition) (Partition, error) {
+		for _, item := range in {
+			if item.(int) == 3 {
+				panic("poison record")
+			}
+		}
+		return in, nil
+	})
+
+	// Without retries: the panic becomes a task error carrying the stack,
+	// flowing through the normal abort path — the executor survives.
+	exec := newLocal(t, 2, reg)
+	_, _, err := exec.RunTasks(context.Background(), "map", "panics-on-three", intParts([]int{1, 2}, []int{3}))
+	var te *TaskError
+	if !errors.As(err, &te) || te.TaskID != 1 {
+		t.Fatalf("err = %v, want TaskError for task 1", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want wrapped PanicError", err)
+	}
+	if pe.Value != "poison record" || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Errorf("PanicError = value %v, stack %d bytes", pe.Value, len(pe.Stack))
+	}
+	// The executor is still usable after the panic.
+	if _, _, err := exec.RunTasks(context.Background(), "map", "double", intParts([]int{1})); err != nil {
+		t.Errorf("executor unusable after contained panic: %v", err)
+	}
+
+	// With speculation enabled the containment must hold too.
+	specExec := newSpecLocal(t, 2, reg, LocalConfig{Speculation: &SpeculationConfig{}})
+	_, _, err = specExec.RunTasks(context.Background(), "map", "panics-on-three", intParts([]int{3}, []int{1}))
+	if !errors.As(err, &pe) {
+		t.Fatalf("speculative path: err = %v, want wrapped PanicError", err)
+	}
+}
+
+func TestPanicRetriedLikeAnyTaskFailure(t *testing.T) {
+	// A panic on attempt 0 plus TaskRetries=1: the retry succeeds and the
+	// stage completes, with the retry visible in the metrics.
+	reg := NewRegistry()
+	reg.MustRegister("panic-once", func(ctx *TaskContext, in Partition) (Partition, error) {
+		if ctx.TaskID == 0 && ctx.Attempt == 0 {
+			panic("transient poison")
+		}
+		return in, nil
+	})
+	exec, err := NewLocalExecutor(LocalConfig{Parallelism: 2, Registry: reg, TaskRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	out, metrics, err := exec.RunTasks(context.Background(), "map", "panic-once", intParts([]int{7}, []int{8}))
+	if err != nil {
+		t.Fatalf("retry did not recover the panic: %v", err)
+	}
+	if out[0][0] != 7 {
+		t.Errorf("output = %v", out[0][0])
+	}
+	if metrics[0].Retries != 1 {
+		t.Errorf("task 0 retries = %d, want 1", metrics[0].Retries)
+	}
+}

@@ -60,6 +60,12 @@ type TaskMetrics struct {
 	// after a worker loss on the TCP executor. 0 means the task succeeded
 	// first try.
 	Retries int
+	// Speculative marks a task for which a backup copy was launched
+	// because the primary exceeded the stage's straggler bound;
+	// SpeculativeWin additionally marks that the backup's result was the
+	// one committed.
+	Speculative    bool
+	SpeculativeWin bool
 }
 
 // StageMetrics aggregates one stage execution.
@@ -81,6 +87,30 @@ func (s StageMetrics) Retries() int {
 	n := 0
 	for _, t := range s.Tasks {
 		n += t.Retries
+	}
+	return n
+}
+
+// SpeculativeLaunches counts tasks for which a backup copy was
+// dispatched.
+func (s StageMetrics) SpeculativeLaunches() int {
+	n := 0
+	for _, t := range s.Tasks {
+		if t.Speculative {
+			n++
+		}
+	}
+	return n
+}
+
+// SpeculativeWins counts tasks whose committed result came from the
+// backup copy rather than the original straggling attempt.
+func (s StageMetrics) SpeculativeWins() int {
+	n := 0
+	for _, t := range s.Tasks {
+		if t.SpeculativeWin {
+			n++
+		}
 	}
 	return n
 }
@@ -191,3 +221,69 @@ func (e *TaskError) Error() string {
 
 // Unwrap exposes the underlying task failure.
 func (e *TaskError) Unwrap() error { return e.Err }
+
+// PanicError is a panic inside an op, caught at the task boundary and
+// converted into an ordinary task error so one bad record cannot take
+// down an executor. It flows through the same retry/abort path as any
+// other task failure.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("mbsp: op panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// SpeculationConfig enables speculative re-execution of straggling
+// tasks, mirroring Spark's spark.speculation knobs. The scheduler
+// tracks completed task durations per stage; once at least MinCompleted
+// tasks have finished, any still-running task whose elapsed time
+// exceeds Multiplier times the stage median gets a backup copy
+// dispatched to an idle worker. First result wins, with a deterministic
+// tie-break (the primary's result is kept when both have committed
+// nothing yet and the primary arrives first under the tracker lock) —
+// ops are pure functions of (broadcasts, partition), so either copy
+// yields the same output and order-aware semantics are unchanged.
+type SpeculationConfig struct {
+	// Multiplier is the straggler bound as a multiple of the stage
+	// median task duration. Default 1.5.
+	Multiplier float64
+	// MinCompleted is how many tasks must finish before speculation can
+	// trigger (the median is meaningless earlier). Default 2.
+	MinCompleted int
+	// Poll is how often idle workers look for straggling tasks to back
+	// up. Default 1ms.
+	Poll time.Duration
+}
+
+// WithDefaults validates the config and fills in defaults. Executors
+// (local and rpcexec) call it once at construction.
+func (c *SpeculationConfig) WithDefaults() (SpeculationConfig, error) {
+	out := *c
+	if out.Multiplier < 0 {
+		return out, fmt.Errorf("mbsp: speculation multiplier %v must not be negative", out.Multiplier)
+	}
+	if out.Multiplier == 0 {
+		out.Multiplier = 1.5
+	}
+	if out.Multiplier < 1 {
+		return out, fmt.Errorf("mbsp: speculation multiplier %v must be at least 1", out.Multiplier)
+	}
+	if out.MinCompleted < 0 {
+		return out, fmt.Errorf("mbsp: speculation MinCompleted %d must not be negative", out.MinCompleted)
+	}
+	if out.MinCompleted == 0 {
+		out.MinCompleted = 2
+	}
+	if out.Poll < 0 {
+		return out, fmt.Errorf("mbsp: speculation poll %v must not be negative", out.Poll)
+	}
+	if out.Poll == 0 {
+		out.Poll = time.Millisecond
+	}
+	return out, nil
+}

@@ -81,6 +81,7 @@ type Batcher struct {
 	start    vclock.Time
 	pending  *Record
 	batchNo  int
+	consumed int
 	done     bool
 }
 
@@ -147,6 +148,7 @@ func (b *Batcher) Next() (Batch, error) {
 		if err != nil {
 			return Batch{}, err
 		}
+		b.consumed++
 		if b.start < 0 {
 			b.start = r.Timestamp
 		}
@@ -169,6 +171,76 @@ func (b *Batcher) Next() (Batch, error) {
 	b.start = b.start.Add(b.interval)
 	return batch, nil
 }
+
+// BatcherState is the serializable position of a Batcher: everything
+// needed to continue cutting an identical stream into identical batches
+// after a restart. The checkpoint subsystem persists it alongside the
+// model; on resume, the pipeline skips State.Consumed records of a fresh
+// source and calls Restore, after which Next yields exactly the batches
+// the interrupted run would have produced.
+type BatcherState struct {
+	// Interval is the current window length (it drifts under adaptive
+	// batch sizing, so the configured starting interval is not enough).
+	Interval vclock.Duration
+	// Start is the start of the next window.
+	Start vclock.Time
+	// BatchNo is the next batch index to emit.
+	BatchNo int
+	// Consumed counts records pulled from the source so far, including a
+	// pending record that has not been emitted in a batch yet.
+	Consumed int
+	// Done records source exhaustion.
+	Done bool
+	// HasPending marks that Pending holds a read-ahead record (the first
+	// record of the next window, pulled while closing the previous one).
+	HasPending bool
+	// Pending is the read-ahead record when HasPending is set.
+	Pending Record
+}
+
+// State captures the batcher's position for a checkpoint.
+func (b *Batcher) State() BatcherState {
+	st := BatcherState{
+		Interval: b.interval,
+		Start:    b.start,
+		BatchNo:  b.batchNo,
+		Consumed: b.consumed,
+		Done:     b.done,
+	}
+	if b.pending != nil {
+		st.HasPending = true
+		st.Pending = b.pending.Clone()
+	}
+	return st
+}
+
+// Restore repositions the batcher to a previously captured state. The
+// underlying source must already be advanced past State.Consumed records
+// (the caller replays and discards them); the batcher itself only
+// restores its window bookkeeping and read-ahead record.
+func (b *Batcher) Restore(st BatcherState) error {
+	if st.Interval <= 0 {
+		return fmt.Errorf("stream: restore: batch interval %v must be positive", st.Interval)
+	}
+	if st.BatchNo < 0 || st.Consumed < 0 {
+		return fmt.Errorf("stream: restore: negative position (batch %d, consumed %d)", st.BatchNo, st.Consumed)
+	}
+	b.interval = st.Interval
+	b.start = st.Start
+	b.batchNo = st.BatchNo
+	b.consumed = st.Consumed
+	b.done = st.Done
+	b.pending = nil
+	if st.HasPending {
+		rec := st.Pending.Clone()
+		b.pending = &rec
+	}
+	return nil
+}
+
+// Consumed returns how many records have been pulled from the source,
+// including a pending read-ahead record.
+func (b *Batcher) Consumed() int { return b.consumed }
 
 // Batches drains the whole source into a batch slice; a convenience for
 // tests and offline experiments.

@@ -350,3 +350,90 @@ func TestRecordCloneAndString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// TestBatcherStateRestoreEquivalence cuts a stream with gaps (so empty
+// windows and read-ahead pending records are exercised), interrupting at
+// every possible batch boundary; the restored batcher must emit exactly
+// the batches of the uninterrupted run.
+func TestBatcherStateRestoreEquivalence(t *testing.T) {
+	// Irregular timestamps: bursts and gaps around the 2s interval.
+	var recs []Record
+	ts := []float64{0, 0.5, 0.9, 1.1, 3.0, 3.1, 7.2, 7.3, 7.9, 8.1, 15.0, 15.5, 16.2}
+	for i, v := range ts {
+		recs = append(recs, Record{Seq: uint64(i), Timestamp: vclock.Time(v), Values: vector.Vector{float64(i)}})
+	}
+	full, err := Batches(NewSliceSource(recs), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 4 {
+		t.Fatalf("test stream too short: %d batches", len(full))
+	}
+	for cut := 1; cut < len(full); cut++ {
+		b1, err := NewBatcher(NewSliceSource(recs), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cut; i++ {
+			if _, err := b1.Next(); err != nil {
+				t.Fatalf("cut %d: batch %d: %v", cut, i, err)
+			}
+		}
+		st := b1.State()
+
+		// "Restart": fresh source, skip consumed records, restore.
+		src := NewSliceSource(recs)
+		for i := 0; i < st.Consumed; i++ {
+			if _, err := src.Next(); err != nil {
+				t.Fatalf("cut %d: skip %d: %v", cut, i, err)
+			}
+		}
+		b2, err := NewBatcher(src, 999) // interval comes from the state
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b2.Restore(st); err != nil {
+			t.Fatal(err)
+		}
+		for want := cut; ; want++ {
+			got, err := b2.Next()
+			if errors.Is(err, io.EOF) {
+				if want != len(full) {
+					t.Fatalf("cut %d: resumed run ended after %d batches, want %d", cut, want, len(full))
+				}
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := full[want]
+			if got.Index != ref.Index || got.Start != ref.Start || got.End != ref.End || len(got.Records) != len(ref.Records) {
+				t.Fatalf("cut %d: batch %d = {i=%d %v..%v n=%d}, want {i=%d %v..%v n=%d}",
+					cut, want, got.Index, got.Start, got.End, len(got.Records),
+					ref.Index, ref.Start, ref.End, len(ref.Records))
+			}
+			for j := range got.Records {
+				if got.Records[j].Seq != ref.Records[j].Seq {
+					t.Fatalf("cut %d: batch %d record %d seq = %d, want %d",
+						cut, want, j, got.Records[j].Seq, ref.Records[j].Seq)
+				}
+			}
+		}
+	}
+}
+
+func TestBatcherRestoreRejectsInvalidState(t *testing.T) {
+	b, err := NewBatcher(NewSliceSource(nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(BatcherState{Interval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := b.Restore(BatcherState{Interval: 1, BatchNo: -1}); err == nil {
+		t.Error("negative batch number accepted")
+	}
+	if err := b.Restore(BatcherState{Interval: 1, Consumed: -2}); err == nil {
+		t.Error("negative consumed count accepted")
+	}
+}
