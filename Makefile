@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench fuzz-smoke
+.PHONY: build test race vet check bench bench-json fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,16 @@ check: vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...
+
+# bench-json runs every benchmark (hot-path micro benches plus the
+# Figure-7/8 paper reproductions) with allocation stats and archives the
+# results as machine-readable JSON. Raise BENCHTIME (e.g. 2s) for stable
+# numbers; the 1x default is the CI smoke setting.
+BENCHTIME ?= 1x
+BENCH_JSON ?= BENCH_3.json
+
+bench-json:
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run ^$$ ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 # fuzz-smoke runs each checkpoint-codec fuzzer briefly: corrupted
 # snapshots and model blobs must error, never panic.

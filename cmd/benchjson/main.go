@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report on stdout, so benchmark runs can be
+// archived and diffed across commits (see `make bench-json`, which
+// writes BENCH_3.json).
+//
+// Each benchmark line
+//
+//	BenchmarkAssignOp-4   79   14546974 ns/op   281571 rec/s   370136 B/op   8208 allocs/op
+//
+// becomes one entry keyed by the benchmark name (GOMAXPROCS suffix
+// stripped) holding the iteration count and every reported metric
+// (ns/op, B/op, allocs/op, rec/s, and any custom b.ReportMetric units).
+// Context lines (goos, goarch, cpu, pkg) are captured per package.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Environment map[string]string      `json:"environment"`
+	Benchmarks  map[string]benchResult `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	rep := report{
+		Environment: map[string]string{},
+		Benchmarks:  map[string]benchResult{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Environment[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			res.Package = pkg
+			if _, dup := rep.Benchmarks[name]; dup {
+				name = pkg + "." + name
+			}
+			rep.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read stdin:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one benchmark result line: a name, an iteration
+// count, then (value, unit) pairs.
+func parseBenchLine(line string) (string, benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", benchResult{}, false
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", benchResult{}, false
+	}
+	res := benchResult{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", benchResult{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return name, res, true
+}

@@ -312,40 +312,35 @@ func (a *Algorithm) newMC(rec stream.Record) *MC {
 	return mc
 }
 
-// NewSnapshot implements core.Algorithm: a linear scan over cached
-// centers and boundaries.
+// NewSnapshot implements core.Algorithm: build the flat center index
+// once, then derive per-row boundaries.
 func (a *Algorithm) NewSnapshot(mcs []core.MicroCluster) core.Snapshot {
-	snap := &Snapshot{
-		MCs:        mcs,
-		Centers:    make([]vector.Vector, len(mcs)),
-		Boundaries: make([]float64, len(mcs)),
-	}
-	for i, mc := range mcs {
-		snap.Centers[i] = mc.Center()
-	}
+	snap := &Snapshot{MCs: mcs, Index: core.BuildFlatIndex(mcs)}
+	snap.Index.Boundaries = make([]float64, len(mcs))
 	for i, mc := range mcs {
 		m := mc.(*MC)
 		if m.N >= 2 {
-			snap.Boundaries[i] = a.cfg.RadiusFactor * m.RMSDeviation()
-			if snap.Boundaries[i] == 0 {
-				snap.Boundaries[i] = a.cfg.NewRadius
+			snap.Index.Boundaries[i] = a.cfg.RadiusFactor * m.RMSDeviation()
+			if snap.Index.Boundaries[i] == 0 {
+				snap.Index.Boundaries[i] = a.cfg.NewRadius
 			}
 			continue
 		}
 		// Singleton: boundary is the distance to the closest other
 		// micro-cluster (CluStream's rule).
-		snap.Boundaries[i] = a.singletonBoundary(snap.Centers, i)
+		snap.Index.Boundaries[i] = a.singletonBoundary(&snap.Index, i)
 	}
 	return snap
 }
 
-func (a *Algorithm) singletonBoundary(centers []vector.Vector, i int) float64 {
+func (a *Algorithm) singletonBoundary(idx *core.FlatIndex, i int) float64 {
 	best := math.Inf(1)
-	for j, c := range centers {
+	ci := idx.Row(i)
+	for j := 0; j < idx.Len(); j++ {
 		if j == i {
 			continue
 		}
-		if d := vector.Distance(centers[i], c); d < best {
+		if d := vector.Distance(ci, idx.Row(j)); d < best {
 			best = d
 		}
 	}
@@ -634,37 +629,30 @@ func buildClustering(mcs []core.MicroCluster, centers []vector.Vector, assignmen
 	return core.NewClustering(macros, centers, labels)
 }
 
-// Snapshot is CluStream's linear-scan search structure with cached
-// centers and boundaries.
+// Snapshot is CluStream's search structure: a flat center index with
+// per-row absorb boundaries.
 type Snapshot struct {
-	MCs        []core.MicroCluster
-	Centers    []vector.Vector
-	Boundaries []float64
+	MCs   []core.MicroCluster
+	Index core.FlatIndex
 }
 
 var _ core.Snapshot = (*Snapshot)(nil)
 
-// Nearest implements core.Snapshot.
+// Nearest implements core.Snapshot via the flat one-vs-many kernel. The
+// winning squared distance is exact (not the norm expansion), so the √d
+// boundary comparison matches the scalar scan bit-for-bit.
 func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
-	best := -1
-	bestD := math.Inf(1)
-	for i, c := range s.Centers {
-		if d := vector.SquaredDistance(rec.Values, c); d < bestD {
-			best, bestD = i, d
-		}
-	}
+	best, bestD := s.Index.Nearest(rec.Values)
 	if best < 0 {
 		return 0, false, false
 	}
-	return s.MCs[best].ID(), math.Sqrt(bestD) <= s.Boundaries[best], true
+	return s.Index.IDs[best], math.Sqrt(bestD) <= s.Index.Boundaries[best], true
 }
 
-// Get implements core.Snapshot.
+// Get implements core.Snapshot in O(1) via the id → row map.
 func (s *Snapshot) Get(id uint64) core.MicroCluster {
-	for _, mc := range s.MCs {
-		if mc.ID() == id {
-			return mc
-		}
+	if i, ok := s.Index.IndexOf(id); ok {
+		return s.MCs[i]
 	}
 	return nil
 }

@@ -230,8 +230,8 @@ func TestSingletonBoundaryIsNearestNeighborDistance(t *testing.T) {
 	m2.SetID(2)
 	snap := a.NewSnapshot([]core.MicroCluster{m1, m2}).(*Snapshot)
 	// Singleton boundary = distance to the closest other MC = 6.
-	if snap.Boundaries[0] != 6 || snap.Boundaries[1] != 6 {
-		t.Errorf("boundaries = %v, want [6 6]", snap.Boundaries)
+	if snap.Index.Boundaries[0] != 6 || snap.Index.Boundaries[1] != 6 {
+		t.Errorf("boundaries = %v, want [6 6]", snap.Index.Boundaries)
 	}
 	// A record 5 away from MC1 is inside its boundary.
 	if _, absorbable, _ := snap.Nearest(rec(2, 2, 2.9, 0, 0, 0)); !absorbable {

@@ -334,10 +334,26 @@ func (a *Algorithm) NewSnapshot(mcs []core.MicroCluster) core.Snapshot {
 type Node struct {
 	// Leaf entries: indices into the snapshot's MCs.
 	Items []int
+	// LeafCenters row i is the center of micro-cluster Items[i], packed
+	// contiguously so the leaf scan is one flat kernel call.
+	LeafCenters vector.Matrix
 	// Internal entries.
 	Children []*Node
-	// Pivots[i] is the centroid summarizing Children[i].
-	Pivots []vector.Vector
+	// Pivots row i is the centroid summarizing Children[i].
+	Pivots vector.Matrix
+}
+
+// newLeaf packs the centers of the given indices into a flat leaf.
+func newLeaf(centers []vector.Vector, idx []int) *Node {
+	n := &Node{Items: append([]int(nil), idx...)}
+	if len(idx) > 0 {
+		m := vector.NewMatrix(len(idx), len(centers[idx[0]]))
+		for i, id := range idx {
+			m.SetRow(i, centers[id])
+		}
+		n.LeafCenters = m
+	}
+	return n
 }
 
 // buildNode recursively bulk-loads a tree over the given point indices
@@ -347,7 +363,7 @@ func buildNode(centers []vector.Vector, idx []int, fanout int, seed int64) *Node
 		return &Node{}
 	}
 	if len(idx) <= fanout {
-		return &Node{Items: append([]int(nil), idx...)}
+		return newLeaf(centers, idx)
 	}
 	pts := make([]vector.Vector, len(idx))
 	for i, id := range idx {
@@ -357,27 +373,33 @@ func buildNode(centers []vector.Vector, idx []int, fanout int, seed int64) *Node
 	if err != nil {
 		// Degenerate split (should not happen with len > fanout > 0):
 		// fall back to a flat leaf.
-		return &Node{Items: append([]int(nil), idx...)}
+		return newLeaf(centers, idx)
 	}
 	groups := make([][]int, len(res.Centroids))
 	for i, g := range res.Assignments {
 		groups[g] = append(groups[g], idx[i])
 	}
 	node := &Node{}
+	var pivots []vector.Vector
 	for g, members := range groups {
 		if len(members) == 0 {
 			continue
 		}
 		if len(members) == len(idx) {
 			// k-means failed to split (identical points): flat leaf.
-			return &Node{Items: append([]int(nil), idx...)}
+			return newLeaf(centers, idx)
 		}
 		node.Children = append(node.Children, buildNode(centers, members, fanout, seed+int64(g)+1))
-		node.Pivots = append(node.Pivots, res.Centroids[g])
+		pivots = append(pivots, res.Centroids[g])
 	}
 	if len(node.Children) == 1 {
 		return node.Children[0]
 	}
+	m, err := vector.MatrixFromRows(pivots)
+	if err != nil {
+		return newLeaf(centers, idx)
+	}
+	node.Pivots = m
 	return node
 }
 
@@ -577,15 +599,18 @@ func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
 		for f := 0; f < frontierLen; f++ {
 			node := frontier[f]
 			if len(node.Children) == 0 {
-				for _, i := range node.Items {
-					if d := vector.SquaredDistance(rec.Values, s.Centers[i]); d < bestD {
-						bestIdx, bestD = i, d
-					}
+				// Leaf visit: one flat kernel call over the packed leaf
+				// centers, seeded with the running best so losing rows
+				// are abandoned early. The threaded bound makes the
+				// multi-leaf sequence reproduce one continuous scalar
+				// scan over the visited items.
+				if li, d := vector.ArgminBelowBound(rec.Values, node.LeafCenters, bestD); li >= 0 {
+					bestIdx, bestD = node.Items[li], d
 				}
 				continue
 			}
-			for i, pivot := range node.Pivots {
-				d := vector.SquaredDistance(rec.Values, pivot)
+			for i := 0; i < node.Pivots.Rows; i++ {
+				d := vector.SquaredDistance(rec.Values, node.Pivots.Row(i))
 				// Insertion into the running top-k.
 				if nextLen < beamWidth {
 					j := nextLen

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"diststream/internal/vector"
+)
+
+// FlatIndex is the flat per-batch search structure behind the
+// linear-scan snapshots: all micro-cluster centers packed into one
+// row-major matrix, with precomputed squared row norms, the per-row
+// micro-cluster ids, and an id → row map for O(1) lookup. It is built
+// once per snapshot (driver side) and broadcast to every assign task, so
+// the per-record work is a single one-vs-many kernel call over
+// contiguous memory instead of a pointer-chasing scan over []Vector.
+//
+// Boundaries is optional per-row data for algorithms whose absorb test
+// is a radius around the center (CluStream's RadiusFactor·RMS,
+// clustree's per-MC boundary); algorithms with a global threshold
+// (denstream's ε, simple's radius) leave it nil.
+//
+// Fields are exported so the index travels inside gob-encoded broadcast
+// snapshots.
+type FlatIndex struct {
+	Centers    vector.Matrix
+	Norms      []float64
+	Boundaries []float64
+	IDs        []uint64
+	ByID       map[uint64]int
+}
+
+// BuildFlatIndex packs the centers of mcs into a FlatIndex. All centers
+// must share one dimensionality (they come from a single model, so a
+// mismatch is a programming error and panics, matching the implicit
+// panic of the scalar distance scan it replaces).
+func BuildFlatIndex(mcs []MicroCluster) FlatIndex {
+	idx := FlatIndex{
+		IDs:  make([]uint64, len(mcs)),
+		ByID: make(map[uint64]int, len(mcs)),
+	}
+	if len(mcs) == 0 {
+		return idx
+	}
+	centers := make([]vector.Vector, len(mcs))
+	for i, mc := range mcs {
+		centers[i] = mc.Center()
+		idx.IDs[i] = mc.ID()
+		idx.ByID[mc.ID()] = i
+	}
+	m, err := vector.MatrixFromRows(centers)
+	if err != nil {
+		panic("core: BuildFlatIndex: " + err.Error())
+	}
+	idx.Centers = m
+	idx.Norms = m.RowNorms(nil)
+	return idx
+}
+
+// Len returns the number of indexed micro-clusters.
+func (f *FlatIndex) Len() int { return len(f.IDs) }
+
+// Nearest returns the row index of the center closest to x and its exact
+// squared Euclidean distance, or (-1, +Inf) for an empty index. The
+// decision is bit-identical to the scalar SquaredDistance scan (see
+// vector.ArgminBelow).
+func (f *FlatIndex) Nearest(x vector.Vector) (int, float64) {
+	return vector.ArgminBelow(x, f.Centers)
+}
+
+// IndexOf returns the row of the micro-cluster with the given id.
+func (f *FlatIndex) IndexOf(id uint64) (int, bool) {
+	i, ok := f.ByID[id]
+	return i, ok
+}
+
+// Row returns the center stored at the given row as a view into the
+// matrix storage.
+func (f *FlatIndex) Row(i int) vector.Vector { return f.Centers.Row(i) }

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"diststream/internal/vector"
+)
+
+func TestBuildFlatIndex(t *testing.T) {
+	mcs := []MicroCluster{
+		&toyMC{Id: 7, Sum: vector.Vector{1, 0}, W: 1},
+		&toyMC{Id: 3, Sum: vector.Vector{0, 4}, W: 1},
+		&toyMC{Id: 9, Sum: vector.Vector{10, 10}, W: 1},
+	}
+	idx := BuildFlatIndex(mcs)
+	if idx.Len() != 3 || idx.Centers.Rows != 3 || idx.Centers.Cols != 2 {
+		t.Fatalf("unexpected index shape: %+v", idx)
+	}
+	if i, ok := idx.IndexOf(3); !ok || i != 1 {
+		t.Errorf("IndexOf(3) = %d, %v", i, ok)
+	}
+	if _, ok := idx.IndexOf(42); ok {
+		t.Error("IndexOf(42) found a row")
+	}
+	best, d := idx.Nearest(vector.Vector{0, 3})
+	if best != 1 || d != 1 {
+		t.Errorf("Nearest = (%d, %v), want (1, 1)", best, d)
+	}
+	if idx.Norms[2] != 200 {
+		t.Errorf("Norms[2] = %v, want 200", idx.Norms[2])
+	}
+	if got := idx.Row(0); got[0] != 1 || got[1] != 0 {
+		t.Errorf("Row(0) = %v", got)
+	}
+}
+
+func TestBuildFlatIndexEmpty(t *testing.T) {
+	idx := BuildFlatIndex(nil)
+	if idx.Len() != 0 {
+		t.Fatalf("empty index Len = %d", idx.Len())
+	}
+	if best, d := idx.Nearest(vector.Vector{1}); best != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty Nearest = (%d, %v)", best, d)
+	}
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"diststream/internal/vclock"
 )
@@ -165,19 +165,34 @@ func (m *Model) TotalWeight() float64 {
 // micro-clusters by the order of their updated/created time, because
 // deletion and merging are irreversible).
 func SortUpdatesByOrderTime(updates []Update) {
-	sort.SliceStable(updates, func(i, j int) bool {
-		if updates[i].OrderTime != updates[j].OrderTime {
-			return updates[i].OrderTime < updates[j].OrderTime
+	slices.SortStableFunc(updates, func(a, b Update) int {
+		switch {
+		case a.OrderTime != b.OrderTime:
+			if a.OrderTime < b.OrderTime {
+				return -1
+			}
+			return 1
+		case a.OrderSeq < b.OrderSeq:
+			return -1
+		case a.OrderSeq > b.OrderSeq:
+			return 1
 		}
-		return updates[i].OrderSeq < updates[j].OrderSeq
+		return 0
 	})
 }
 
 // ScrambleUpdates deterministically permutes updates by a hash of their
 // order keys — the unordered baseline's arbitrary application order.
 func ScrambleUpdates(updates []Update) {
-	sort.SliceStable(updates, func(i, j int) bool {
-		return scrambleKey(updates[i].OrderSeq) < scrambleKey(updates[j].OrderSeq)
+	slices.SortStableFunc(updates, func(a, b Update) int {
+		ka, kb := scrambleKey(a.OrderSeq), scrambleKey(b.OrderSeq)
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		}
+		return 0
 	})
 }
 

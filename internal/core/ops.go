@@ -3,7 +3,7 @@ package core
 import (
 	"encoding/gob"
 	"fmt"
-	"sort"
+	"slices"
 
 	"diststream/internal/mbsp"
 	"diststream/internal/stream"
@@ -91,25 +91,31 @@ func taskEnv(ctx *mbsp.TaskContext) (Snapshot, TaskConfig, error) {
 // partition, find the closest micro-cluster in the (stale) snapshot and
 // emit (micro-cluster id, record); records outside every maximum boundary
 // become outliers, dealt round-robin across outlier key groups.
+//
+// The output is allocation-free per record: all KeyedItems live in one
+// backing array sized up front, the partition stores pointers into it
+// (boxing a pointer into `any` does not allocate), and each item reuses
+// the input's existing record box instead of re-boxing the copy. The
+// shuffle accepts both the value and pointer forms.
 func makeAssignOp() mbsp.OpFunc {
 	return func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
 		snap, cfg, err := taskEnv(ctx)
 		if err != nil {
 			return nil, err
 		}
-		out := make(mbsp.Partition, 0, len(in))
+		out := make(mbsp.Partition, len(in))
+		keyed := make([]mbsp.KeyedItem, len(in))
 		for i, item := range in {
 			rec, ok := item.(stream.Record)
 			if !ok {
 				return nil, fmt.Errorf("core: assign input %d is %T, want stream.Record", i, item)
 			}
 			id, absorbable, found := snap.Nearest(rec)
-			if found && absorbable {
-				out = append(out, mbsp.KeyedItem{Key: id, Item: rec})
-				continue
+			if !(found && absorbable) {
+				id = OutlierKeyBase | (rec.Seq % cfg.OutlierGroups)
 			}
-			key := OutlierKeyBase | (rec.Seq % cfg.OutlierGroups)
-			out = append(out, mbsp.KeyedItem{Key: key, Item: rec})
+			keyed[i] = mbsp.KeyedItem{Key: id, Item: item}
+			out[i] = &keyed[i]
 		}
 		return out, nil
 	}
@@ -187,9 +193,10 @@ func groupRecords(group mbsp.Group) ([]stream.Record, error) {
 // discusses this at length.
 func orderRecords(records []stream.Record, ordered bool) {
 	if ordered {
-		sort.SliceStable(records, func(i, j int) bool {
-			return stream.ByArrival(records[i], records[j]) < 0
-		})
+		// Non-reflective generic sort; ByArrival is a total order on
+		// (Timestamp, Seq), so stability is not load-bearing here and
+		// the result matches the previous sort.SliceStable exactly.
+		slices.SortStableFunc(records, stream.ByArrival)
 		return
 	}
 	var latest vclock.Time
@@ -201,9 +208,30 @@ func orderRecords(records []stream.Record, ordered bool) {
 	for i := range records {
 		records[i].Timestamp = latest
 	}
-	sort.SliceStable(records, func(i, j int) bool {
-		return scrambleKey(records[i].Seq) < scrambleKey(records[j].Seq)
+	// Precompute the scramble keys once instead of hashing inside a
+	// reflection-driven comparator; Seq ties are impossible (sequence
+	// numbers are unique), so the key order is total and stable-sorting
+	// pairs reproduces sort.SliceStable's output.
+	type scrambled struct {
+		key uint64
+		rec stream.Record
+	}
+	pairs := make([]scrambled, len(records))
+	for i, r := range records {
+		pairs[i] = scrambled{key: scrambleKey(r.Seq), rec: r}
+	}
+	slices.SortStableFunc(pairs, func(a, b scrambled) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
 	})
+	for i, p := range pairs {
+		records[i] = p.rec
+	}
 }
 
 // updateExisting folds records into a clone of the stale micro-cluster.

@@ -280,16 +280,12 @@ func (a *Algorithm) newMC(rec stream.Record) *MC {
 
 // NewSnapshot implements core.Algorithm.
 func (a *Algorithm) NewSnapshot(mcs []core.MicroCluster) core.Snapshot {
-	snap := &Snapshot{
+	return &Snapshot{
 		MCs:     mcs,
-		Centers: make([]vector.Vector, len(mcs)),
+		Index:   core.BuildFlatIndex(mcs),
 		Epsilon: a.cfg.Epsilon,
 		Lambda:  a.cfg.Lambda,
 	}
-	for i, mc := range mcs {
-		snap.Centers[i] = mc.Center()
-	}
-	return snap
 }
 
 // Update implements core.Algorithm.
@@ -440,26 +436,21 @@ func (a *Algorithm) Offline(model *core.Model) (*core.Clustering, error) {
 	return clustering, nil
 }
 
-// Snapshot is DenStream's linear-scan search structure.
+// Snapshot is DenStream's search structure: a flat center index plus the
+// absorb parameters.
 type Snapshot struct {
 	MCs     []core.MicroCluster
-	Centers []vector.Vector
+	Index   core.FlatIndex
 	Epsilon float64
 	Lambda  float64
 }
 
 var _ core.Snapshot = (*Snapshot)(nil)
 
-// Nearest implements core.Snapshot: nearest center, absorbable when the
-// prospective radius stays within ε.
+// Nearest implements core.Snapshot via the flat one-vs-many kernel:
+// nearest center, absorbable when the prospective radius stays within ε.
 func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
-	best := -1
-	bestD := math.Inf(1)
-	for i, c := range s.Centers {
-		if d := vector.SquaredDistance(rec.Values, c); d < bestD {
-			best, bestD = i, d
-		}
-	}
+	best, _ := s.Index.Nearest(rec.Values)
 	if best < 0 {
 		return 0, false, false
 	}
@@ -467,12 +458,10 @@ func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
 	return mc.Id, mc.ProspectiveRadius(rec, s.Lambda) <= s.Epsilon, true
 }
 
-// Get implements core.Snapshot.
+// Get implements core.Snapshot in O(1) via the id → row map.
 func (s *Snapshot) Get(id uint64) core.MicroCluster {
-	for _, mc := range s.MCs {
-		if mc.ID() == id {
-			return mc
-		}
+	if i, ok := s.Index.IndexOf(id); ok {
+		return s.MCs[i]
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package mbsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shuffleBenchInput builds p partitions of n keyed items each, with keys
+// drawn from numKeys micro-cluster ids plus an outlier band — the shape
+// the assign stage emits.
+func shuffleBenchInput(p, n, numKeys int) []Partition {
+	rng := rand.New(rand.NewSource(3))
+	inputs := make([]Partition, p)
+	for pi := range inputs {
+		part := make(Partition, n)
+		for i := range part {
+			key := uint64(rng.Intn(numKeys) + 1)
+			if rng.Intn(10) == 0 {
+				key = (uint64(1) << 63) | uint64(rng.Intn(p))
+			}
+			part[i] = KeyedItem{Key: key, Item: i}
+		}
+		inputs[pi] = part
+	}
+	return inputs
+}
+
+// BenchmarkShuffleByKey measures the driver-side group-by-key shuffle
+// between the assign and local-update stages.
+func BenchmarkShuffleByKey(b *testing.B) {
+	const (
+		p       = 4
+		perPart = 4096
+		numKeys = 100
+	)
+	inputs := shuffleBenchInput(p, perPart, numKeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShuffleByKey(inputs, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p*perPart)*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -77,32 +77,67 @@ func ShuffleByKey(inputs []Partition, numPartitions int) ([]Partition, error) {
 	if numPartitions <= 0 {
 		return nil, fmt.Errorf("mbsp: numPartitions %d must be positive", numPartitions)
 	}
-	groups := make(map[uint64]*Group)
-	var order []uint64 // first-emission order for determinism
+	// Two-pass counting shuffle. Pass 1 counts items per key, so pass 2
+	// can fill exactly-sized group slices carved out of one backing
+	// array — no per-group *Group allocation, no append-regrowth churn.
+	slot := make(map[uint64]int) // key -> count (pass 1), then -> group index (pass 2)
+	total := 0
 	for pi, part := range inputs {
 		for ii, item := range part {
-			ki, ok := item.(KeyedItem)
+			key, _, ok := keyedOf(item)
 			if !ok {
 				return nil, fmt.Errorf("mbsp: shuffle input partition %d item %d is %T, want KeyedItem", pi, ii, item)
 			}
-			g, ok := groups[ki.Key]
-			if !ok {
-				g = &Group{Key: ki.Key}
-				groups[ki.Key] = g
-				order = append(order, ki.Key)
-			}
-			g.Items = append(g.Items, ki.Item)
+			slot[key]++
+			total++
 		}
+	}
+	keys := make([]uint64, 0, len(slot))
+	for key := range slot {
+		keys = append(keys, key)
 	}
 	// Deterministic routing and a deterministic group order inside each
 	// partition: sort keys, route by modulo.
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(keys)
+	backing := make([]any, total)
+	groups := make([]Group, len(keys))
+	off := 0
+	for i, key := range keys {
+		n := slot[key]
+		// Length 0, capacity exactly n: appends in pass 2 fill in place
+		// and cannot spill into the next group's slot.
+		groups[i] = Group{Key: key, Items: backing[off:off:off+n]}
+		slot[key] = i
+		off += n
+	}
+	// Pass 2: fill in emission order (source partition first, then
+	// position), exactly the order the map-based shuffle appended in.
+	for _, part := range inputs {
+		for _, item := range part {
+			key, v, _ := keyedOf(item)
+			g := &groups[slot[key]]
+			g.Items = append(g.Items, v)
+		}
+	}
 	out := make([]Partition, numPartitions)
-	for _, key := range order {
-		p := int(key % uint64(numPartitions))
-		out[p] = append(out[p], *groups[key])
+	for i := range groups {
+		p := int(groups[i].Key % uint64(numPartitions))
+		out[p] = append(out[p], groups[i])
 	}
 	return out, nil
+}
+
+// keyedOf extracts the shuffle key and payload from an item, accepting
+// both the KeyedItem value form and the *KeyedItem pointer form the
+// assign stage emits to avoid per-record interface boxing.
+func keyedOf(item any) (uint64, any, bool) {
+	switch ki := item.(type) {
+	case KeyedItem:
+		return ki.Key, ki.Item, true
+	case *KeyedItem:
+		return ki.Key, ki.Item, true
+	}
+	return 0, nil, false
 }
 
 // Collect concatenates all partitions into one slice at the driver, in

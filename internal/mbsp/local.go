@@ -121,8 +121,16 @@ func (e *LocalExecutor) RunTasks(ctx context.Context, stage, op string, inputs [
 	errs := make([]error, n)
 
 	p := e.cfg.Parallelism
+	// Spawn only as many workers as there are tasks. The stride stays p so
+	// the task → worker assignment (task t runs on worker t%p) is
+	// unchanged: when n <= p, t%p == t for every task, so workers n..p-1
+	// would have had empty loops anyway.
+	workers := p
+	if n < workers {
+		workers = n
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
+	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {

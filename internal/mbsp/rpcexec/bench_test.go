@@ -1,0 +1,58 @@
+package rpcexec
+
+import (
+	"context"
+	"testing"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// BenchmarkRPCRoundTrip measures one task dispatch over the TCP executor:
+// gob-encode the request (a partition of records), ship it to a local
+// worker, run an echo op, and decode the response.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	reg := mbsp.NewRegistry()
+	reg.MustRegister("echo", func(_ *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		return in, nil
+	})
+	workers, addrs, err := StartLocalCluster(1, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	}()
+	exec, err := Dial(addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer exec.Close()
+
+	const records = 256
+	part := make(mbsp.Partition, records)
+	for i := range part {
+		values := make([]float64, 34)
+		for d := range values {
+			values[d] = float64(i*31+d) / 7
+		}
+		part[i] = stream.Record{Seq: uint64(i), Timestamp: vclock.Time(i), Values: values}
+	}
+	inputs := []mbsp.Partition{part}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := exec.RunTasks(ctx, "bench", "echo", inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out[0]) != records {
+			b.Fatalf("echoed %d records", len(out[0]))
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+}

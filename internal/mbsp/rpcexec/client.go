@@ -2,7 +2,6 @@ package rpcexec
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -119,13 +118,12 @@ var _ mbsp.Executor = (*Executor)(nil)
 type workerConn struct {
 	addr   string
 	cfg    Config
-	replay func(enc *gob.Encoder, dec *gob.Decoder) error
+	replay func(c *frameCodec) error
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	dead bool
+	mu    sync.Mutex
+	conn  net.Conn
+	codec *frameCodec
+	dead  bool
 }
 
 // alive reports whether the worker has not been declared lost.
@@ -141,7 +139,10 @@ func (w *workerConn) teardown() {
 	if w.conn != nil {
 		_ = w.conn.Close()
 	}
-	w.conn, w.enc, w.dec = nil, nil, nil
+	if w.codec != nil {
+		w.codec.release()
+	}
+	w.conn, w.codec = nil, nil
 }
 
 // redial establishes a fresh connection and replays cached broadcast
@@ -157,14 +158,13 @@ func (w *workerConn) redial(ctx context.Context) error {
 		return fmt.Errorf("rpcexec: dial %s: %w", w.addr, err)
 	}
 	w.conn = conn
-	w.enc = gob.NewEncoder(conn)
-	w.dec = gob.NewDecoder(conn)
+	w.codec = newFrameCodec(conn)
 	if w.replay != nil {
 		_ = conn.SetDeadline(w.callDeadline(ctx))
 		stop := context.AfterFunc(ctx, func() {
 			_ = conn.SetDeadline(time.Unix(1, 0))
 		})
-		err := w.replay(w.enc, w.dec)
+		err := w.replay(w.codec)
 		stop()
 		if err != nil {
 			w.teardown()
@@ -203,11 +203,11 @@ func (w *workerConn) callOnce(ctx context.Context, req request) (response, error
 		_ = conn.SetDeadline(time.Unix(1, 0))
 	})
 	defer stop()
-	if err := w.enc.Encode(req); err != nil {
+	if err := w.codec.send(req); err != nil {
 		return response{}, fmt.Errorf("rpcexec: send: %w", err)
 	}
 	var resp response
-	if err := w.dec.Decode(&resp); err != nil {
+	if err := w.codec.recv(&resp); err != nil {
 		return response{}, fmt.Errorf("rpcexec: recv: %w", err)
 	}
 	_ = conn.SetDeadline(time.Time{})
@@ -298,7 +298,7 @@ func DialConfig(addrs []string, cfg Config) (*Executor, error) {
 
 // replayBroadcasts re-sends every cached broadcast on a fresh connection,
 // in first-publication order.
-func (e *Executor) replayBroadcasts(enc *gob.Encoder, dec *gob.Decoder) error {
+func (e *Executor) replayBroadcasts(c *frameCodec) error {
 	e.bmu.Lock()
 	reqs := make([]request, 0, len(e.border))
 	for _, id := range e.border {
@@ -306,11 +306,11 @@ func (e *Executor) replayBroadcasts(enc *gob.Encoder, dec *gob.Decoder) error {
 	}
 	e.bmu.Unlock()
 	for _, req := range reqs {
-		if err := enc.Encode(req); err != nil {
+		if err := c.send(req); err != nil {
 			return err
 		}
 		var resp response
-		if err := dec.Decode(&resp); err != nil {
+		if err := c.recv(&resp); err != nil {
 			return err
 		}
 		if resp.Err != "" {
@@ -902,14 +902,15 @@ func (e *Executor) Close() error {
 		wc.mu.Lock()
 		if wc.conn != nil {
 			_ = wc.conn.SetDeadline(time.Now().Add(time.Second))
-			if err := wc.enc.Encode(request{Kind: kindShutdown}); err == nil {
+			if err := wc.codec.send(request{Kind: kindShutdown}); err == nil {
 				var resp response
-				_ = wc.dec.Decode(&resp)
+				_ = wc.codec.recv(&resp)
 			}
 			if err := wc.conn.Close(); err != nil {
 				errs = append(errs, err)
 			}
-			wc.conn, wc.enc, wc.dec = nil, nil, nil
+			wc.codec.release()
+			wc.conn, wc.codec = nil, nil
 		}
 		wc.dead = true
 		wc.mu.Unlock()

@@ -9,7 +9,10 @@
 package rpcexec
 
 import (
+	"bufio"
 	"encoding/gob"
+	"net"
+	"sync"
 
 	"diststream/internal/mbsp"
 	"diststream/internal/stream"
@@ -56,7 +59,83 @@ func RegisterType(v any) { gob.Register(v) }
 // registerBuiltins registers the engine's own envelope types plus the
 // stream record type that every pipeline ships.
 func registerBuiltins() {
+	// The zero-alloc assign stage emits *KeyedItem; gob flattens pointers
+	// to their registered base type, so the value registration covers both
+	// forms (a remote worker's *KeyedItem arrives as a KeyedItem value,
+	// which the shuffle accepts either way).
 	gob.Register(mbsp.KeyedItem{})
 	gob.Register(mbsp.Group{})
 	gob.Register(stream.Record{})
+}
+
+// writerPool recycles the buffered writers frames are gob-encoded
+// through, and readerPool the buffered readers frames are decoded from.
+// Connections are long-lived, but redials and worker-side accepts churn
+// through codecs, and one pooled 32 KiB buffer per live connection beats
+// a fresh allocation per dial.
+var (
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 32<<10) }}
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 32<<10) }}
+)
+
+// frameCodec owns one connection's gob streams. The encoder writes
+// through a pooled bufio.Writer (flushed once per frame), so gob's short
+// per-message writes — length prefixes, type descriptors — coalesce into
+// few syscalls while payloads larger than the buffer pass straight
+// through without an extra copy; the decoder reads through a pooled
+// bufio.Reader, batching gob's short length-prefix reads the same way.
+// Both gob streams live as long as the connection, so type descriptors
+// travel once per connection, not once per frame.
+//
+// Deadlines and cancellation keep working unchanged: the buffered Writes
+// and Reads land on the connection, which is what SetDeadline and the
+// close-on-cancel hook interrupt.
+type frameCodec struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func newFrameCodec(conn net.Conn) *frameCodec {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(conn)
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	return &frameCodec{
+		conn: conn,
+		bw:   bw,
+		br:   br,
+		enc:  gob.NewEncoder(bw),
+		dec:  gob.NewDecoder(br),
+	}
+}
+
+// send gob-encodes v through the buffered writer and flushes the frame
+// to the connection.
+func (c *frameCodec) send(v any) error {
+	if err := c.enc.Encode(v); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// recv decodes the next frame into v.
+func (c *frameCodec) recv(v any) error { return c.dec.Decode(v) }
+
+// release returns the pooled buffers. The codec is unusable afterwards;
+// callers discard it together with the connection.
+func (c *frameCodec) release() {
+	if c.bw != nil {
+		c.bw.Reset(nil)
+		writerPool.Put(c.bw)
+		c.bw = nil
+	}
+	if c.br != nil {
+		c.br.Reset(nil)
+		readerPool.Put(c.br)
+		c.br = nil
+	}
+	c.enc, c.dec = nil, nil
 }

@@ -1,7 +1,6 @@
 package rpcexec
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -171,17 +170,17 @@ func (w *Worker) acceptLoop() {
 
 // serve handles one driver connection in request/response lockstep.
 func (w *Worker) serve(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	c := newFrameCodec(conn)
+	defer c.release()
 	for {
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := c.recv(&req); err != nil {
 			return // EOF or broken connection: driver went away
 		}
 		switch req.Kind {
 		case kindBroadcast:
 			w.broadcasts.put(req.BroadcastID, req.BroadcastValue)
-			if err := enc.Encode(response{}); err != nil {
+			if err := c.send(response{}); err != nil {
 				return
 			}
 		case kindTask:
@@ -199,14 +198,14 @@ func (w *Worker) serve(conn net.Conn) {
 				}
 			}
 			resp := w.runTask(req)
-			if err := enc.Encode(resp); err != nil {
+			if err := c.send(resp); err != nil {
 				return
 			}
 		case kindShutdown:
-			_ = enc.Encode(response{})
+			_ = c.send(response{})
 			return
 		default:
-			_ = enc.Encode(response{Err: fmt.Sprintf("rpcexec: unknown request kind %d", req.Kind)})
+			_ = c.send(response{Err: fmt.Sprintf("rpcexec: unknown request kind %d", req.Kind)})
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package mbsp
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// referenceShuffle is the original map-based ShuffleByKey, kept verbatim
+// as the behavioral oracle for the two-pass counting implementation.
+func referenceShuffle(inputs []Partition, numPartitions int) ([]Partition, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("mbsp: numPartitions %d must be positive", numPartitions)
+	}
+	groups := make(map[uint64]*Group)
+	var order []uint64
+	for pi, part := range inputs {
+		for ii, item := range part {
+			key, v, ok := keyedOf(item)
+			if !ok {
+				return nil, fmt.Errorf("mbsp: shuffle input partition %d item %d is %T, want KeyedItem", pi, ii, item)
+			}
+			g, ok := groups[key]
+			if !ok {
+				g = &Group{Key: key}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.Items = append(g.Items, v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]Partition, numPartitions)
+	for _, key := range order {
+		p := int(key % uint64(numPartitions))
+		out[p] = append(out[p], *groups[key])
+	}
+	return out, nil
+}
+
+// TestShuffleByKeyMatchesReference drives random inputs — mixed value and
+// pointer KeyedItems, outlier-band keys, empty partitions — through both
+// implementations and requires identical output: same groups, same group
+// order per partition, same item order per group.
+func TestShuffleByKeyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		p := 1 + rng.Intn(6)
+		numInputs := rng.Intn(6)
+		inputs := make([]Partition, numInputs)
+		seq := 0
+		for pi := range inputs {
+			n := rng.Intn(40)
+			part := make(Partition, n)
+			for i := range part {
+				key := uint64(rng.Intn(12))
+				if rng.Intn(8) == 0 {
+					key = (uint64(1) << 63) | uint64(rng.Intn(p))
+				}
+				if rng.Intn(2) == 0 {
+					part[i] = KeyedItem{Key: key, Item: seq}
+				} else {
+					part[i] = &KeyedItem{Key: key, Item: seq}
+				}
+				seq++
+			}
+			inputs[pi] = part
+		}
+		got, gotErr := ShuffleByKey(inputs, p)
+		want, wantErr := referenceShuffle(inputs, p)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shuffle mismatch\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+func TestShuffleByKeyRejectsNonKeyed(t *testing.T) {
+	_, err := ShuffleByKey([]Partition{{KeyedItem{Key: 1, Item: "x"}, 42}}, 2)
+	if err == nil {
+		t.Fatal("non-KeyedItem accepted")
+	}
+	want := "mbsp: shuffle input partition 0 item 1 is int, want KeyedItem"
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+func TestShuffleByKeyPointerItems(t *testing.T) {
+	out, err := ShuffleByKey([]Partition{
+		{&KeyedItem{Key: 3, Item: "a"}, KeyedItem{Key: 1, Item: "b"}},
+		{&KeyedItem{Key: 3, Item: "c"}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1 -> partition 1, key 3 -> partition 1; sorted keys => group 1
+	// before group 3.
+	if len(out[1]) != 2 {
+		t.Fatalf("partition 1 has %d groups", len(out[1]))
+	}
+	g1 := out[1][0].(Group)
+	g3 := out[1][1].(Group)
+	if g1.Key != 1 || g3.Key != 3 {
+		t.Fatalf("group order: %d, %d", g1.Key, g3.Key)
+	}
+	if !reflect.DeepEqual(g3.Items, []any{"a", "c"}) {
+		t.Errorf("group 3 items = %v", g3.Items)
+	}
+}

@@ -162,9 +162,9 @@ func (a *Algorithm) Init(records []stream.Record) ([]core.MicroCluster, error) {
 	return out, nil
 }
 
-// NewSnapshot implements core.Algorithm with a linear scan.
+// NewSnapshot implements core.Algorithm with a flat center index.
 func (a *Algorithm) NewSnapshot(mcs []core.MicroCluster) core.Snapshot {
-	return &Snapshot{MCs: mcs, Radius: a.cfg.Radius}
+	return &Snapshot{MCs: mcs, Index: core.BuildFlatIndex(mcs), Radius: a.cfg.Radius}
 }
 
 // Update implements core.Algorithm: q' = λq + Δx with λ = Beta^-|dt|,
@@ -282,35 +282,33 @@ func (a *Algorithm) Offline(model *core.Model) (*core.Clustering, error) {
 	return clustering, nil
 }
 
-// Snapshot is the linear-scan search structure.
+// Snapshot is the search structure: a flat center index plus the fixed
+// absorb radius.
 type Snapshot struct {
 	MCs    []core.MicroCluster
+	Index  core.FlatIndex
 	Radius float64
 }
 
 var _ core.Snapshot = (*Snapshot)(nil)
 
-// Nearest implements core.Snapshot.
+// Nearest implements core.Snapshot via the flat one-vs-many kernel. The
+// kernel minimizes the exact squared distance; √ is strictly monotone,
+// so the winner matches the previous per-MC Distance scan, and the
+// absorb test compares √d against the radius exactly as before — without
+// the per-comparison Center() clone the old scan paid.
 func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
-	best := -1
-	bestD := math.Inf(1)
-	for i, mc := range s.MCs {
-		if d := vector.Distance(rec.Values, mc.Center()); d < bestD {
-			best, bestD = i, d
-		}
-	}
+	best, bestD := s.Index.Nearest(rec.Values)
 	if best < 0 {
 		return 0, false, false
 	}
-	return s.MCs[best].ID(), bestD <= s.Radius, true
+	return s.Index.IDs[best], math.Sqrt(bestD) <= s.Radius, true
 }
 
-// Get implements core.Snapshot.
+// Get implements core.Snapshot in O(1) via the id → row map.
 func (s *Snapshot) Get(id uint64) core.MicroCluster {
-	for _, mc := range s.MCs {
-		if mc.ID() == id {
-			return mc
-		}
+	if i, ok := s.Index.IndexOf(id); ok {
+		return s.MCs[i]
 	}
 	return nil
 }

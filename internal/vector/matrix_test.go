@@ -1,0 +1,229 @@
+package vector
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixRowRoundTrip(t *testing.T) {
+	m := NewMatrix(3, 4)
+	for i := 0; i < 3; i++ {
+		v := New(4)
+		for j := range v {
+			v[j] = float64(i*10 + j)
+		}
+		m.SetRow(i, v)
+	}
+	if m.Row(2)[3] != 23 {
+		t.Fatalf("Row(2)[3] = %v, want 23", m.Row(2)[3])
+	}
+	// Row views share storage with the matrix.
+	m.Row(1)[0] = -1
+	if m.Data[4] != -1 {
+		t.Error("Row view does not alias matrix storage")
+	}
+	// Appending to a row view must not clobber the next row.
+	_ = append(m.Row(0), 99)
+	if m.Data[4] != -1 {
+		t.Error("append to row view clobbered the next row")
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([]Vector{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 || m.Row(1)[1] != 4 {
+		t.Fatalf("unexpected matrix %+v", m)
+	}
+	if _, err := MatrixFromRows([]Vector{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	empty, err := MatrixFromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Errorf("empty rows: %v %+v", err, empty)
+	}
+}
+
+func TestRowNormsMatchDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(7, 13)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	norms := m.RowNorms(nil)
+	for i := 0; i < m.Rows; i++ {
+		want := dot(m.Row(i), m.Row(i))
+		if norms[i] != want {
+			t.Errorf("norm[%d] = %v, want %v", i, norms[i], want)
+		}
+	}
+	// Reuses a caller buffer with enough capacity.
+	buf := make([]float64, 0, 16)
+	out := m.RowNorms(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("RowNorms reallocated despite sufficient capacity")
+	}
+}
+
+func TestSquaredDistancesToApproximatesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range []int{1, 3, 8, 34, 54} {
+		m := NewMatrix(25, dims)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64() * 10
+		}
+		x := New(dims)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 10
+		}
+		norms := m.RowNorms(nil)
+		dst := SquaredDistancesTo(nil, x, m, norms)
+		for i := 0; i < m.Rows; i++ {
+			want := SquaredDistance(x, m.Row(i))
+			if math.Abs(dst[i]-want) > 1e-9*(1+want) {
+				t.Errorf("dims %d row %d: expansion %v vs direct %v", dims, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// scalarArgmin is the reference the assign path used before the flat
+// kernels: a plain scan comparing SquaredDistance per row under strict <.
+func scalarArgmin(x Vector, rows []Vector) (int, float64) {
+	best := -1
+	bestD := math.Inf(1)
+	for i, c := range rows {
+		if d := SquaredDistance(x, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func TestArgminBelowMatchesScalarScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		dims := 1 + rng.Intn(60)
+		n := 1 + rng.Intn(40)
+		rows := make([]Vector, n)
+		for i := range rows {
+			rows[i] = New(dims)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64() * 5
+			}
+		}
+		// Occasionally duplicate a row to force exact distance ties.
+		if n > 1 && rng.Intn(3) == 0 {
+			rows[n-1] = rows[rng.Intn(n-1)].Clone()
+		}
+		m, err := MatrixFromRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := New(dims)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 5
+		}
+		wantIdx, wantD := scalarArgmin(x, rows)
+		gotIdx, gotD := ArgminBelow(x, m)
+		if gotIdx != wantIdx || gotD != wantD {
+			t.Fatalf("trial %d (dims %d, n %d): kernel (%d, %v) vs scalar (%d, %v)",
+				trial, dims, n, gotIdx, gotD, wantIdx, wantD)
+		}
+	}
+}
+
+func TestArgminBelowEmptyAndNaN(t *testing.T) {
+	if idx, d := ArgminBelow(Vector{1}, Matrix{Cols: 1}); idx != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty matrix: (%d, %v)", idx, d)
+	}
+	// An all-NaN record compares below nothing: no winner, like the
+	// scalar scan.
+	m, _ := MatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	if idx, _ := ArgminBelow(Vector{math.NaN(), math.NaN()}, m); idx != -1 {
+		t.Errorf("NaN record found winner %d", idx)
+	}
+	// A NaN row loses; finite rows still win.
+	m2, _ := MatrixFromRows([]Vector{{math.NaN(), 0}, {3, 4}})
+	idx, d := ArgminBelow(Vector{3, 4}, m2)
+	if idx != 1 || d != 0 {
+		t.Errorf("NaN row: (%d, %v), want (1, 0)", idx, d)
+	}
+}
+
+// FuzzFlatNearest is the differential fuzz test for the flat assign
+// kernel: for arbitrary matrices and records — including NaN and ±Inf
+// components — ArgminBelow must agree exactly with the scalar
+// SquaredDistance scan on both the winning index and the winning
+// distance (the absorbable decision is a comparison on that distance, so
+// index + distance equality implies absorbable equality for any
+// boundary).
+func FuzzFlatNearest(f *testing.F) {
+	f.Add(uint8(3), uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(1), uint8(1), []byte{0xff, 0xf8, 0, 0, 0, 0, 0, 1})
+	f.Add(uint8(5), uint8(34), []byte{})
+	f.Add(uint8(0), uint8(7), []byte{9})
+	f.Fuzz(func(t *testing.T, nRows, nCols uint8, raw []byte) {
+		rows := int(nRows % 40)
+		cols := int(nCols%60) + 1
+		specials := []float64{0, 1, -1, math.NaN(), math.Inf(1), math.Inf(-1), 1e300, -1e300, 5e-324}
+		next := func(i int) float64 {
+			if len(raw) == 0 {
+				return float64(i%7) - 3
+			}
+			off := (i * 8) % len(raw)
+			var buf [8]byte
+			for j := 0; j < 8; j++ {
+				buf[j] = raw[(off+j)%len(raw)]
+			}
+			bits := binary.LittleEndian.Uint64(buf[:])
+			// Mix raw float bit patterns with special values so NaN/Inf
+			// and near-tie duplicates show up often.
+			switch bits % 4 {
+			case 0:
+				return specials[int(bits/4)%len(specials)]
+			case 1:
+				return float64(int64(bits)%1000) / 8
+			default:
+				return math.Float64frombits(bits)
+			}
+		}
+		vecs := make([]Vector, rows)
+		k := 0
+		for i := range vecs {
+			vecs[i] = New(cols)
+			for j := range vecs[i] {
+				vecs[i][j] = next(k)
+				k++
+			}
+		}
+		// Duplicate rows with probability ~1/2 to force exact ties.
+		if rows > 1 && len(raw) > 0 && raw[0]%2 == 0 {
+			vecs[rows-1] = vecs[0].Clone()
+		}
+		x := New(cols)
+		for j := range x {
+			x[j] = next(k)
+			k++
+		}
+		m, err := MatrixFromRows(vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows == 0 {
+			m.Cols = cols
+		}
+		wantIdx, wantD := scalarArgmin(x, vecs)
+		gotIdx, gotD := ArgminBelow(x, m)
+		if gotIdx != wantIdx {
+			t.Fatalf("argmin: kernel %d vs scalar %d (rows %d, cols %d)\nx=%v\nrows=%v", gotIdx, wantIdx, rows, cols, x, vecs)
+		}
+		if gotIdx >= 0 && gotD != wantD && !(math.IsNaN(gotD) && math.IsNaN(wantD)) {
+			t.Fatalf("distance: kernel %v vs scalar %v at row %d", gotD, wantD, gotIdx)
+		}
+	})
+}
