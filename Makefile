@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json fuzz-smoke
+.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ BENCH_JSON ?= BENCH_3.json
 
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run ^$$ ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+
+# serve-smoke boots `diststream serve` on a live pipeline and exercises
+# every serving endpoint end to end: readiness, assign, clusters, macro
+# caching (the repeated query must be a cache hit), metrics, the load
+# generator, and graceful shutdown.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # fuzz-smoke runs each checkpoint-codec fuzzer briefly: corrupted
 # snapshots and model blobs must error, never panic.

@@ -11,6 +11,14 @@
 // stripped) holding the iteration count and every reported metric
 // (ns/op, B/op, allocs/op, rec/s, and any custom b.ReportMetric units).
 // Context lines (goos, goarch, cpu, pkg) are captured per package.
+//
+// Lines of the form
+//
+//	SERVELOAD {"qps":..., "p50_ms":..., "p99_ms":..., "shed":...}
+//
+// (the cmd/serveload -json summary) are collected under "serveload", so
+// the archived bench JSON also tracks the serving-path trajectory (qps,
+// latency percentiles, shed counts), not just ingest benchmarks.
 package main
 
 import (
@@ -32,6 +40,9 @@ type benchResult struct {
 type report struct {
 	Environment map[string]string      `json:"environment"`
 	Benchmarks  map[string]benchResult `json:"benchmarks"`
+	// ServeLoad holds cmd/serveload -json summaries found on stdin, in
+	// input order.
+	ServeLoad []json.RawMessage `json:"serveload,omitempty"`
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -55,6 +66,11 @@ func main() {
 		case strings.HasPrefix(line, "pkg:"):
 			_, v, _ := strings.Cut(line, ":")
 			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "SERVELOAD "):
+			blob := strings.TrimSpace(strings.TrimPrefix(line, "SERVELOAD "))
+			if json.Valid([]byte(blob)) {
+				rep.ServeLoad = append(rep.ServeLoad, json.RawMessage(blob))
+			}
 		case strings.HasPrefix(line, "Benchmark"):
 			name, res, ok := parseBenchLine(line)
 			if !ok {

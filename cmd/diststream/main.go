@@ -18,6 +18,8 @@
 //	ablate        §V-A / §V-C design-choice ablations
 //	fault         kill a TCP worker mid-run; show recovery + determinism
 //	resume        crash the driver mid-run; resume from a checkpoint
+//	serve         run a live ingesting pipeline plus the query-serving
+//	              HTTP API (assign / clusters / macro / metrics) together
 //	all           run everything at the default scale
 package main
 
@@ -93,7 +95,7 @@ func (o *options) algorithms() []string {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|fault|resume|all> [flags]")
+		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|fault|resume|serve|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "fault" {
@@ -103,6 +105,10 @@ func run(args []string, w io.Writer) error {
 	if cmd == "resume" {
 		// resume has its own flag set (checkpoint cadence, crash point).
 		return runResume(w, rest)
+	}
+	if cmd == "serve" {
+		// serve has its own flag set (listen address, admission bounds).
+		return runServe(w, rest)
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	var o options

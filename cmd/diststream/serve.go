@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"diststream/internal/core"
+	"diststream/internal/datagen"
+	"diststream/internal/harness"
+	"diststream/internal/serve"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// serveOptions configures the `diststream serve` subcommand: a live
+// ingesting pipeline plus the query-serving HTTP API on one process.
+type serveOptions struct {
+	addr        string
+	dataset     string
+	algo        string
+	records     int
+	rate        float64
+	wallRate    float64
+	batch       float64
+	parallelism int
+	seed        int64
+	loop        int
+	buffer      int
+	drop        bool
+	keep        int
+	maxInFlight int
+	maxQueue    int
+	maxQPS      float64
+	queueWait   time.Duration
+	retryAfter  time.Duration
+}
+
+func runServe(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var o serveOptions
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "HTTP listen address")
+	fs.StringVar(&o.dataset, "dataset", "kdd99", "dataset preset (kdd99, covtype, kdd98)")
+	fs.StringVar(&o.algo, "algo", "clustream", "stream clustering algorithm")
+	fs.IntVar(&o.records, "records", 30000, "records per pass over the generated dataset")
+	fs.Float64Var(&o.rate, "rate", 1000, "virtual stream rate (records per virtual second)")
+	fs.Float64Var(&o.wallRate, "wall-rate", 0, "wall-clock producer pacing in records/sec (0 = ingest flat out)")
+	fs.Float64Var(&o.batch, "batch", 10, "mini-batch interval in virtual seconds")
+	fs.IntVar(&o.parallelism, "parallelism", 2, "pipeline parallelism degree")
+	fs.Int64Var(&o.seed, "seed", 42, "dataset generation seed")
+	fs.IntVar(&o.loop, "loop", 1, "passes over the dataset (0 = loop until interrupted)")
+	fs.IntVar(&o.buffer, "buffer", 4096, "ingest producer buffer capacity (records)")
+	fs.BoolVar(&o.drop, "drop", false, "drop records when the ingest buffer is full instead of blocking the producer")
+	fs.IntVar(&o.keep, "keep", serve.DefaultKeepVersions, "model snapshot versions retained for time-travel queries")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 8, "admission: max concurrently executing queries")
+	fs.IntVar(&o.maxQueue, "max-queue", 16, "admission: max queries waiting for a slot")
+	fs.Float64Var(&o.maxQPS, "max-qps", 0, "admission: max admitted queries per second (0 = unlimited); cap this when queries share cores with ingest")
+	fs.DurationVar(&o.queueWait, "queue-wait", 100*time.Millisecond, "admission: max time a query waits before being shed")
+	fs.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var preset datagen.Preset
+	switch o.dataset {
+	case "kdd99":
+		preset = datagen.KDD99Sim
+	case "covtype":
+		preset = datagen.CovTypeSim
+	case "kdd98":
+		preset = datagen.KDD98Sim
+	default:
+		return fmt.Errorf("unknown dataset %q", o.dataset)
+	}
+
+	fmt.Fprintf(w, "generating %s (%d records)...\n", preset, o.records)
+	ds, err := harness.LoadDataset(preset, o.records, o.rate, o.seed)
+	if err != nil {
+		return err
+	}
+	algo, err := harness.NewAlgorithm(o.algo, ds, o.seed)
+	if err != nil {
+		return err
+	}
+	engine, err := harness.NewEngine(o.parallelism, nil)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	// The ingest source: the dataset repeated -loop times (a large pass
+	// count stands in for "forever"), behind a bounded, counter-exporting
+	// buffer so /metrics can report producer lag and drops.
+	passes := o.loop
+	if passes <= 0 {
+		passes = 1 << 20
+	}
+	repeat, err := stream.NewRepeatSource(ds.Records, passes)
+	if err != nil {
+		return err
+	}
+	buffered := stream.NewBuffered(repeat, stream.BufferedConfig{
+		Capacity:     o.buffer,
+		WallRate:     o.wallRate,
+		DropWhenFull: o.drop,
+	})
+	defer buffered.Close()
+
+	registry := serve.NewRegistry(o.keep)
+	pipeline, err := core.NewPipeline(core.Config{
+		Algorithm:     algo,
+		Engine:        engine,
+		BatchInterval: vclock.Duration(o.batch),
+		OnPublish:     registry.Hook(),
+	})
+	if err != nil {
+		return err
+	}
+
+	server, err := serve.NewServer(serve.Config{
+		Registry: registry,
+		Admission: serve.LimiterConfig{
+			MaxInFlight: o.maxInFlight,
+			MaxQueue:    o.maxQueue,
+			MaxRate:     o.maxQPS,
+			QueueWait:   o.queueWait,
+			RetryAfter:  o.retryAfter,
+		},
+		IngestStats: func() serve.IngestStats {
+			st := buffered.Stats()
+			return serve.IngestStats{
+				ProducerProduced: st.Produced,
+				ProducerDropped:  st.Dropped,
+				ProducerLag:      st.Queued,
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: server.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(w, "serving on http://%s (assign/clusters/macro under /v1, probes at /healthz /readyz, metrics at /metrics)\n", ln.Addr())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	ingestDone := make(chan struct{})
+	var ingestStats core.RunStats
+	var ingestErr error
+	go func() {
+		defer close(ingestDone)
+		ingestStats, ingestErr = pipeline.RunContext(ctx, buffered)
+	}()
+
+	// Serve until interrupted; if the stream drains first, keep serving
+	// the final model.
+	select {
+	case <-ctx.Done():
+	case <-ingestDone:
+		if ingestErr != nil && !errors.Is(ingestErr, context.Canceled) {
+			fmt.Fprintf(w, "ingest error: %v\n", ingestErr)
+		} else {
+			fmt.Fprintf(w, "ingest drained: %d records in %d batches (%.0f rec/s); still serving\n",
+				ingestStats.Records, ingestStats.Batches, ingestStats.Throughput())
+		}
+		<-ctx.Done()
+	case err := <-httpErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Graceful drain: stop admitting queries, stop ingest, then give
+	// in-flight queries a bounded window to finish.
+	fmt.Fprintln(w, "shutting down: draining queries...")
+	server.Drain()
+	buffered.Close()
+	<-ingestDone
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if ingestErr != nil && !errors.Is(ingestErr, context.Canceled) && !errors.Is(ingestErr, io.EOF) {
+		return ingestErr
+	}
+	fmt.Fprintf(w, "done: ingested %d records in %d batches, published %d snapshots, served %d queries (%d shed)\n",
+		ingestStats.Records, ingestStats.Batches, registry.Published(),
+		server.AdmissionStats().Admitted, server.AdmissionStats().Shed)
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command serveload drives concurrent closed-loop clients against a
+// running `diststream serve` instance and reports throughput, latency
+// percentiles and shed counts — the proof harness for the serving
+// subsystem's "queries must not slow ingestion" claim.
+//
+// Clients are well-behaved: a 429 (shed) response makes the client back
+// off for the server's Retry-After hint instead of hot-spinning.
+//
+// Usage:
+//
+//	serveload -addr http://127.0.0.1:8080 -clients 64 -duration 10s
+//
+// With -json the summary is printed as a single machine-readable line
+//
+//	SERVELOAD {"qps":..., "p50_ms":..., "p99_ms":..., "shed":...}
+//
+// which cmd/benchjson recognizes and embeds in the archived bench JSON,
+// so the perf trajectory covers serving as well as ingest.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"diststream/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serveload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the serve instance")
+	clients := fs.Int("clients", 64, "concurrent closed-loop clients")
+	duration := fs.Duration("duration", 10*time.Second, "load duration")
+	macroEvery := fs.Int("macro-every", 0, "every Nth request per client is a POST /v1/macro (0 = assign only)")
+	macroAlgo := fs.String("macro-algo", "kmeans", "macro algorithm (kmeans or dbscan)")
+	macroK := fs.Int("macro-k", 5, "macro kmeans cluster count")
+	macroSeed := fs.Int64("macro-seed", 7, "macro kmeans seed")
+	macroEps := fs.Float64("macro-eps", 1, "macro dbscan eps")
+	macroMinPts := fs.Float64("macro-minpoints", 2, "macro dbscan min weighted neighborhood mass")
+	macroVersion := fs.Uint64("macro-version", 0, "snapshot version to macro-cluster (0 = latest)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	seed := fs.Int64("seed", 1, "client point-selection seed")
+	asJSON := fs.Bool("json", false, "print one SERVELOAD JSON summary line instead of the human report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.LoadConfig{
+		BaseURL:    strings.TrimRight(*addr, "/"),
+		Clients:    *clients,
+		Duration:   *duration,
+		MacroEvery: *macroEvery,
+		Macro: serve.MacroRequest{
+			Algorithm: *macroAlgo,
+			Version:   *macroVersion,
+			K:         *macroK,
+			Seed:      *macroSeed,
+			Eps:       *macroEps,
+			MinPoints: *macroMinPts,
+		},
+		Timeout: *timeout,
+		Seed:    *seed,
+	}
+	res, err := serve.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		blob, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SERVELOAD %s\n", blob)
+		return nil
+	}
+	fmt.Printf("clients:   %d for %.1fs\n", *clients, res.ElapsedSeconds)
+	fmt.Printf("requests:  %d total, %d ok, %d shed (429), %d errors\n",
+		res.Requests, res.OK, res.Shed, res.Errors)
+	if res.MacroOK > 0 {
+		fmt.Printf("macro:     %d ok, %d served from cache\n", res.MacroOK, res.MacroCached)
+	}
+	fmt.Printf("qps:       %.1f\n", res.QPS)
+	fmt.Printf("latency:   p50 %.2fms  p90 %.2fms  p99 %.2fms\n",
+		res.P50Millis, res.P90Millis, res.P99Millis)
+	return nil
+}

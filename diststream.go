@@ -63,6 +63,9 @@ type (
 	Pipeline = core.Pipeline
 	// RunStats summarizes a pipeline run.
 	RunStats = core.RunStats
+	// Published is one frozen, self-consistent model snapshot handed to
+	// PipelineOptions.OnSnapshot after each global update.
+	Published = core.Published
 	// OrderMode selects order-aware vs unordered updates.
 	OrderMode = core.OrderMode
 	// AdaptiveBatch configures run-time batch-interval adaptation.
@@ -242,6 +245,13 @@ type PipelineOptions struct {
 	Checkpoint *CheckpointConfig
 	// OnBatch, when set, runs on the driver after each batch.
 	OnBatch func(batch stream.Batch, model *Model) error
+	// OnSnapshot, when set, receives a frozen deep copy of the model —
+	// micro-cluster clones plus a prebuilt search index — after
+	// initialization and after every global update. It runs synchronously
+	// on the batch loop, so implementations should be cheap (an atomic
+	// pointer swap into a registry); this is the publication feed a
+	// query-serving subsystem reads from (see `diststream serve`).
+	OnSnapshot func(Published)
 }
 
 // NewPipeline builds a DistStream pipeline for the given algorithm.
@@ -264,6 +274,7 @@ func (s *System) NewPipeline(algo Algorithm, opts PipelineOptions) (*Pipeline, e
 		Adaptive:        opts.Adaptive,
 		Checkpoint:      opts.Checkpoint,
 		OnBatch:         opts.OnBatch,
+		OnPublish:       opts.OnSnapshot,
 	})
 }
 

@@ -340,3 +340,56 @@ func TestFacadeRunContextCancelStopsWithinOneBatch(t *testing.T) {
 		t.Errorf("Batches = %d, want 1 (cancel honored within one batch)", stats.Batches)
 	}
 }
+
+func TestFacadeOnSnapshotPublishes(t *testing.T) {
+	sys, err := diststream.New(diststream.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	algo := sys.NewSimple(diststream.SimpleOptions{Radius: 2})
+
+	var published []diststream.Published
+	pl, err := sys.NewPipeline(algo, diststream.PipelineOptions{
+		BatchSeconds: 1,
+		InitRecords:  100,
+		OnSnapshot:   func(pub diststream.Published) { published = append(published, pub) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Run(stream.NewSliceSource(blobStream(1000, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One publication right after init, then one per batch.
+	if len(published) != stats.Batches+1 {
+		t.Fatalf("published %d snapshots, want %d (init + one per batch)", len(published), stats.Batches+1)
+	}
+	if published[0].Batch != 0 {
+		t.Errorf("first (warm-up) publication reports batch %d, want 0", published[0].Batch)
+	}
+	last := published[len(published)-1]
+	if last.Batch != stats.Batches || last.Stats.Records != stats.Records {
+		t.Errorf("last publication = batch %d / %d records, want %d / %d",
+			last.Batch, last.Stats.Records, stats.Batches, stats.Records)
+	}
+	if len(last.MCs) == 0 || last.Index == nil || last.Search == nil {
+		t.Fatal("publication is missing model, index or search snapshot")
+	}
+	if len(last.Index.IDs) != len(last.MCs) || last.Search.Len() != len(last.MCs) {
+		t.Errorf("index/search sized %d/%d, model has %d MCs",
+			len(last.Index.IDs), last.Search.Len(), len(last.MCs))
+	}
+	// Snapshots are deep copies: mutating the live model (by running
+	// offline clustering, which reads it) must not be observable, and the
+	// published MCs must differ in identity from the live ones.
+	live := pl.Model().List()
+	for _, mc := range last.MCs {
+		for _, lm := range live {
+			if mc == lm {
+				t.Fatal("published MC aliases the live model")
+			}
+		}
+	}
+}

@@ -73,6 +73,13 @@ type Config struct {
 	Checkpoint *CheckpointConfig
 	// OnBatch, when set, runs after every batch's global update.
 	OnBatch BatchHook
+	// OnPublish, when set, receives a frozen copy of the model (cloned
+	// micro-clusters plus a prebuilt FlatIndex and the algorithm's search
+	// snapshot) after model initialization and after every batch's global
+	// update. The published data is never touched by the pipeline again,
+	// so receivers may retain it and read it concurrently — this is the
+	// feed for the model-serving subsystem (internal/serve).
+	OnPublish PublishHook
 }
 
 // StageStats accumulates wall time spent in one pipeline stage.
@@ -375,6 +382,7 @@ func (p *Pipeline) ProcessBatchContext(ctx context.Context, batch stream.Batch) 
 			return fmt.Errorf("core: batch hook: %w", err)
 		}
 	}
+	p.publish()
 	return nil
 }
 
@@ -418,6 +426,9 @@ func (p *Pipeline) runInit() error {
 	p.model.SetNow(p.initBuf[len(p.initBuf)-1].Timestamp)
 	p.initBuf = nil
 	p.initialized = true
+	// Publish the freshly initialized model so serving readers become
+	// ready before the first post-warm-up batch completes.
+	p.publish()
 	return nil
 }
 

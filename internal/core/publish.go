@@ -1,0 +1,56 @@
+package core
+
+import (
+	"diststream/internal/vclock"
+)
+
+// Published is one frozen, self-consistent view of the model handed to a
+// snapshot-publication hook after a global update completes. Everything in
+// it is decoupled from the live pipeline: MCs are deep clones, Index and
+// Search are built over those clones, and Stats is a value copy — so a
+// receiver may retain the whole struct and read it from any number of
+// goroutines while the pipeline keeps ingesting. Receivers must treat the
+// contents as immutable.
+type Published struct {
+	// Batch is the number of processed batches at publication time. The
+	// warm-up publication (made right after model initialization, before
+	// any batch flows through the parallel stages) reports 0.
+	Batch int
+	// Time is the model's virtual time at publication.
+	Time vclock.Time
+	// MCs are deep clones of the live micro-clusters in admission order.
+	MCs []MicroCluster
+	// Index is a FlatIndex over MCs: contiguous centers, norms and ids
+	// for one-vs-many nearest-neighbour kernels.
+	Index *FlatIndex
+	// Search is the algorithm's own search snapshot over MCs — the same
+	// structure broadcast to assign tasks, including the algorithm's
+	// absorbable-boundary decision.
+	Search Snapshot
+	// Stats is a copy of the run statistics accumulated so far.
+	Stats RunStats
+}
+
+// PublishHook receives each post-global-update model publication. It runs
+// synchronously on the driver's batch loop, so implementations should be
+// cheap (e.g. an atomic pointer swap); anything slow belongs on the
+// receiver's side of that swap.
+type PublishHook func(Published)
+
+// publish clones the current model and hands it to the OnPublish hook.
+func (p *Pipeline) publish() {
+	if p.cfg.OnPublish == nil {
+		return
+	}
+	clones := p.model.CloneList()
+	idx := BuildFlatIndex(clones)
+	pub := Published{
+		Batch:  p.stats.Batches,
+		Time:   p.model.Now(),
+		MCs:    clones,
+		Index:  &idx,
+		Search: p.cfg.Algorithm.NewSnapshot(clones),
+		Stats:  p.stats,
+	}
+	p.cfg.OnPublish(pub)
+}

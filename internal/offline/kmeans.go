@@ -22,7 +22,11 @@ type KMeansConfig struct {
 	// Tolerance stops early when no centroid moves more than this
 	// (Euclidean); 0 means 1e-6.
 	Tolerance float64
-	// Seed drives k-means++ seeding.
+	// Seed drives every random choice the algorithm makes: k-means++
+	// seeding, duplicate-centroid tie-breaks and empty-cluster reseeding.
+	// It is caller-supplied precisely so runs are replayable: identical
+	// (points, weights, config-with-seed) inputs yield bit-identical
+	// results (see the determinism guarantee on WeightedKMeans).
 	Seed int64
 }
 
@@ -57,6 +61,15 @@ func KMeans(points []vector.Vector, cfg KMeansConfig) (*KMeansResult, error) {
 // WeightedKMeans clusters points with per-point weights (nil weights mean
 // uniform). It is the paper's offline macro-clustering primitive: micro-
 // cluster centroids weighted by their record counts.
+//
+// Determinism: the only randomness is the cfg.Seed-seeded PRNG, and the
+// iteration order over points and centroids is fixed, so identical
+// (points, weights, cfg) inputs — the same model snapshot, parameters and
+// seed — produce bit-identical centroids, assignments and SSQ on every
+// call. The serving layer's macro-clustering cache (internal/serve)
+// relies on this: a result computed once for a (snapshot version,
+// params, seed) key is exactly the result any later identical request
+// would have computed, and replayable tests can assert exact outputs.
 func WeightedKMeans(points []vector.Vector, weights []float64, cfg KMeansConfig) (*KMeansResult, error) {
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("offline: k %d must be positive", cfg.K)

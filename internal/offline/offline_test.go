@@ -82,6 +82,46 @@ func TestKMeansDeterministicForSeed(t *testing.T) {
 	}
 }
 
+// TestWeightedKMeansBitIdenticalReplay pins the determinism guarantee the
+// serve-side macro-clustering cache depends on: the same (points,
+// weights, params, seed) triple must reproduce the exact same result —
+// centroids, assignments, iteration count and SSQ — on every call.
+func TestWeightedKMeansBitIdenticalReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, _ := blobs(rng, []vector.Vector{{0, 0}, {6, 6}, {-6, 6}}, 40, 1.5)
+	weights := make([]float64, len(points))
+	for i := range weights {
+		weights[i] = 1 + rng.Float64()*9
+	}
+	cfg := KMeansConfig{K: 3, Seed: 11, MaxIterations: 25}
+	first, err := WeightedKMeans(points, weights, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := WeightedKMeans(points, weights, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Iterations != first.Iterations {
+			t.Fatalf("run %d: iterations %d != %d", run, again.Iterations, first.Iterations)
+		}
+		if again.SSQ != first.SSQ {
+			t.Fatalf("run %d: SSQ %v != %v", run, again.SSQ, first.SSQ)
+		}
+		for i := range first.Centroids {
+			if !first.Centroids[i].Equal(again.Centroids[i]) {
+				t.Fatalf("run %d: centroid %d differs", run, i)
+			}
+		}
+		for i := range first.Assignments {
+			if first.Assignments[i] != again.Assignments[i] {
+				t.Fatalf("run %d: assignment %d differs", run, i)
+			}
+		}
+	}
+}
+
 func TestWeightedKMeansPullsTowardHeavyPoints(t *testing.T) {
 	// Two points; weight 9 vs 1 with k=1: centroid must sit at the
 	// weighted mean.

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors.
+var (
+	// ErrOverloaded means the in-flight bound and the wait queue are both
+	// full, or the queued request hit its waiting deadline. Mapped to
+	// HTTP 429 with a Retry-After.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrDraining means the server is shutting down and admits no new
+	// queries. Mapped to HTTP 503.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// LimiterConfig bounds concurrent query execution.
+type LimiterConfig struct {
+	// MaxInFlight is the number of queries executing at once. Default 8.
+	MaxInFlight int
+	// MaxQueue is the number of queries allowed to wait for an execution
+	// slot. Default 2 * MaxInFlight.
+	MaxQueue int
+	// QueueWait is the longest a queued query waits for a slot before
+	// being shed. Default 100ms.
+	QueueWait time.Duration
+	// RetryAfter is the client backoff hint attached to shed responses.
+	// Default 100ms.
+	RetryAfter time.Duration
+	// MaxRate, when positive, caps admitted queries per second with a
+	// token bucket (burst = MaxBurst). Concurrency bounds alone cannot
+	// protect a server that shares cores with the ingest pipeline —
+	// short queries sneak through one at a time and their aggregate
+	// rate still steals CPU from ingestion — so colocated deployments
+	// set a rate matching the query budget. 0 = unlimited.
+	MaxRate float64
+	// MaxBurst is the token bucket depth when MaxRate is set. Default
+	// max(1, MaxRate/10): at most a tenth of a second of queries in one
+	// burst.
+	MaxBurst float64
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 100 * time.Millisecond
+	}
+	if c.MaxRate > 0 && c.MaxBurst <= 0 {
+		c.MaxBurst = c.MaxRate / 10
+		if c.MaxBurst < 1 {
+			c.MaxBurst = 1
+		}
+	}
+	return c
+}
+
+// LimiterStats is an atomic snapshot of the admission counters.
+type LimiterStats struct {
+	// Admitted counts queries that got an execution slot.
+	Admitted uint64
+	// Shed counts queries rejected because queue and slots were full.
+	Shed uint64
+	// QueueTimeouts counts queries shed after waiting QueueWait without
+	// getting a slot (included in Shed).
+	QueueTimeouts uint64
+	// RateLimited counts queries shed by the MaxRate token bucket
+	// (included in Shed).
+	RateLimited uint64
+	// Rejected counts queries refused because the limiter was draining.
+	Rejected uint64
+	// InFlight is the number of queries currently executing.
+	InFlight int
+	// Queued is the number of queries currently waiting for a slot.
+	Queued int
+}
+
+// Limiter is the admission controller: at most MaxInFlight queries
+// execute concurrently, at most MaxQueue more wait (each bounded by
+// QueueWait), and everything beyond that is shed immediately — the
+// overload answer is a fast 429, never an unbounded queue. A draining
+// limiter admits nothing, letting shutdown wait only for queries already
+// running.
+type Limiter struct {
+	cfg    LimiterConfig
+	slots  chan struct{} // execution permits
+	queue  chan struct{} // waiting permits
+	bucket *tokenBucket  // nil when MaxRate is unset
+
+	admitted      atomic.Uint64
+	shed          atomic.Uint64
+	queueTimeouts atomic.Uint64
+	rateLimited   atomic.Uint64
+	rejected      atomic.Uint64
+	inFlight      atomic.Int64
+	queued        atomic.Int64
+	draining      atomic.Bool
+}
+
+// NewLimiter builds a limiter from cfg (zero fields take defaults).
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	l := &Limiter{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxQueue),
+	}
+	if cfg.MaxRate > 0 {
+		l.bucket = newTokenBucket(cfg.MaxRate, cfg.MaxBurst)
+	}
+	return l
+}
+
+// Acquire tries to admit one query: immediately when an execution slot is
+// free, after a bounded wait when only a queue slot is free, and not at
+// all otherwise. On success it returns a release function the caller must
+// invoke exactly once when the query finishes. On failure it returns
+// ErrOverloaded (shed: answer 429 + RetryAfter), ErrDraining (shutting
+// down: answer 503), or ctx.Err() when the caller gave up first.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	if l.draining.Load() {
+		l.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	// Rate cap first: a query over the rate budget is shed even when a
+	// slot is free — concurrency bounds protect memory and tail latency,
+	// the rate bound protects the CPU share of the colocated pipeline.
+	if l.bucket != nil && !l.bucket.take() {
+		l.rateLimited.Add(1)
+		l.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	// Fast path: free execution slot.
+	select {
+	case l.slots <- struct{}{}:
+		return l.admit(), nil
+	default:
+	}
+	// Queue path: take a waiting permit or shed.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		l.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	l.queued.Add(1)
+	defer func() {
+		l.queued.Add(-1)
+		<-l.queue
+	}()
+	timer := time.NewTimer(l.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		if l.draining.Load() {
+			<-l.slots
+			l.rejected.Add(1)
+			return nil, ErrDraining
+		}
+		return l.admit(), nil
+	case <-timer.C:
+		l.queueTimeouts.Add(1)
+		l.shed.Add(1)
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		l.shed.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) admit() func() {
+	l.admitted.Add(1)
+	l.inFlight.Add(1)
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			l.inFlight.Add(-1)
+			<-l.slots
+		}
+	}
+}
+
+// Drain flips the limiter into shutdown mode: every subsequent Acquire
+// fails with ErrDraining. Queries already admitted are unaffected — the
+// HTTP server's graceful Shutdown waits for those.
+func (l *Limiter) Drain() { l.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (l *Limiter) Draining() bool { return l.draining.Load() }
+
+// RetryAfter returns the configured client backoff hint.
+func (l *Limiter) RetryAfter() time.Duration { return l.cfg.RetryAfter }
+
+// Stats returns the admission counters.
+func (l *Limiter) Stats() LimiterStats {
+	return LimiterStats{
+		Admitted:      l.admitted.Load(),
+		Shed:          l.shed.Load(),
+		QueueTimeouts: l.queueTimeouts.Load(),
+		RateLimited:   l.rateLimited.Load(),
+		Rejected:      l.rejected.Load(),
+		InFlight:      int(l.inFlight.Load()),
+		Queued:        int(l.queued.Load()),
+	}
+}
+
+// tokenBucket is a classic refilling token bucket: take succeeds when at
+// least one whole token has accumulated.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (b *tokenBucket) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeQueryLoad drives the in-process load generator against a
+// server over a static snapshot and reports serving-path metrics
+// (qps, latency percentiles, shed count). It also prints one
+// `SERVELOAD {json}` summary line, which cmd/benchjson embeds in the
+// archived bench report — so `make bench-json` tracks the serving
+// trajectory next to the ingest benchmarks.
+func BenchmarkServeQueryLoad(b *testing.B) {
+	reg := NewRegistry(0)
+	centers := make([][]float64, 64)
+	weights := make([]float64, 64)
+	points := make([][]float64, 64)
+	for i := range centers {
+		centers[i] = []float64{float64(i%8) * 10, float64(i/8) * 10}
+		weights[i] = float64(i%5 + 1)
+		points[i] = centers[i]
+	}
+	reg.Publish(testPublished(centers, weights, 1, 1000))
+	server, err := NewServer(Config{Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	var total LoadResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunLoad(LoadConfig{
+			BaseURL:  ts.URL,
+			Clients:  8,
+			Duration: time.Second,
+			// Every 16th request macro-clusters at a fixed seed: after the
+			// first computation these are cache hits, the serving fast path.
+			MacroEvery: 16,
+			Macro:      MacroRequest{Algorithm: MacroKMeans, K: 4, Seed: 3},
+			Points:     points,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res
+	}
+	b.StopTimer()
+
+	b.ReportMetric(total.QPS, "qps")
+	b.ReportMetric(total.P50Millis, "p50_ms")
+	b.ReportMetric(total.P99Millis, "p99_ms")
+	b.ReportMetric(float64(total.Shed), "shed")
+	if blob, err := json.Marshal(total); err == nil {
+		fmt.Printf("SERVELOAD %s\n", blob)
+	}
+}

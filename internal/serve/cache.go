@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// MacroKey identifies one macro-clustering computation: the snapshot
+// version it ran over plus every parameter that influences the result.
+// Because the offline algorithms are deterministic for a fixed seed
+// (see offline.WeightedKMeans), two requests with equal keys would
+// compute bit-identical results — which is what makes caching them
+// coherent.
+type MacroKey struct {
+	Version   uint64
+	Algorithm string // "kmeans" or "dbscan"
+	K         int
+	Seed      int64
+	MaxIter   int
+	Tolerance float64
+	Eps       float64
+	MinPoints float64
+}
+
+// macroEntry is one cache slot. done closes when the computation
+// finishes; result/err are readable only after that.
+type macroEntry struct {
+	done   chan struct{}
+	result *MacroResult
+	err    error
+}
+
+// CacheStats is an atomic snapshot of the cache counters.
+type CacheStats struct {
+	// Hits counts requests served from a completed or in-flight entry
+	// (an in-flight join is a hit: the joiner did not compute).
+	Hits uint64
+	// Misses counts requests that found no entry and started a
+	// computation.
+	Misses uint64
+	// Computations counts compute executions that ran to completion
+	// (success or error). For N concurrent identical requests this is 1.
+	Computations uint64
+	// Evictions counts entries discarded to respect the size bound.
+	Evictions uint64
+}
+
+// MacroCache memoizes macro-clustering results by MacroKey with
+// singleflight collapse: the first request for a key computes, every
+// concurrent duplicate blocks on the same entry, and later requests hit
+// the stored result. Failed computations are not cached — the next
+// request retries. Size is bounded with FIFO eviction of completed
+// entries (snapshot versions age out of the registry in FIFO order too,
+// so oldest-first is the natural policy).
+type MacroCache struct {
+	mu      sync.Mutex
+	entries map[MacroKey]*macroEntry
+	order   []MacroKey // insertion order, for eviction
+	max     int
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	computations atomic.Uint64
+	evictions    atomic.Uint64
+}
+
+// DefaultCacheSize bounds the number of retained macro-clustering
+// results when the caller does not say otherwise.
+const DefaultCacheSize = 64
+
+// NewMacroCache returns a cache bounded to max entries (DefaultCacheSize
+// when max <= 0).
+func NewMacroCache(max int) *MacroCache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &MacroCache{entries: make(map[MacroKey]*macroEntry), max: max}
+}
+
+// Do returns the cached result for key, joining an in-flight computation
+// when one exists, and otherwise runs compute exactly once for all
+// concurrent callers with this key. hit reports whether this caller
+// avoided computing (completed entry or in-flight join). ctx bounds only
+// the wait for someone else's computation; the computation itself runs to
+// completion so the winner can still populate the cache for others.
+func (c *MacroCache) Do(ctx context.Context, key MacroKey, compute func() (*MacroResult, error)) (result *MacroResult, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-e.done:
+			return e.result, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &macroEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.result, e.err = compute()
+	c.computations.Add(1)
+	close(e.done)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Don't cache failures; drop the entry so the next request
+		// retries (joiners already waiting still see this error).
+		c.removeLocked(key, e)
+	} else {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return e.result, false, e.err
+}
+
+// Peek reports whether a completed result is cached for key, without
+// counting a hit or blocking on an in-flight computation.
+func (c *MacroCache) Peek(key MacroKey) bool {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
+// removeLocked deletes key if it still maps to e.
+func (c *MacroCache) removeLocked(key MacroKey, e *macroEntry) {
+	if cur, ok := c.entries[key]; ok && cur == e {
+		delete(c.entries, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// evictLocked discards the oldest completed entries until the size bound
+// holds. In-flight entries are skipped: someone is blocked on them.
+func (c *MacroCache) evictLocked() {
+	for len(c.entries) > c.max {
+		evicted := false
+		for i, k := range c.order {
+			e := c.entries[k]
+			select {
+			case <-e.done:
+			default:
+				continue // in-flight; try the next-oldest
+			}
+			delete(c.entries, k)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.evictions.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything in-flight; over budget transiently
+		}
+	}
+}
+
+// Len returns the current number of entries (including in-flight ones).
+func (c *MacroCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the cache counters.
+func (c *MacroCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Computations: c.computations.Load(),
+		Evictions:    c.evictions.Load(),
+	}
+}

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives concurrent closed-loop clients against a serve
+// endpoint — the measurement harness behind cmd/serveload and the
+// ingest-interference acceptance test.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients. Default 8.
+	Clients int
+	// Duration bounds the run (ignored when Stop is non-nil and fires
+	// first). Default 5s when Stop is nil.
+	Duration time.Duration
+	// Stop, when non-nil, ends the run when closed.
+	Stop <-chan struct{}
+	// MacroEvery makes every Nth request per client a POST /v1/macro
+	// (0 disables macro traffic). The rest are GET /v1/assign.
+	MacroEvery int
+	// Macro is the macro request body template (Version 0 = latest).
+	Macro MacroRequest
+	// Points are the assign query points. When nil, the generator
+	// bootstraps them from GET /v1/clusters (the micro-cluster centers).
+	Points [][]float64
+	// Timeout bounds each request. Default 10s.
+	Timeout time.Duration
+	// Seed drives per-client point selection. Default 1.
+	Seed int64
+	// ErrorBackoff is how long a client sleeps after a transport error or
+	// an unexpected (non-2xx, non-429) status before retrying, so a
+	// not-yet-ready or failing server is probed gently instead of
+	// hammered in a tight loop. Default 100ms.
+	ErrorBackoff time.Duration
+}
+
+// LoadResult summarizes a load run.
+type LoadResult struct {
+	// Requests counts every attempt; OK the 2xx responses; Shed the 429s;
+	// Errors transport failures and non-2xx/429 statuses.
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	// MacroOK counts successful macro responses; MacroCached how many of
+	// those were served from the cache.
+	MacroOK     uint64 `json:"macro_ok"`
+	MacroCached uint64 `json:"macro_cached"`
+	// Elapsed is the measured wall time; QPS is OK / Elapsed.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	QPS            float64 `json:"qps"`
+	// Latency percentiles over successful (2xx) requests, milliseconds.
+	P50Millis float64 `json:"p50_ms"`
+	P90Millis float64 `json:"p90_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// RunLoad drives the configured load and aggregates latencies. Clients
+// are well-behaved: a 429 response makes the client sleep the server's
+// Retry-After hint before its next request, so shed traffic backs off
+// instead of hot-spinning.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.BaseURL == "" {
+		return LoadResult{}, errors.New("serve: load needs a BaseURL")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ErrorBackoff <= 0 {
+		cfg.ErrorBackoff = 100 * time.Millisecond
+	}
+	stop := cfg.Stop
+	if stop == nil {
+		if cfg.Duration <= 0 {
+			cfg.Duration = 5 * time.Second
+		}
+		ch := make(chan struct{})
+		timer := time.AfterFunc(cfg.Duration, func() { close(ch) })
+		defer timer.Stop()
+		stop = ch
+	}
+	points := cfg.Points
+	if points == nil {
+		var err error
+		points, err = fetchPoints(cfg.BaseURL, cfg.Timeout)
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("serve: bootstrap points: %w", err)
+		}
+	}
+	if len(points) == 0 {
+		return LoadResult{}, errors.New("serve: no query points")
+	}
+
+	macroBody, err := json.Marshal(cfg.Macro)
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	type clientResult struct {
+		res       LoadResult
+		latencies []time.Duration
+	}
+	results := make([]clientResult, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: cfg.Timeout}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			cr := &results[c]
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				macro := cfg.MacroEvery > 0 && n%cfg.MacroEvery == cfg.MacroEvery-1
+				reqStart := time.Now()
+				var (
+					status  int
+					retry   time.Duration
+					cached  bool
+					callErr error
+				)
+				if macro {
+					status, retry, cached, callErr = doMacro(client, cfg.BaseURL, macroBody)
+				} else {
+					p := points[rng.Intn(len(points))]
+					status, retry, callErr = doAssign(client, cfg.BaseURL, p)
+				}
+				cr.res.Requests++
+				switch {
+				case callErr != nil:
+					cr.res.Errors++
+					select {
+					case <-stop:
+						return
+					case <-time.After(cfg.ErrorBackoff):
+					}
+				case status == http.StatusTooManyRequests:
+					cr.res.Shed++
+					if retry > 0 {
+						select {
+						case <-stop:
+							return
+						case <-time.After(retry):
+						}
+					}
+				case status >= 200 && status < 300:
+					cr.res.OK++
+					cr.latencies = append(cr.latencies, time.Since(reqStart))
+					if macro {
+						cr.res.MacroOK++
+						if cached {
+							cr.res.MacroCached++
+						}
+					}
+				default:
+					cr.res.Errors++
+					select {
+					case <-stop:
+						return
+					case <-time.After(cfg.ErrorBackoff):
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var out LoadResult
+	var all []time.Duration
+	for i := range results {
+		out.Requests += results[i].res.Requests
+		out.OK += results[i].res.OK
+		out.Shed += results[i].res.Shed
+		out.Errors += results[i].res.Errors
+		out.MacroOK += results[i].res.MacroOK
+		out.MacroCached += results[i].res.MacroCached
+		all = append(all, results[i].latencies...)
+	}
+	out.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		out.QPS = float64(out.OK) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out.P50Millis = percentileMillis(all, 0.50)
+	out.P90Millis = percentileMillis(all, 0.90)
+	out.P99Millis = percentileMillis(all, 0.99)
+	return out, nil
+}
+
+func percentileMillis(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// fetchPoints bootstraps assign query points from the server's own
+// micro-cluster centers.
+func fetchPoints(baseURL string, timeout time.Duration) ([][]float64, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(baseURL + "/v1/clusters")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("GET /v1/clusters: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var dump ClustersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return nil, err
+	}
+	points := make([][]float64, 0, len(dump.Clusters))
+	for _, c := range dump.Clusters {
+		points = append(points, c.Center)
+	}
+	return points, nil
+}
+
+func doAssign(client *http.Client, baseURL string, point []float64) (status int, retryAfter time.Duration, err error) {
+	var sb strings.Builder
+	for i, f := range point {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	resp, err := client.Get(baseURL + "/v1/assign?point=" + sb.String())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, parseRetryAfter(resp), nil
+}
+
+func doMacro(client *http.Client, baseURL string, body []byte) (status int, retryAfter time.Duration, cached bool, err error) {
+	resp, err := client.Post(baseURL+"/v1/macro", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var res MacroResult
+		if decErr := json.NewDecoder(resp.Body).Decode(&res); decErr == nil {
+			cached = res.Cached
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, parseRetryAfter(resp), cached, nil
+}
+
+func parseRetryAfter(resp *http.Response) time.Duration {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"diststream/internal/offline"
+	"diststream/internal/vector"
+)
+
+// Macro algorithm names accepted by /v1/macro.
+const (
+	MacroKMeans = "kmeans"
+	MacroDBSCAN = "dbscan"
+)
+
+// MacroRequest is the POST /v1/macro body: which snapshot to cluster and
+// with what offline algorithm and parameters. Version 0 means "latest at
+// admission time" — the handler pins it to a concrete version before the
+// cache lookup so the key stays stable.
+type MacroRequest struct {
+	// Algorithm is "kmeans" (weighted k-means over micro-cluster centers)
+	// or "dbscan" (weighted DBSCAN, DenStream-style).
+	Algorithm string `json:"algorithm"`
+	// Version selects a retained snapshot; 0 means the latest.
+	Version uint64 `json:"version,omitempty"`
+	// K is the cluster count (kmeans).
+	K int `json:"k,omitempty"`
+	// Seed drives k-means++ seeding; identical (version, params, seed)
+	// requests yield identical clusterings (see offline.WeightedKMeans),
+	// which is what makes the result cacheable.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxIterations bounds Lloyd iterations (kmeans; 0 = default).
+	MaxIterations int `json:"maxIterations,omitempty"`
+	// Tolerance is the convergence threshold (kmeans; 0 = default).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Eps is the neighborhood radius (dbscan).
+	Eps float64 `json:"eps,omitempty"`
+	// MinPoints is the minimum weighted neighborhood mass (dbscan).
+	MinPoints float64 `json:"minPoints,omitempty"`
+}
+
+// validate checks the parameter combination for the chosen algorithm.
+func (r MacroRequest) validate() error {
+	switch r.Algorithm {
+	case MacroKMeans:
+		if r.K <= 0 {
+			return fmt.Errorf("kmeans needs k > 0, got %d", r.K)
+		}
+	case MacroDBSCAN:
+		if r.Eps <= 0 {
+			return fmt.Errorf("dbscan needs eps > 0, got %v", r.Eps)
+		}
+		if r.MinPoints <= 0 {
+			return fmt.Errorf("dbscan needs minPoints > 0, got %v", r.MinPoints)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q (want %q or %q)", r.Algorithm, MacroKMeans, MacroDBSCAN)
+	}
+	return nil
+}
+
+// key maps the request to its cache identity. The caller must have
+// pinned Version already.
+func (r MacroRequest) key() MacroKey {
+	return MacroKey{
+		Version:   r.Version,
+		Algorithm: r.Algorithm,
+		K:         r.K,
+		Seed:      r.Seed,
+		MaxIter:   r.MaxIterations,
+		Tolerance: r.Tolerance,
+		Eps:       r.Eps,
+		MinPoints: r.MinPoints,
+	}
+}
+
+// MacroCluster is one offline macro-cluster in a serve response.
+type MacroCluster struct {
+	Label   int       `json:"label"`
+	Weight  float64   `json:"weight"`
+	Center  []float64 `json:"center"`
+	Members []uint64  `json:"members"`
+}
+
+// MacroResult is the /v1/macro response payload.
+type MacroResult struct {
+	Version   uint64         `json:"version"`
+	Algorithm string         `json:"algorithm"`
+	Clusters  []MacroCluster `json:"clusters"`
+	// Noise lists micro-cluster ids DBSCAN labeled as noise.
+	Noise []uint64 `json:"noise,omitempty"`
+	// MicroClusters is how many micro-clusters were clustered.
+	MicroClusters int `json:"microClusters"`
+	// ComputeMillis is the wall time of the offline computation. Cached
+	// responses repeat the original computation's time.
+	ComputeMillis float64 `json:"computeMillis"`
+	// Cached is set per-response by the handler (not stored).
+	Cached bool `json:"cached"`
+}
+
+// computeMacro runs the requested offline algorithm over the snapshot's
+// micro-cluster centers, weighted by micro-cluster weight — the paper's
+// query-time offline phase.
+func computeMacro(mv *ModelVersion, req MacroRequest) (*MacroResult, error) {
+	n := len(mv.MCs)
+	if n == 0 {
+		return nil, fmt.Errorf("snapshot version %d holds no micro-clusters", mv.Version)
+	}
+	centers := make([]vector.Vector, n)
+	weights := make([]float64, n)
+	ids := make([]uint64, n)
+	for i, mc := range mv.MCs {
+		centers[i] = mc.Center()
+		weights[i] = mc.Weight()
+		ids[i] = mc.ID()
+	}
+	start := time.Now()
+	var labels []int
+	var macroCenters []vector.Vector
+	switch req.Algorithm {
+	case MacroKMeans:
+		res, err := offline.WeightedKMeans(centers, weights, offline.KMeansConfig{
+			K:             req.K,
+			Seed:          req.Seed,
+			MaxIterations: req.MaxIterations,
+			Tolerance:     req.Tolerance,
+		})
+		if err != nil {
+			return nil, err
+		}
+		labels = res.Assignments
+		macroCenters = res.Centroids
+	case MacroDBSCAN:
+		var err error
+		labels, err = offline.DBSCAN(centers, weights, offline.DBSCANConfig{
+			Eps:       req.Eps,
+			MinPoints: req.MinPoints,
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	elapsed := time.Since(start)
+
+	out := &MacroResult{
+		Version:       mv.Version,
+		Algorithm:     req.Algorithm,
+		MicroClusters: n,
+		ComputeMillis: float64(elapsed) / float64(time.Millisecond),
+	}
+	groups := map[int][]int{}
+	for i, l := range labels {
+		if l < 0 {
+			out.Noise = append(out.Noise, ids[i])
+			continue
+		}
+		groups[l] = append(groups[l], i)
+	}
+	// Emit clusters in ascending label order, skipping empty k-means
+	// labels (a centroid that attracted no micro-cluster).
+	maxLabel := -1
+	for l := range groups {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	for l := 0; l <= maxLabel; l++ {
+		members := groups[l]
+		if len(members) == 0 {
+			continue
+		}
+		mc := MacroCluster{Label: l, Members: make([]uint64, 0, len(members))}
+		// Weighted centroid of the members; for k-means prefer the
+		// converged centroid, which is exactly that mean.
+		var center vector.Vector
+		if macroCenters != nil && l < len(macroCenters) {
+			center = macroCenters[l].Clone()
+		} else {
+			center = vector.New(len(centers[members[0]]))
+			var total float64
+			for _, i := range members {
+				center.AXPY(weights[i], centers[i])
+				total += weights[i]
+			}
+			if total > 0 {
+				center = center.Scale(1 / total)
+			}
+		}
+		for _, i := range members {
+			mc.Members = append(mc.Members, ids[i])
+			mc.Weight += weights[i]
+		}
+		mc.Center = center
+		out.Clusters = append(out.Clusters, mc)
+	}
+	return out, nil
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in. The
+// ingest-impact acceptance test asserts a throughput ratio, and the race
+// runtime taxes the query path (HTTP handling, atomics) far more than
+// the ingest path, so the ratio is not meaningful under -race.
+const raceEnabled = true

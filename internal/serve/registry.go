@@ -1,0 +1,171 @@
+// Package serve is the query-serving subsystem: it runs next to a live
+// DistStream pipeline and answers user queries from published model
+// snapshots without ever touching — or locking against — the ingest path.
+//
+// The pieces mirror the online/offline split of the paper (§II): the
+// online phase continuously maintains micro-clusters; the offline phase
+// runs *at query time*, on demand. Here that becomes:
+//
+//   - Registry: an RCU-style versioned snapshot store. The pipeline's
+//     OnPublish hook swaps each post-global-update model copy in with one
+//     atomic pointer store; readers load the pointer and never block the
+//     writer. The last K versions stay addressable for time-travel
+//     queries.
+//   - Server: an HTTP API (net/http only) over the registry — nearest
+//     micro-cluster lookups, micro-cluster dumps, on-demand offline
+//     macro-clustering, health/readiness probes and Prometheus metrics.
+//   - MacroCache: a (version, algorithm, params, seed)-keyed cache with
+//     singleflight collapse, so a thundering herd of identical offline
+//     queries computes each clustering exactly once. Coherent because
+//     offline.WeightedKMeans/DBSCAN are deterministic for a fixed seed.
+//   - Limiter: admission control — bounded in-flight queries plus a
+//     bounded, deadline-capped wait queue; overload is answered with
+//     429 + Retry-After instead of unbounded latency growth.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diststream/internal/core"
+)
+
+// ModelVersion is one published, immutable model snapshot plus its
+// registry-assigned version number. Readers may retain it indefinitely;
+// nothing in it is ever mutated after publication.
+type ModelVersion struct {
+	// Version is the registry-assigned publication number, starting at 1
+	// and strictly increasing.
+	Version uint64
+	// PublishedAt is the wall-clock publication time (used to derive
+	// recent ingest rates for /metrics).
+	PublishedAt time.Time
+	core.Published
+}
+
+// registryState is the immutable value behind the registry's atomic
+// pointer: an ascending-version window of retained snapshots. Publish
+// replaces the whole state; readers see either the old or the new window,
+// never a partial one.
+type registryState struct {
+	versions []*ModelVersion // ascending by Version; last is latest
+}
+
+// Registry is the versioned snapshot store between one publishing
+// pipeline and many concurrent query readers. Publication is RCU-style:
+// the publisher builds a fresh window and installs it with an atomic
+// pointer store, so readers run lock-free and the ingest path never waits
+// on a query. Multiple publishers are serialized by a mutex that readers
+// never touch.
+type Registry struct {
+	mu    sync.Mutex // serializes publishers only
+	state atomic.Pointer[registryState]
+	keep  int
+	// published counts publications ever made (== latest version).
+	published atomic.Uint64
+}
+
+// DefaultKeepVersions is how many snapshot versions a registry retains
+// when the caller does not say otherwise.
+const DefaultKeepVersions = 8
+
+// NewRegistry returns a registry retaining the last keep versions
+// (DefaultKeepVersions when keep <= 0).
+func NewRegistry(keep int) *Registry {
+	if keep <= 0 {
+		keep = DefaultKeepVersions
+	}
+	r := &Registry{keep: keep}
+	r.state.Store(&registryState{})
+	return r
+}
+
+// Publish assigns the next version number to pub, installs it as the
+// latest snapshot and returns the assigned version. The caller must not
+// mutate pub's contents afterwards. Publish is cheap enough to run
+// synchronously on the pipeline's batch loop (one window copy of at most
+// keep pointers plus one atomic store).
+func (r *Registry) Publish(pub core.Published) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.state.Load()
+	mv := &ModelVersion{
+		Version:     r.published.Load() + 1,
+		PublishedAt: time.Now(),
+		Published:   pub,
+	}
+	next := &registryState{versions: make([]*ModelVersion, 0, len(old.versions)+1)}
+	start := 0
+	if len(old.versions) >= r.keep {
+		start = len(old.versions) - r.keep + 1
+	}
+	next.versions = append(next.versions, old.versions[start:]...)
+	next.versions = append(next.versions, mv)
+	r.state.Store(next)
+	r.published.Store(mv.Version)
+	return mv.Version
+}
+
+// Hook adapts the registry to the pipeline's OnPublish hook.
+func (r *Registry) Hook() core.PublishHook {
+	return func(pub core.Published) { r.Publish(pub) }
+}
+
+// Latest returns the most recently published snapshot, or nil before the
+// first publication.
+func (r *Registry) Latest() *ModelVersion {
+	vs := r.state.Load().versions
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs[len(vs)-1]
+}
+
+// At returns the snapshot with the given version, or (nil, false) when it
+// was never published or has aged out of the retention window.
+func (r *Registry) At(version uint64) (*ModelVersion, bool) {
+	vs := r.state.Load().versions
+	// The window is small (keep versions) and ascending; scan from the
+	// newest end, the common lookup.
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].Version == version {
+			return vs[i], true
+		}
+		if vs[i].Version < version {
+			break
+		}
+	}
+	return nil, false
+}
+
+// Versions returns the retained version numbers in ascending order.
+func (r *Registry) Versions() []uint64 {
+	vs := r.state.Load().versions
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Version
+	}
+	return out
+}
+
+// Published returns how many snapshots were ever published (the latest
+// version number).
+func (r *Registry) Published() uint64 { return r.published.Load() }
+
+// IngestRate estimates recent ingest throughput in records per wall-clock
+// second from the oldest and newest retained snapshots' cumulative record
+// counts and publication times. It returns 0 before two snapshots exist
+// or when no wall time elapsed between them.
+func (r *Registry) IngestRate() float64 {
+	vs := r.state.Load().versions
+	if len(vs) < 2 {
+		return 0
+	}
+	first, last := vs[0], vs[len(vs)-1]
+	dt := last.PublishedAt.Sub(first.PublishedAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(last.Stats.Records-first.Stats.Records) / dt
+}

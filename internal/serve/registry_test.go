@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"diststream/internal/core"
+	"diststream/internal/simple"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// stressPublished builds a snapshot whose entire content is a pure
+// function of its intended version v, so concurrent readers can verify
+// they observed a complete, internally consistent publication:
+//
+//   - it holds n = (v-1)%5 + 1 micro-clusters with ids 1..n
+//   - micro-cluster i has weight stressWeight(v) and center {v, i}
+//   - the FlatIndex and the search snapshot are built over exactly those
+//
+// Any torn read — a model from one version paired with an index from
+// another, or a half-visible window — shows up as a mismatch.
+func stressPublished(v uint64) core.Published {
+	algo := simple.New(simple.Config{Radius: 2})
+	n := int((v-1)%5) + 1
+	mcs := make([]core.MicroCluster, n)
+	w := stressWeight(v)
+	for i := 0; i < n; i++ {
+		center := vector.Vector{float64(v), float64(i)}
+		mcs[i] = &simple.MC{
+			Id:      uint64(i + 1),
+			Sum:     center.Clone().Scale(w),
+			W:       w,
+			Updated: vclock.Time(1),
+		}
+	}
+	idx := core.BuildFlatIndex(mcs)
+	return core.Published{
+		Batch:  int(v),
+		Time:   vclock.Time(1),
+		MCs:    mcs,
+		Index:  &idx,
+		Search: algo.NewSnapshot(mcs),
+		Stats:  core.RunStats{Batches: int(v), Records: int(v) * 10},
+	}
+}
+
+// stressWeight maps a version to a power-of-two weight, so Center() =
+// (center * w) / w reproduces the integer center components exactly and
+// consistency checks can use bit equality.
+func stressWeight(v uint64) float64 { return float64(uint64(1) << (v % 8)) }
+
+// checkConsistent asserts every cross-referenced piece of mv describes the
+// same version. Returns silently on success; reports through t on any
+// torn or partial publication.
+func checkConsistent(t *testing.T, mv *ModelVersion) {
+	t.Helper()
+	v := mv.Version
+	wantN := int((v-1)%5) + 1
+	if mv.Batch != int(v) {
+		t.Errorf("version %d carries batch %d", v, mv.Batch)
+		return
+	}
+	if len(mv.MCs) != wantN {
+		t.Errorf("version %d holds %d MCs, want %d", v, len(mv.MCs), wantN)
+		return
+	}
+	if mv.Index == nil || len(mv.Index.IDs) != wantN || mv.Search.Len() != wantN {
+		t.Errorf("version %d index/search sized %v/%d, want %d", v, mv.Index, mv.Search.Len(), wantN)
+		return
+	}
+	for i, mc := range mv.MCs {
+		if mc.Weight() != stressWeight(v) {
+			t.Errorf("version %d MC %d has weight %v (model from another version?)", v, i, mc.Weight())
+			return
+		}
+		if mc.ID() != uint64(i+1) || mv.Index.IDs[i] != uint64(i+1) {
+			t.Errorf("version %d MC %d id mismatch: model %d index %d", v, i, mc.ID(), mv.Index.IDs[i])
+			return
+		}
+		center := mc.Center()
+		row := mv.Index.Centers.Row(i)
+		if center[0] != float64(v) || center[1] != float64(i) ||
+			row[0] != center[0] || row[1] != center[1] {
+			t.Errorf("version %d MC %d center %v vs index row %v (want {%d,%d})", v, i, center, row, v, i)
+			return
+		}
+		if got := mv.Search.Get(uint64(i + 1)); got == nil || got.Weight() != stressWeight(v) {
+			t.Errorf("version %d search snapshot disagrees with model at id %d", v, i+1)
+			return
+		}
+	}
+	if mv.Stats.Records != int(v)*10 {
+		t.Errorf("version %d carries stats from records %d", v, mv.Stats.Records)
+	}
+}
+
+// TestRegistryConcurrentReadersStress hammers a registry with one
+// publisher and many concurrent readers under -race: every reader must
+// only ever observe complete (version, model, index, search) snapshots,
+// and Latest must be monotonic per reader.
+func TestRegistryConcurrentReadersStress(t *testing.T) {
+	const (
+		publishes = 2000
+		readers   = 8
+		keep      = 4
+	)
+	r := NewRegistry(keep)
+	var done atomic.Bool
+
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var lastSeen uint64
+			for !done.Load() {
+				// Latest: consistent and monotonic.
+				if mv := r.Latest(); mv != nil {
+					if mv.Version < lastSeen {
+						t.Errorf("Latest went backwards: %d after %d", mv.Version, lastSeen)
+						return
+					}
+					lastSeen = mv.Version
+					checkConsistent(t, mv)
+				}
+				// Random time-travel inside the retained window: whatever
+				// At returns must be complete too (a miss is fine — the
+				// version may age out between Versions and At).
+				if vs := r.Versions(); len(vs) > 0 {
+					// Window must be ascending and contiguous.
+					for j := 1; j < len(vs); j++ {
+						if vs[j] != vs[j-1]+1 {
+							t.Errorf("retained window not contiguous: %v", vs)
+							return
+						}
+					}
+					pick := vs[rng.Intn(len(vs))]
+					if mv, ok := r.At(pick); ok {
+						if mv.Version != pick {
+							t.Errorf("At(%d) returned version %d", pick, mv.Version)
+							return
+						}
+						checkConsistent(t, mv)
+					}
+				}
+			}
+		}(int64(i + 1))
+	}
+
+	for v := uint64(1); v <= publishes; v++ {
+		got := r.Publish(stressPublished(v))
+		if got != v {
+			t.Fatalf("publish %d assigned version %d", v, got)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+
+	if r.Published() != publishes {
+		t.Errorf("Published = %d, want %d", r.Published(), publishes)
+	}
+	final := r.Latest()
+	if final == nil || final.Version != publishes {
+		t.Fatalf("final Latest = %+v, want version %d", final, publishes)
+	}
+	checkConsistent(t, final)
+	if vs := r.Versions(); len(vs) != keep || vs[0] != publishes-keep+1 {
+		t.Errorf("final window = %v, want last %d versions", vs, keep)
+	}
+}
+
+// TestRegistryConcurrentPublishers checks that multiple publishers are
+// serialized correctly: version numbers stay unique and dense.
+func TestRegistryConcurrentPublishers(t *testing.T) {
+	const (
+		publishers   = 4
+		perPublisher = 200
+	)
+	r := NewRegistry(8)
+	versions := make([][]uint64, publishers)
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perPublisher; j++ {
+				versions[i] = append(versions[i], r.Publish(twoBlobPublished(j, j)))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool)
+	for _, vs := range versions {
+		for j, v := range vs {
+			if seen[v] {
+				t.Fatalf("version %d assigned twice", v)
+			}
+			seen[v] = true
+			// Per publisher, versions must be strictly increasing.
+			if j > 0 && vs[j] <= vs[j-1] {
+				t.Fatalf("publisher saw non-increasing versions %d then %d", vs[j-1], vs[j])
+			}
+		}
+	}
+	if len(seen) != publishers*perPublisher {
+		t.Fatalf("%d distinct versions, want %d", len(seen), publishers*perPublisher)
+	}
+	if r.Published() != publishers*perPublisher {
+		t.Errorf("Published = %d, want %d", r.Published(), publishers*perPublisher)
+	}
+}

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"diststream/internal/stream"
+	"diststream/internal/vector"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Registry is the snapshot store the pipeline publishes into.
+	// Required.
+	Registry *Registry
+	// Admission bounds concurrent query execution (zero fields take
+	// defaults).
+	Admission LimiterConfig
+	// CacheSize bounds the macro-clustering cache (0 =
+	// DefaultCacheSize).
+	CacheSize int
+	// IngestStats, when set, supplies producer-side backpressure
+	// counters for /metrics (typically stream.Buffered.Stats wrapped in
+	// an IngestStats).
+	IngestStats func() IngestStats
+}
+
+// Server answers queries over published model snapshots. All handlers
+// read registry state through one atomic pointer load, so serving never
+// blocks — or is blocked by — the ingesting pipeline.
+type Server struct {
+	registry *Registry
+	cache    *MacroCache
+	limiter  *Limiter
+	ingest   func() IngestStats
+	mux      *http.ServeMux
+
+	assignMetrics   *endpointMetrics
+	clustersMetrics *endpointMetrics
+	macroMetrics    *endpointMetrics
+}
+
+// NewServer builds a Server from cfg.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("serve: config needs a Registry")
+	}
+	s := &Server{
+		registry:        cfg.Registry,
+		cache:           NewMacroCache(cfg.CacheSize),
+		limiter:         NewLimiter(cfg.Admission),
+		ingest:          cfg.IngestStats,
+		assignMetrics:   newEndpointMetrics(),
+		clustersMetrics: newEndpointMetrics(),
+		macroMetrics:    newEndpointMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/assign", s.admitted(s.assignMetrics, s.handleAssign))
+	mux.HandleFunc("GET /v1/clusters", s.admitted(s.clustersMetrics, s.handleClusters))
+	mux.HandleFunc("POST /v1/macro", s.admitted(s.macroMetrics, s.handleMacro))
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler for mounting on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting queries (new ones get 503, readyz flips to 503)
+// so an http.Server.Shutdown only has to wait for queries already
+// executing.
+func (s *Server) Drain() { s.limiter.Drain() }
+
+// CacheStats exposes the macro cache counters (tests and tooling).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// AdmissionStats exposes the admission counters (tests and tooling).
+func (s *Server) AdmissionStats() LimiterStats { return s.limiter.Stats() }
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// admitted wraps a query handler with admission control and per-endpoint
+// metrics. Probes and /metrics stay outside admission so operators can
+// always see an overloaded server.
+func (s *Server) admitted(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.limiter.Acquire(r.Context())
+		if err != nil {
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, ErrOverloaded) {
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", formatRetryAfter(s.limiter.RetryAfter()))
+			}
+			m.observe(code, 0, false)
+			http.Error(w, err.Error(), code)
+			return
+		}
+		defer release()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		m.observe(rec.code, time.Since(start).Seconds(), true)
+	}
+}
+
+// formatRetryAfter renders a Retry-After header value in whole seconds
+// (minimum 1, per RFC 9110's delta-seconds grammar).
+func formatRetryAfter(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.limiter.Draining():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.registry.Latest() == nil:
+		http.Error(w, "no model published yet", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// snapshotFor resolves the version query parameter ("" or "0" = latest).
+func (s *Server) snapshotFor(raw string) (*ModelVersion, error) {
+	if raw == "" || raw == "0" {
+		mv := s.registry.Latest()
+		if mv == nil {
+			return nil, errNotReady
+		}
+		return mv, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad version %q", errBadRequest, raw)
+	}
+	mv, ok := s.registry.At(v)
+	if !ok {
+		return nil, fmt.Errorf("%w: version %d not retained (have %v)", errNotFound, v, s.registry.Versions())
+	}
+	return mv, nil
+}
+
+var (
+	errBadRequest = errors.New("bad request")
+	errNotFound   = errors.New("not found")
+	errNotReady   = errors.New("no model published yet")
+)
+
+// fail maps resolver/validation errors onto HTTP status codes.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBadRequest):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, errNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, errNotReady):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing better to do than note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// AssignResponse is the GET /v1/assign payload: the nearest micro-cluster
+// for the queried point at a model version.
+type AssignResponse struct {
+	Version uint64 `json:"version"`
+	// ID is the nearest micro-cluster's id.
+	ID uint64 `json:"id"`
+	// Distance is the Euclidean distance from the point to that
+	// micro-cluster's center.
+	Distance float64 `json:"distance"`
+	// Absorbable reports the algorithm's boundary decision: whether the
+	// online phase would fold the point into the micro-cluster rather
+	// than treat it as an outlier.
+	Absorbable bool    `json:"absorbable"`
+	Weight     float64 `json:"weight"`
+}
+
+// parsePoint decodes a comma-separated float vector.
+func parsePoint(raw string, wantDim int) (vector.Vector, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("%w: missing point parameter", errBadRequest)
+	}
+	parts := strings.Split(raw, ",")
+	v := make(vector.Vector, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: point component %d: %v", errBadRequest, i, err)
+		}
+		v[i] = f
+	}
+	if wantDim > 0 && len(v) != wantDim {
+		return nil, fmt.Errorf("%w: point has %d dims, model has %d", errBadRequest, len(v), wantDim)
+	}
+	return v, nil
+}
+
+// handleAssign serves nearest-micro-cluster queries straight off the
+// snapshot's search structure — the same FlatIndex kernels the assign
+// stage uses, so a query costs one one-vs-many scan over contiguous
+// centers.
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	mv, err := s.snapshotFor(r.URL.Query().Get("version"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	dim := 0
+	if len(mv.MCs) > 0 {
+		dim = len(mv.MCs[0].Center())
+	}
+	point, err := parsePoint(r.URL.Query().Get("point"), dim)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	id, absorbable, ok := mv.Search.Nearest(stream.Record{Values: point, Timestamp: mv.Time})
+	if !ok {
+		fail(w, fmt.Errorf("%w: snapshot version %d is empty", errNotFound, mv.Version))
+		return
+	}
+	resp := AssignResponse{Version: mv.Version, ID: id, Absorbable: absorbable}
+	if mc := mv.Search.Get(id); mc != nil {
+		resp.Distance = vector.Distance(point, mc.Center())
+		resp.Weight = mc.Weight()
+	}
+	writeJSON(w, resp)
+}
+
+// ClusterInfo is one micro-cluster in a GET /v1/clusters dump.
+type ClusterInfo struct {
+	ID      uint64    `json:"id"`
+	Weight  float64   `json:"weight"`
+	Center  []float64 `json:"center"`
+	Created float64   `json:"created"`
+	Updated float64   `json:"updated"`
+}
+
+// ClustersResponse is the GET /v1/clusters payload.
+type ClustersResponse struct {
+	Version  uint64        `json:"version"`
+	Time     float64       `json:"time"`
+	Batch    int           `json:"batch"`
+	Count    int           `json:"count"`
+	Clusters []ClusterInfo `json:"clusters"`
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	mv, err := s.snapshotFor(r.URL.Query().Get("version"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	resp := ClustersResponse{
+		Version:  mv.Version,
+		Time:     mv.Time.Seconds(),
+		Batch:    mv.Batch,
+		Count:    len(mv.MCs),
+		Clusters: make([]ClusterInfo, len(mv.MCs)),
+	}
+	for i, mc := range mv.MCs {
+		resp.Clusters[i] = ClusterInfo{
+			ID:      mc.ID(),
+			Weight:  mc.Weight(),
+			Center:  mc.Center(),
+			Created: mc.CreatedAt().Seconds(),
+			Updated: mc.LastUpdated().Seconds(),
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleMacro runs (or reuses) an on-demand offline macro-clustering over
+// a pinned snapshot version. Identical concurrent requests collapse into
+// one computation via the cache's singleflight; identical later requests
+// hit the cache outright.
+func (s *Server) handleMacro(w http.ResponseWriter, r *http.Request) {
+	var req MacroRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		fail(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	mv, err := s.snapshotFor(strconv.FormatUint(req.Version, 10))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	// Pin the resolved version so "latest" requests arriving while the
+	// pipeline publishes agree on their cache identity.
+	req.Version = mv.Version
+	result, hit, err := s.cache.Do(r.Context(), req.key(), func() (*MacroResult, error) {
+		return computeMacro(mv, req)
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Client went away while waiting on someone else's compute.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fail(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	resp := *result
+	resp.Cached = hit
+	writeJSON(w, resp)
+}
+
+// handleMetrics renders every counter in Prometheus text exposition
+// format: ingest-side stats from the latest snapshot and the producer
+// counters, query-side stats from the endpoint metrics, cache and
+// admission counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	// Ingest side.
+	fmt.Fprintf(&b, "# HELP diststream_snapshot_version Latest published model snapshot version.\n")
+	fmt.Fprintf(&b, "# TYPE diststream_snapshot_version gauge\n")
+	var version uint64
+	if mv := s.registry.Latest(); mv != nil {
+		version = mv.Version
+		fmt.Fprintf(&b, "diststream_snapshot_version %d\n", version)
+		fmt.Fprintf(&b, "# TYPE diststream_model_microclusters gauge\n")
+		fmt.Fprintf(&b, "diststream_model_microclusters %d\n", len(mv.MCs))
+		fmt.Fprintf(&b, "# TYPE diststream_ingest_batches_total counter\n")
+		fmt.Fprintf(&b, "diststream_ingest_batches_total %d\n", mv.Stats.Batches)
+		fmt.Fprintf(&b, "# TYPE diststream_ingest_records_total counter\n")
+		fmt.Fprintf(&b, "diststream_ingest_records_total %d\n", mv.Stats.Records)
+		fmt.Fprintf(&b, "# HELP diststream_ingest_batch_wall_seconds_total Cumulative wall time per pipeline stage.\n")
+		fmt.Fprintf(&b, "# TYPE diststream_ingest_batch_wall_seconds_total counter\n")
+		fmt.Fprintf(&b, "diststream_ingest_batch_wall_seconds_total{stage=\"assign\"} %g\n", mv.Stats.Assign.Wall.Seconds())
+		fmt.Fprintf(&b, "diststream_ingest_batch_wall_seconds_total{stage=\"shuffle\"} %g\n", mv.Stats.Shuffle.Wall.Seconds())
+		fmt.Fprintf(&b, "diststream_ingest_batch_wall_seconds_total{stage=\"local_update\"} %g\n", mv.Stats.LocalUpdate.Wall.Seconds())
+		fmt.Fprintf(&b, "diststream_ingest_batch_wall_seconds_total{stage=\"global_update\"} %g\n", mv.Stats.GlobalUpdate.Wall.Seconds())
+	} else {
+		fmt.Fprintf(&b, "diststream_snapshot_version 0\n")
+	}
+	fmt.Fprintf(&b, "# TYPE diststream_snapshots_published_total counter\n")
+	fmt.Fprintf(&b, "diststream_snapshots_published_total %d\n", s.registry.Published())
+	fmt.Fprintf(&b, "# HELP diststream_ingest_rate_rps Recent ingest throughput over the retained snapshot window.\n")
+	fmt.Fprintf(&b, "# TYPE diststream_ingest_rate_rps gauge\n")
+	fmt.Fprintf(&b, "diststream_ingest_rate_rps %g\n", s.registry.IngestRate())
+
+	if s.ingest != nil {
+		in := s.ingest()
+		fmt.Fprintf(&b, "# HELP diststream_producer_records_total Records pulled from the ingest producer.\n")
+		fmt.Fprintf(&b, "# TYPE diststream_producer_records_total counter\n")
+		fmt.Fprintf(&b, "diststream_producer_records_total %d\n", in.ProducerProduced)
+		fmt.Fprintf(&b, "# HELP diststream_producer_dropped_total Records dropped at the ingest buffer (backpressure shed).\n")
+		fmt.Fprintf(&b, "# TYPE diststream_producer_dropped_total counter\n")
+		fmt.Fprintf(&b, "diststream_producer_dropped_total %d\n", in.ProducerDropped)
+		fmt.Fprintf(&b, "# HELP diststream_producer_lag Records produced but not yet consumed by the pipeline.\n")
+		fmt.Fprintf(&b, "# TYPE diststream_producer_lag gauge\n")
+		fmt.Fprintf(&b, "diststream_producer_lag %d\n", in.ProducerLag)
+	}
+
+	// Query side.
+	fmt.Fprintf(&b, "# HELP diststream_query_total Query responses by endpoint and status code.\n")
+	fmt.Fprintf(&b, "# TYPE diststream_query_total counter\n")
+	for _, ep := range []struct {
+		name string
+		m    *endpointMetrics
+	}{
+		{"assign", s.assignMetrics},
+		{"clusters", s.clustersMetrics},
+		{"macro", s.macroMetrics},
+	} {
+		for _, code := range ep.m.codes() {
+			fmt.Fprintf(&b, "diststream_query_total{endpoint=%q,code=\"%d\"} %d\n", ep.name, code, ep.m.load(code))
+		}
+	}
+	fmt.Fprintf(&b, "# HELP diststream_query_latency_seconds Latency of executed (admitted) queries.\n")
+	fmt.Fprintf(&b, "# TYPE diststream_query_latency_seconds histogram\n")
+	s.assignMetrics.latency.writeProm(&b, "diststream_query_latency_seconds", `endpoint="assign"`)
+	s.clustersMetrics.latency.writeProm(&b, "diststream_query_latency_seconds", `endpoint="clusters"`)
+	s.macroMetrics.latency.writeProm(&b, "diststream_query_latency_seconds", `endpoint="macro"`)
+
+	cs := s.cache.Stats()
+	fmt.Fprintf(&b, "# TYPE diststream_macro_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "diststream_macro_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(&b, "# TYPE diststream_macro_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "diststream_macro_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(&b, "# HELP diststream_macro_computations_total Offline clusterings actually computed (identical concurrent requests collapse to one).\n")
+	fmt.Fprintf(&b, "# TYPE diststream_macro_computations_total counter\n")
+	fmt.Fprintf(&b, "diststream_macro_computations_total %d\n", cs.Computations)
+	fmt.Fprintf(&b, "# TYPE diststream_macro_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "diststream_macro_cache_evictions_total %d\n", cs.Evictions)
+
+	ls := s.limiter.Stats()
+	fmt.Fprintf(&b, "# TYPE diststream_admission_admitted_total counter\n")
+	fmt.Fprintf(&b, "diststream_admission_admitted_total %d\n", ls.Admitted)
+	fmt.Fprintf(&b, "# HELP diststream_admission_shed_total Queries answered 429 because in-flight and queue bounds were full.\n")
+	fmt.Fprintf(&b, "# TYPE diststream_admission_shed_total counter\n")
+	fmt.Fprintf(&b, "diststream_admission_shed_total %d\n", ls.Shed)
+	fmt.Fprintf(&b, "# TYPE diststream_admission_queue_timeouts_total counter\n")
+	fmt.Fprintf(&b, "diststream_admission_queue_timeouts_total %d\n", ls.QueueTimeouts)
+	fmt.Fprintf(&b, "# HELP diststream_admission_rate_limited_total Queries shed by the MaxRate token bucket (included in shed).\n")
+	fmt.Fprintf(&b, "# TYPE diststream_admission_rate_limited_total counter\n")
+	fmt.Fprintf(&b, "diststream_admission_rate_limited_total %d\n", ls.RateLimited)
+	fmt.Fprintf(&b, "# TYPE diststream_inflight_queries gauge\n")
+	fmt.Fprintf(&b, "diststream_inflight_queries %d\n", ls.InFlight)
+	fmt.Fprintf(&b, "# TYPE diststream_queued_queries gauge\n")
+	fmt.Fprintf(&b, "diststream_queued_queries %d\n", ls.Queued)
+
+	_, _ = w.Write([]byte(b.String()))
+}

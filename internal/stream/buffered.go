@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BufferedStats is an atomic snapshot of a Buffered source's counters —
+// the ingest-side backpressure signal exported on a serving node's
+// /metrics endpoint (lag and drops tell the operator whether the pipeline
+// keeps up with the producer).
+type BufferedStats struct {
+	// Produced counts records pulled from the inner source, including
+	// dropped ones.
+	Produced uint64
+	// Dropped counts records discarded because the buffer was full
+	// (drop-when-full mode only).
+	Dropped uint64
+	// Consumed counts records delivered to the downstream reader.
+	Consumed uint64
+	// Queued is the current buffer depth: produced - dropped - consumed.
+	Queued int
+}
+
+// Lag returns the current buffer depth (records produced but not yet
+// consumed). A persistently full buffer means the pipeline is the
+// bottleneck; a persistently empty one means the producer is.
+func (s BufferedStats) Lag() int { return s.Queued }
+
+// BufferedConfig configures a Buffered source.
+type BufferedConfig struct {
+	// Capacity bounds the in-flight record buffer. Default 1024.
+	Capacity int
+	// WallRate, when positive, paces production at this many records per
+	// wall-clock second — the live-stream stand-in for the paper's Kafka
+	// producer rate. Zero produces as fast as the consumer (or the
+	// buffer) allows.
+	WallRate float64
+	// DropWhenFull switches from blocking the producer (lossless
+	// backpressure) to discarding the record and counting it in Dropped
+	// (the load-shedding behaviour of a lossy transport).
+	DropWhenFull bool
+}
+
+// Buffered decouples a Source from its consumer through a bounded queue
+// filled by a background goroutine, with atomic production/lag/drop
+// counters. It models the ingest edge of a serving deployment: the
+// producer side advances at its own (optionally wall-clock-paced) rate
+// while the pipeline consumes batches, and the counters expose how far
+// behind the pipeline is running.
+type Buffered struct {
+	ch   chan Record
+	quit chan struct{}
+	once sync.Once
+
+	produced atomic.Uint64
+	dropped  atomic.Uint64
+	consumed atomic.Uint64
+
+	// err is the terminal error (io.EOF on clean exhaustion), readable
+	// only after ch closes.
+	err error
+}
+
+var _ Source = (*Buffered)(nil)
+
+// NewBuffered starts a background producer pumping src into a bounded
+// buffer and returns the consumer end. The caller should Close it when
+// abandoning the stream early (e.g. on shutdown) to release the producer
+// goroutine; draining to io.EOF releases it too.
+func NewBuffered(src Source, cfg BufferedConfig) *Buffered {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1024
+	}
+	b := &Buffered{
+		ch:   make(chan Record, cfg.Capacity),
+		quit: make(chan struct{}),
+	}
+	go b.pump(src, cfg)
+	return b
+}
+
+func (b *Buffered) pump(src Source, cfg BufferedConfig) {
+	defer close(b.ch)
+	start := time.Now()
+	for {
+		rec, err := src.Next()
+		if err != nil {
+			b.err = err
+			return
+		}
+		n := b.produced.Add(1)
+		if cfg.WallRate > 0 {
+			// Pace against the absolute schedule (record n is due at
+			// start + n/rate) so sleep granularity doesn't accumulate
+			// into rate drift.
+			due := start.Add(time.Duration(float64(n) / cfg.WallRate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-b.quit:
+					b.err = io.EOF
+					return
+				}
+			}
+		}
+		if cfg.DropWhenFull {
+			select {
+			case b.ch <- rec:
+			case <-b.quit:
+				b.err = io.EOF
+				return
+			default:
+				b.dropped.Add(1)
+			}
+			continue
+		}
+		select {
+		case b.ch <- rec:
+		case <-b.quit:
+			b.err = io.EOF
+			return
+		}
+	}
+}
+
+// Next implements Source, delivering buffered records in production order
+// and the inner source's terminal error (io.EOF on exhaustion) after the
+// buffer drains.
+func (b *Buffered) Next() (Record, error) {
+	rec, ok := <-b.ch
+	if !ok {
+		if b.err == nil {
+			return Record{}, io.EOF
+		}
+		return Record{}, b.err
+	}
+	b.consumed.Add(1)
+	return rec, nil
+}
+
+// Close stops the background producer. Records already buffered remain
+// readable; after they drain, Next returns io.EOF. Safe to call multiple
+// times and concurrently with Next.
+func (b *Buffered) Close() {
+	b.once.Do(func() { close(b.quit) })
+}
+
+// Stats returns the current production/consumption counters. Safe to call
+// concurrently with production and consumption.
+func (b *Buffered) Stats() BufferedStats {
+	produced := b.produced.Load()
+	dropped := b.dropped.Load()
+	consumed := b.consumed.Load()
+	queued := int(produced) - int(dropped) - int(consumed)
+	if queued < 0 {
+		// Counter reads are not mutually atomic; clamp transient skew.
+		queued = 0
+	}
+	return BufferedStats{
+		Produced: produced,
+		Dropped:  dropped,
+		Consumed: consumed,
+		Queued:   queued,
+	}
+}

@@ -1,0 +1,145 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestBufferedLosslessDrain(t *testing.T) {
+	recs := mkRecords(100, 10)
+	b := NewBuffered(NewSliceSource(recs), BufferedConfig{Capacity: 8})
+	defer b.Close()
+
+	for i := range recs {
+		got, err := b.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if got.Seq != recs[i].Seq {
+			t.Fatalf("record %d out of order: seq %d", i, got.Seq)
+		}
+	}
+	if _, err := b.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after drain err = %v, want io.EOF", err)
+	}
+	st := b.Stats()
+	if st.Produced != 100 || st.Consumed != 100 || st.Dropped != 0 || st.Queued != 0 {
+		t.Errorf("stats = %+v, want 100 produced/consumed, 0 dropped/queued", st)
+	}
+}
+
+func TestBufferedDropWhenFull(t *testing.T) {
+	recs := mkRecords(1000, 1000)
+	b := NewBuffered(NewSliceSource(recs), BufferedConfig{Capacity: 4, DropWhenFull: true})
+	defer b.Close()
+
+	// Let the producer race far ahead of a consumer that has not started:
+	// with capacity 4 and no consumption, almost everything must drop.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().Produced < 1000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := b.Stats()
+	if st.Produced != 1000 {
+		t.Fatalf("producer stalled at %d/1000 in drop mode", st.Produced)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("expected drops with capacity 4 and an idle consumer")
+	}
+	if st.Queued > 4 {
+		t.Errorf("Queued = %d exceeds capacity 4", st.Queued)
+	}
+
+	// The survivors still arrive in order, then EOF.
+	var consumed uint64
+	var lastSeq uint64
+	first := true
+	for {
+		rec, err := b.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first && rec.Seq <= lastSeq {
+			t.Fatalf("out of order after drops: seq %d after %d", rec.Seq, lastSeq)
+		}
+		first, lastSeq = false, rec.Seq
+		consumed++
+	}
+	st = b.Stats()
+	if st.Consumed != consumed || st.Produced != st.Dropped+st.Consumed {
+		t.Errorf("counter identity broken: %+v (consumed %d)", st, consumed)
+	}
+}
+
+func TestBufferedWallRatePacing(t *testing.T) {
+	recs := mkRecords(50, 1000)
+	start := time.Now()
+	b := NewBuffered(NewSliceSource(recs), BufferedConfig{Capacity: 8, WallRate: 500})
+	defer b.Close()
+	n := 0
+	for {
+		if _, err := b.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	if n != 50 {
+		t.Fatalf("consumed %d records, want 50", n)
+	}
+	// 50 records at 500/s is 100ms of schedule; allow generous slack on
+	// loaded machines but catch an unpaced (instant) pump.
+	if elapsed < 90*time.Millisecond {
+		t.Errorf("50 records at 500 rec/s took %v, want >= ~100ms", elapsed)
+	}
+}
+
+func TestBufferedCloseReleasesProducer(t *testing.T) {
+	recs := mkRecords(1000, 1000)
+	b := NewBuffered(NewSliceSource(recs), BufferedConfig{Capacity: 2})
+	// Consume a couple, then abandon the stream.
+	if _, err := b.Next(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	b.Close() // idempotent
+	// The remaining buffered records stay readable; then EOF.
+	for {
+		_, err := b.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// errSource fails after emitting one record.
+type errSource struct{ n int }
+
+var errBroken = errors.New("broken pipe")
+
+func (s *errSource) Next() (Record, error) {
+	if s.n == 0 {
+		s.n++
+		return Record{Seq: 1}, nil
+	}
+	return Record{}, errBroken
+}
+
+func TestBufferedPropagatesSourceError(t *testing.T) {
+	b := NewBuffered(&errSource{}, BufferedConfig{Capacity: 2})
+	defer b.Close()
+	if _, err := b.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Next(); !errors.Is(err, errBroken) {
+		t.Fatalf("err = %v, want the source's terminal error", err)
+	}
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the query-serving subsystem:
+# builds the binaries, starts `diststream serve` on a live ingesting
+# pipeline, waits for readiness, exercises every endpoint, verifies the
+# macro cache actually caches (non-zero hit counter after a repeated
+# query), runs the load generator, and checks graceful shutdown.
+#
+# Fails on any non-2xx response, a zero macro cache-hit counter, or an
+# unclean server exit. Run via `make serve-smoke`.
+set -euo pipefail
+
+ADDR="${SERVE_SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)"
+SERVE_LOG="$BIN/serve.log"
+SERVE_PID=""
+
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve-smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$SERVE_LOG" >&2 || true
+  exit 1
+}
+
+echo "== building binaries"
+go build -o "$BIN/diststream" ./cmd/diststream
+go build -o "$BIN/serveload" ./cmd/serveload
+
+echo "== starting diststream serve on $ADDR"
+"$BIN/diststream" serve -addr "$ADDR" -records 8000 -loop 0 -wall-rate 2000 \
+  -batch 2 -max-inflight 4 -max-queue 8 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+echo "== waiting for /readyz"
+ready=""
+for _ in $(seq 1 120); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    fail "server exited before becoming ready"
+  fi
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.5
+done
+[[ -n "$ready" ]] || fail "server never became ready"
+
+echo "== probes"
+curl -fsS "$BASE/healthz" >/dev/null || fail "GET /healthz"
+
+echo "== GET /v1/clusters"
+clusters="$(curl -fsS "$BASE/v1/clusters")" || fail "GET /v1/clusters"
+# -m1 (stop at first match) instead of | head -1: under pipefail, head
+# closing the pipe early would kill grep with SIGPIPE and abort the script.
+version="$(printf '%s' "$clusters" | grep -o -m1 '"version":[0-9]*' | cut -d: -f2)"
+count="$(printf '%s' "$clusters" | grep -o -m1 '"count":[0-9]*' | cut -d: -f2)"
+[[ -n "$version" && "$version" -ge 1 ]] || fail "bad clusters version: $clusters"
+[[ -n "$count" && "$count" -ge 1 ]] || fail "no micro-clusters served: $clusters"
+echo "   model version $version with $count micro-clusters"
+
+echo "== GET /v1/assign (point from the model's first center)"
+# The JSON is one line, so grep -o emits every center; sed consumes all
+# of them (no early-exit SIGPIPE under pipefail) and prints only the first.
+point="$(printf '%s' "$clusters" | grep -o '"center":\[[^]]*\]' | sed -n '1{s/.*\[//;s/\]//;p;}')"
+[[ -n "$point" ]] || fail "could not extract a center from /v1/clusters"
+assign="$(curl -fsS "$BASE/v1/assign" --get --data-urlencode "point=$point")" || fail "GET /v1/assign"
+printf '%s' "$assign" | grep -q '"id":' || fail "assign response lacks an id: $assign"
+
+echo "== POST /v1/macro twice at pinned version $version (second must hit the cache)"
+body="{\"algorithm\":\"kmeans\",\"k\":3,\"seed\":7,\"version\":$version}"
+macro1="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "$BASE/v1/macro")" \
+  || fail "first POST /v1/macro"
+printf '%s' "$macro1" | grep -q '"cached":false' || fail "first macro unexpectedly cached: $macro1"
+macro2="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "$BASE/v1/macro")" \
+  || fail "second POST /v1/macro"
+printf '%s' "$macro2" | grep -q '"cached":true' || fail "repeated macro not served from cache: $macro2"
+
+echo "== /metrics sanity"
+metrics="$(curl -fsS "$BASE/metrics")" || fail "GET /metrics"
+printf '%s' "$metrics" | grep -q '^diststream_snapshot_version [1-9]' \
+  || fail "metrics lack a published snapshot version"
+hits="$(printf '%s' "$metrics" | grep '^diststream_macro_cache_hits_total' | awk '{print $2}')"
+[[ -n "$hits" && "$hits" -ge 1 ]] || fail "macro cache hit counter is zero after a repeated query"
+printf '%s' "$metrics" | grep -q '^diststream_producer_records_total' \
+  || fail "metrics lack producer counters"
+echo "   macro cache hits: $hits"
+
+echo "== load generator (16 clients, 3s)"
+"$BIN/serveload" -addr "$BASE" -clients 16 -duration 3s -macro-every 10 -json \
+  | tee "$BIN/serveload.out"
+grep -q '^SERVELOAD {' "$BIN/serveload.out" || fail "serveload printed no summary"
+if grep -q '"ok":0,' "$BIN/serveload.out"; then
+  fail "serveload completed zero successful requests"
+fi
+
+echo "== graceful shutdown (SIGINT)"
+kill -INT "$SERVE_PID"
+for _ in $(seq 1 40); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.5
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  fail "server did not exit within 20s of SIGINT"
+fi
+wait "$SERVE_PID" || fail "server exited non-zero"
+SERVE_PID=""
+grep -q 'done: ingested' "$SERVE_LOG" || fail "server log lacks the shutdown summary"
+
+echo "serve-smoke: PASS"
