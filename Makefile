@@ -21,12 +21,13 @@ check: vet race
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...
 
-# bench-json runs every benchmark (hot-path micro benches plus the
-# Figure-7/8 paper reproductions) with allocation stats and archives the
-# results as machine-readable JSON. Raise BENCHTIME (e.g. 2s) for stable
-# numbers; the 1x default is the CI smoke setting.
+# bench-json runs every benchmark (hot-path micro benches, the
+# Figure-7/8 paper reproductions, and the delta-broadcast / wire-codec
+# comparisons) with allocation stats and archives the results as
+# machine-readable JSON. Raise BENCHTIME (e.g. 2s) for stable numbers;
+# the 1x default is the CI smoke setting.
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_5.json
 
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run ^$$ ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
@@ -38,10 +39,13 @@ bench-json:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
-# fuzz-smoke runs each checkpoint-codec fuzzer briefly: corrupted
-# snapshots and model blobs must error, never panic.
+# fuzz-smoke runs each codec fuzzer briefly: corrupted checkpoint
+# snapshots, model blobs and wire frames must error, never panic — and
+# the wire fuzzer additionally holds the columnar codec differentially
+# equal to a gob round trip.
 FUZZTIME ?= 10s
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzModelStateCodec$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzWireCodec$$' -fuzztime $(FUZZTIME) ./internal/wire

@@ -54,9 +54,13 @@ type ckptFacadeRun struct {
 // API. addrs selects the TCP executor (nil = in-process). killAfter > 0
 // fails the run with errInjectedCrash after that many batches; doResume
 // loads the newest checkpoint from dir first and replays the same stream.
-func runCheckpointedFacade(t *testing.T, algoName string, addrs []string, dir string, killAfter int, doResume bool) (ckptFacadeRun, error) {
+func runCheckpointedFacade(t *testing.T, algoName string, addrs []string, delta bool, dir string, killAfter int, doResume bool) (ckptFacadeRun, error) {
 	t.Helper()
-	sys, err := diststream.New(diststream.Options{Parallelism: 3, WorkerAddrs: addrs})
+	sys, err := diststream.New(diststream.Options{
+		Parallelism: 3,
+		WorkerAddrs: addrs,
+		RPC:         diststream.RPCOptions{DeltaBroadcast: delta},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,23 +113,27 @@ func runCheckpointedFacade(t *testing.T, algoName string, addrs []string, dir st
 // statistics, same offline clustering behavior.
 func TestFacadeCheckpointCrashEquivalence(t *testing.T) {
 	for _, algoName := range []string{"clustream", "denstream"} {
-		for _, mode := range []string{"local", "tcp"} {
+		// tcp-delta re-runs the TCP scenario with delta broadcast on: a
+		// ResumeFrom restart builds a fresh executor with empty per-worker
+		// ack state, so the first post-resume broadcast must go out full.
+		for _, mode := range []string{"local", "tcp", "tcp-delta"} {
 			t.Run(algoName+"/"+mode, func(t *testing.T) {
 				var addrs []string
-				if mode == "tcp" {
+				if mode != "local" {
 					_, addrs = startFacadeCluster(t, 3)
 				}
+				delta := mode == "tcp-delta"
 				refDir, runDir := t.TempDir(), t.TempDir()
 
-				reference, err := runCheckpointedFacade(t, algoName, addrs, refDir, -1, false)
+				reference, err := runCheckpointedFacade(t, algoName, addrs, delta, refDir, -1, false)
 				if err != nil {
 					t.Fatalf("reference run: %v", err)
 				}
-				_, err = runCheckpointedFacade(t, algoName, addrs, runDir, 3, false)
+				_, err = runCheckpointedFacade(t, algoName, addrs, delta, runDir, 3, false)
 				if !errors.Is(err, errInjectedCrash) {
 					t.Fatalf("crashed run ended with %v, want the injected crash", err)
 				}
-				resumed, err := runCheckpointedFacade(t, algoName, addrs, runDir, -1, true)
+				resumed, err := runCheckpointedFacade(t, algoName, addrs, delta, runDir, -1, true)
 				if err != nil {
 					t.Fatalf("resumed run: %v", err)
 				}

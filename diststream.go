@@ -116,6 +116,13 @@ type RPCOptions struct {
 	// Backoff is the sleep before the first retry, doubling on each
 	// subsequent one. Default 50ms.
 	Backoff time.Duration
+	// DeltaBroadcast ships per-batch model snapshots as deltas (only the
+	// micro-clusters that changed since the worker's last acknowledged
+	// snapshot) instead of full copies. Reconnects, version gaps and
+	// checksum mismatches transparently fall back to full snapshots, so
+	// results are bit-identical with the option off; it purely reduces
+	// broadcast bytes for algorithms whose batches touch few clusters.
+	DeltaBroadcast bool
 }
 
 // Options configures a System.
@@ -158,11 +165,12 @@ func New(opts Options) (*System, error) {
 	if len(opts.WorkerAddrs) > 0 {
 		RegisterWireTypes()
 		exec, err = rpcexec.DialConfig(opts.WorkerAddrs, rpcexec.Config{
-			DialTimeout: opts.RPC.DialTimeout,
-			CallTimeout: opts.RPC.CallTimeout,
-			MaxRetries:  opts.RPC.MaxRetries,
-			Backoff:     opts.RPC.Backoff,
-			Speculation: opts.Speculation,
+			DialTimeout:    opts.RPC.DialTimeout,
+			CallTimeout:    opts.RPC.CallTimeout,
+			MaxRetries:     opts.RPC.MaxRetries,
+			Backoff:        opts.RPC.Backoff,
+			Speculation:    opts.Speculation,
+			DeltaBroadcast: opts.RPC.DeltaBroadcast,
 		})
 		if err != nil {
 			return nil, err

@@ -194,7 +194,7 @@ func TestMaxBatchSecondsFacade(t *testing.T) {
 
 // startFacadeCluster boots a TCP cluster whose workers mirror the facade's
 // registries, for fault-tolerance tests against the public API.
-func startFacadeCluster(t *testing.T, n int) ([]*rpcexec.Worker, []string) {
+func startFacadeCluster(t testing.TB, n int) ([]*rpcexec.Worker, []string) {
 	t.Helper()
 	diststream.RegisterWireTypes()
 	algos, err := diststream.NewAlgorithmRegistry()

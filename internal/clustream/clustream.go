@@ -27,6 +27,7 @@ import (
 	"diststream/internal/stream"
 	"diststream/internal/vclock"
 	"diststream/internal/vector"
+	"diststream/internal/wire"
 )
 
 // Name is the registry name of this algorithm.
@@ -239,6 +240,7 @@ func Register(reg *core.AlgorithmRegistry) error {
 func RegisterWireTypes() {
 	gob.Register(&MC{})
 	gob.Register(&Snapshot{})
+	wire.RegisterMCCodec(Name, &MC{}, encMC, decMC)
 }
 
 // Name implements core.Algorithm.

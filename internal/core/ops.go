@@ -48,6 +48,9 @@ func RegisterWireTypes() {
 	gob.Register(TaskConfig{})
 	gob.Register(Update{})
 	gob.Register(Params{})
+	// Snapshot deltas normally travel columnar; gob covers the fallback
+	// (algorithms without a registered wire codec).
+	gob.Register(&SnapshotDelta{})
 }
 
 // RegisterOps installs the two pipeline operations into an mbsp registry,
@@ -57,6 +60,9 @@ func RegisterOps(reg *mbsp.Registry, algos *AlgorithmRegistry) error {
 	if reg == nil || algos == nil {
 		return fmt.Errorf("core: RegisterOps requires registries")
 	}
+	// Snapshot deltas arriving at a worker resolve their algorithm
+	// against the same registry the ops use.
+	deltaAlgos.Store(algos)
 	if err := reg.Register(OpAssign, makeAssignOp()); err != nil {
 		return err
 	}

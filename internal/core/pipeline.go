@@ -128,6 +128,10 @@ type RunStats struct {
 	// was committed before the primary finished.
 	SpeculativeLaunches int
 	SpeculativeWins     int
+	// DeltaBroadcasts counts batches whose model broadcast shipped as a
+	// delta (TCP executor with RPCOptions.DeltaBroadcast on; workers
+	// without the previous version still receive the full snapshot).
+	DeltaBroadcasts int
 }
 
 // Throughput returns processed records per wall-clock second.
@@ -157,6 +161,14 @@ type Pipeline struct {
 	initBuf     []stream.Record
 	initialized bool
 	configSent  bool
+
+	// Delta broadcast bookkeeping: the clone list most recently
+	// broadcast successfully (nil when the workers' state is unknown —
+	// start of run, after a resume, after a failed broadcast — which
+	// forces the next broadcast to carry the full snapshot) and the
+	// broadcast sequence number stamped into deltas.
+	lastBroadcast []MicroCluster
+	modelVersion  uint64
 
 	// Checkpoint/resume bookkeeping. batchesSeen counts every batch the
 	// batcher emitted (including ones fully absorbed by warm-up, which
@@ -433,12 +445,29 @@ func (p *Pipeline) runInit() error {
 }
 
 // broadcastBatchState ships the frozen model snapshot (every batch) and
-// the task config (once) to the workers.
+// the task config (once) to the workers. On engines that support delta
+// broadcast, consecutive snapshots are diffed and only the changed
+// micro-clusters ship; the full snapshot remains the fallback for fresh
+// workers, reconnects and algorithms whose every micro-cluster changes
+// per batch.
 func (p *Pipeline) broadcastBatchState(ctx context.Context) error {
-	snap := p.cfg.Algorithm.NewSnapshot(p.model.CloneList())
-	if err := p.cfg.Engine.Broadcast(ctx, BroadcastModel, snap); err != nil {
+	list := p.model.CloneList()
+	snap := p.cfg.Algorithm.NewSnapshot(list)
+	p.modelVersion++
+	var delta mbsp.Item
+	if differ, ok := p.cfg.Algorithm.(SnapshotDiffer); ok &&
+		p.lastBroadcast != nil && p.cfg.Engine.SupportsDeltaBroadcast() {
+		if d, ok := differ.DiffState(p.lastBroadcast, list); ok {
+			d.FromVersion, d.Version = p.modelVersion-1, p.modelVersion
+			delta = d
+			p.stats.DeltaBroadcasts++
+		}
+	}
+	if err := p.cfg.Engine.BroadcastDelta(ctx, BroadcastModel, snap, delta); err != nil {
+		p.lastBroadcast = nil
 		return fmt.Errorf("core: broadcast model: %w", err)
 	}
+	p.lastBroadcast = list
 	if p.configSent {
 		return nil
 	}

@@ -1,0 +1,87 @@
+package denstream
+
+import (
+	"fmt"
+
+	"diststream/internal/core"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+	"diststream/internal/wire"
+)
+
+// Delta broadcast support. DenStream's global update decays every
+// micro-cluster each batch, so DiffState's size guard usually reports
+// ok=false and the executor ships the full snapshot — deltas only win in
+// the idle corner where nothing decayed. The capability still matters:
+// it keeps the delta-on configuration bit-identical to delta-off for
+// every algorithm, not just the ones that profit.
+
+// ListMCs implements core.MCLister for the worker-side delta apply.
+func (s *Snapshot) ListMCs() []core.MicroCluster { return s.MCs }
+
+// DiffState implements core.SnapshotDiffer.
+func (a *Algorithm) DiffState(old, new []core.MicroCluster) (*core.SnapshotDelta, bool) {
+	d, ok := core.DiffMCLists(old, new, mcEqual)
+	if !ok {
+		return nil, false
+	}
+	d.Params = a.Params()
+	return d, true
+}
+
+// ApplyDelta implements core.SnapshotDiffer.
+func (a *Algorithm) ApplyDelta(old []core.MicroCluster, d *core.SnapshotDelta) ([]core.MicroCluster, error) {
+	for i, mc := range d.Upserts {
+		if _, ok := mc.(*MC); !ok {
+			return nil, fmt.Errorf("denstream: delta upsert %d is %T, want *MC", i, mc)
+		}
+	}
+	return core.ApplyMCDelta(old, d)
+}
+
+// mcEqual is bit-exact equality over every MC field.
+func mcEqual(a, b core.MicroCluster) bool {
+	x, ok := a.(*MC)
+	if !ok {
+		return false
+	}
+	y, ok := b.(*MC)
+	if !ok {
+		return false
+	}
+	return x.Id == y.Id &&
+		x.Potential == y.Potential &&
+		core.BitsEqual(x.W, y.W) &&
+		core.BitsEqual(float64(x.Born), float64(y.Born)) &&
+		core.BitsEqual(float64(x.Last), float64(y.Last)) &&
+		core.VecBitsEqual(x.CF1, y.CF1) &&
+		core.VecBitsEqual(x.CF2, y.CF2)
+}
+
+// encMC / decMC are the columnar wire codec for *MC.
+func encMC(e *wire.Enc, mc core.MicroCluster) bool {
+	m, ok := mc.(*MC)
+	if !ok {
+		return false
+	}
+	e.Uint(m.Id)
+	e.Bool(m.Potential)
+	e.F64(m.W)
+	e.F64(float64(m.Born))
+	e.F64(float64(m.Last))
+	e.F64s(m.CF1)
+	e.F64s(m.CF2)
+	return true
+}
+
+func decMC(d *wire.Dec) core.MicroCluster {
+	m := &MC{}
+	m.Id = d.Uint()
+	m.Potential = d.Bool()
+	m.W = d.F64()
+	m.Born = vclock.Time(d.F64())
+	m.Last = vclock.Time(d.F64())
+	m.CF1 = vector.Vector(d.F64s())
+	m.CF2 = vector.Vector(d.F64s())
+	return m
+}

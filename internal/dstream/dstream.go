@@ -29,6 +29,7 @@ import (
 	"diststream/internal/stream"
 	"diststream/internal/vclock"
 	"diststream/internal/vector"
+	"diststream/internal/wire"
 )
 
 // Name is the registry name of this algorithm.
@@ -181,6 +182,7 @@ func Register(reg *core.AlgorithmRegistry) error {
 func RegisterWireTypes() {
 	gob.Register(&MC{})
 	gob.Register(&Snapshot{})
+	wire.RegisterMCCodec(Name, &MC{}, encMC, decMC)
 }
 
 // Name implements core.Algorithm.

@@ -43,6 +43,27 @@ func (e *Engine) Broadcast(ctx context.Context, id string, v Item) error {
 	return e.exec.Broadcast(ctx, id, v)
 }
 
+// BroadcastDelta publishes full under id, offering delta as a cheap
+// update for workers that already hold the previous version. Executors
+// without the DeltaBroadcaster capability (or with a nil delta) receive
+// the full value through the plain Broadcast path, so callers may invoke
+// this unconditionally.
+func (e *Engine) BroadcastDelta(ctx context.Context, id string, full, delta Item) error {
+	if delta != nil {
+		if db, ok := e.exec.(DeltaBroadcaster); ok && db.DeltaBroadcastEnabled() {
+			return db.BroadcastDelta(ctx, id, full, delta)
+		}
+	}
+	return e.exec.Broadcast(ctx, id, full)
+}
+
+// SupportsDeltaBroadcast reports whether the executor ships broadcast
+// deltas, so callers can skip computing one when it would be discarded.
+func (e *Engine) SupportsDeltaBroadcast() bool {
+	db, ok := e.exec.(DeltaBroadcaster)
+	return ok && db.DeltaBroadcastEnabled()
+}
+
 // MapStage runs the named op over every input partition in parallel and
 // returns the per-partition outputs, recording stage metrics. A failed
 // stage still appends its metrics, marked Failed, so callers can account

@@ -7,9 +7,11 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diststream/internal/mbsp"
+	"diststream/internal/wire"
 )
 
 // Default fault-tolerance parameters, used by Dial and wherever a Config
@@ -51,6 +53,13 @@ type Config struct {
 	// duration, the first result wins, and the loser's in-flight call is
 	// cancelled so the stage barrier does not wait out the straggler.
 	Speculation *mbsp.SpeculationConfig
+	// DeltaBroadcast enables delta model broadcast: workers known to hold
+	// the previous version of a broadcast value receive only the diff the
+	// caller provides alongside the full value. Any doubt about what a
+	// worker holds — reconnect, version gap, failed or rejected apply —
+	// silently falls back to the full snapshot, so the worker-visible
+	// value is always identical to the delta-off configuration.
+	DeltaBroadcast bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,22 +117,45 @@ type Executor struct {
 	// bmu guards the driver-side broadcast cache replayed on reconnect.
 	bmu    sync.Mutex
 	border []string
-	bcast  map[string]mbsp.Item
+	bcast  map[string]bcastEntry
+
+	// Broadcast-path counters (see BroadcastStats).
+	bFulls  atomic.Int64
+	bDeltas atomic.Int64
+	bBytes  atomic.Int64
 }
 
 var _ mbsp.Executor = (*Executor)(nil)
+var _ mbsp.DeltaBroadcaster = (*Executor)(nil)
+
+// bcastEntry is one cached broadcast: the latest full value and its
+// driver-side version (1 on first publication, +1 per republication).
+type bcastEntry struct {
+	value   mbsp.Item
+	version uint64
+}
 
 // workerConn is one driver→worker connection with lockstep framing and
 // automatic reconnection.
 type workerConn struct {
 	addr   string
 	cfg    Config
-	replay func(c *frameCodec) error
+	replay func(c *frameCodec) (map[string]uint64, error)
+
+	// sent and recvd count bytes through the live connection (see
+	// countingConn); they accumulate across redials.
+	sent  atomic.Int64
+	recvd atomic.Int64
 
 	mu    sync.Mutex
 	conn  net.Conn
 	codec *frameCodec
 	dead  bool
+	// acked maps broadcast id → the version this worker is known to hold,
+	// the ground truth for whether a delta may be shipped. Entries are
+	// written on acknowledged broadcasts and replays, and deleted whenever
+	// a broadcast outcome is unknown.
+	acked map[string]uint64
 }
 
 // alive reports whether the worker has not been declared lost.
@@ -153,24 +185,32 @@ func (w *workerConn) teardown() {
 // TCP handshake) must not hang the reconnect.
 func (w *workerConn) redial(ctx context.Context) error {
 	d := net.Dialer{Timeout: w.cfg.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", w.addr)
+	raw, err := d.DialContext(ctx, "tcp", w.addr)
 	if err != nil {
 		return fmt.Errorf("rpcexec: dial %s: %w", w.addr, err)
 	}
+	conn := &countingConn{Conn: raw, sent: &w.sent, recvd: &w.recvd}
 	w.conn = conn
 	w.codec = newFrameCodec(conn)
+	// A fresh connection may front a worker process that lost its
+	// broadcast state (or never had it): until the replay acknowledges,
+	// nothing is known to be held.
+	w.acked = make(map[string]uint64)
 	if w.replay != nil {
 		_ = conn.SetDeadline(w.callDeadline(ctx))
 		stop := context.AfterFunc(ctx, func() {
 			_ = conn.SetDeadline(time.Unix(1, 0))
 		})
-		err := w.replay(w.codec)
+		vers, err := w.replay(w.codec)
 		stop()
 		if err != nil {
 			w.teardown()
 			return fmt.Errorf("rpcexec: replay broadcasts to %s: %w", w.addr, err)
 		}
 		_ = conn.SetDeadline(time.Time{})
+		for id, v := range vers {
+			w.acked[id] = v
+		}
 	}
 	return nil
 }
@@ -222,6 +262,11 @@ func (w *workerConn) callOnce(ctx context.Context, req request) (response, error
 func (w *workerConn) call(ctx context.Context, req request) (response, int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.callLocked(ctx, req)
+}
+
+// callLocked is call's body; the caller holds w.mu.
+func (w *workerConn) callLocked(ctx context.Context, req request) (response, int, error) {
 	if w.dead {
 		return response{}, 0, fmt.Errorf("%w: %s", ErrWorkerLost, w.addr)
 	}
@@ -283,7 +328,7 @@ func DialConfig(addrs []string, cfg Config) (*Executor, error) {
 	e := &Executor{
 		cfg:   cfg,
 		conns: make([]*workerConn, 0, len(addrs)),
-		bcast: make(map[string]mbsp.Item),
+		bcast: make(map[string]bcastEntry),
 	}
 	for _, addr := range addrs {
 		wc := &workerConn{addr: addr, cfg: cfg, replay: e.replayBroadcasts}
@@ -297,27 +342,32 @@ func DialConfig(addrs []string, cfg Config) (*Executor, error) {
 }
 
 // replayBroadcasts re-sends every cached broadcast on a fresh connection,
-// in first-publication order.
-func (e *Executor) replayBroadcasts(c *frameCodec) error {
+// in first-publication order, always as full values. It returns the
+// versions the worker now holds, which redial merges into the
+// connection's ack map so delta shipping can resume immediately.
+func (e *Executor) replayBroadcasts(c *frameCodec) (map[string]uint64, error) {
 	e.bmu.Lock()
 	reqs := make([]request, 0, len(e.border))
+	vers := make(map[string]uint64, len(e.border))
 	for _, id := range e.border {
-		reqs = append(reqs, request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: e.bcast[id]})
+		entry := e.bcast[id]
+		reqs = append(reqs, request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: entry.value, BroadcastVersion: entry.version})
+		vers[id] = entry.version
 	}
 	e.bmu.Unlock()
 	for _, req := range reqs {
 		if err := c.send(req); err != nil {
-			return err
+			return nil, err
 		}
 		var resp response
 		if err := c.recv(&resp); err != nil {
-			return err
+			return nil, err
 		}
 		if resp.Err != "" {
-			return errors.New(resp.Err)
+			return nil, errors.New(resp.Err)
 		}
 	}
-	return nil
+	return vers, nil
 }
 
 // Parallelism implements mbsp.Executor. It reports the configured worker
@@ -337,10 +387,57 @@ func (e *Executor) AliveWorkers() int {
 
 // Broadcast implements mbsp.Executor: the value is cached driver-side
 // (for replay on reconnect) and replicated to every live worker
-// synchronously. A worker that fails the broadcast even after retries is
-// declared lost — its state would otherwise go stale — and the broadcast
-// succeeds as long as at least one worker holds the value.
+// synchronously, fanning out in parallel across workers. A worker that
+// fails the broadcast even after retries is declared lost — its state
+// would otherwise go stale — and the broadcast succeeds as long as at
+// least one worker holds the value.
 func (e *Executor) Broadcast(ctx context.Context, id string, value mbsp.Item) error {
+	return e.broadcastValue(ctx, id, value, nil)
+}
+
+// BroadcastDelta implements mbsp.DeltaBroadcaster: workers whose last
+// acknowledged version of id is exactly the previous one receive delta;
+// everyone else — fresh connections, workers that missed a version,
+// workers whose apply failed — receives the full value.
+func (e *Executor) BroadcastDelta(ctx context.Context, id string, full, delta mbsp.Item) error {
+	if !e.cfg.DeltaBroadcast {
+		delta = nil
+	}
+	return e.broadcastValue(ctx, id, full, delta)
+}
+
+// DeltaBroadcastEnabled implements mbsp.DeltaBroadcaster.
+func (e *Executor) DeltaBroadcastEnabled() bool { return e.cfg.DeltaBroadcast }
+
+// BroadcastStats reports how many per-worker broadcast deliveries went
+// out as full values vs deltas, and the bytes the broadcast path pushed
+// onto the wire (columnar or gob, excluding replays and task traffic).
+type BroadcastStats struct {
+	Fulls  int64
+	Deltas int64
+	Bytes  int64
+}
+
+// BroadcastStats returns the executor's cumulative broadcast counters.
+func (e *Executor) BroadcastStats() BroadcastStats {
+	return BroadcastStats{
+		Fulls:  e.bFulls.Load(),
+		Deltas: e.bDeltas.Load(),
+		Bytes:  e.bBytes.Load(),
+	}
+}
+
+// NetworkBytes returns the total bytes sent to and received from all
+// workers over the executor's lifetime, including redials.
+func (e *Executor) NetworkBytes() (sent, recvd int64) {
+	for _, wc := range e.conns {
+		sent += wc.sent.Load()
+		recvd += wc.recvd.Load()
+	}
+	return sent, recvd
+}
+
+func (e *Executor) broadcastValue(ctx context.Context, id string, value, delta mbsp.Item) error {
 	if e.isClosed() {
 		return mbsp.ErrClosed
 	}
@@ -348,11 +445,25 @@ func (e *Executor) Broadcast(ctx context.Context, id string, value mbsp.Item) er
 		return errors.New("rpcexec: empty broadcast id")
 	}
 	e.bmu.Lock()
-	if _, seen := e.bcast[id]; !seen {
+	prev, seen := e.bcast[id]
+	if !seen {
 		e.border = append(e.border, id)
 	}
-	e.bcast[id] = value
+	version := prev.version + 1
+	e.bcast[id] = bcastEntry{value: value, version: version}
 	e.bmu.Unlock()
+
+	reqFull := request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: value, BroadcastVersion: version}
+	var reqDelta *request
+	if delta != nil && version > 1 {
+		rd := request{Kind: kindBroadcast, BroadcastID: id, BroadcastVersion: version, BroadcastDelta: true}
+		if cols, ok := wire.EncodeValue(delta); ok {
+			rd.BroadcastCols = cols
+		} else {
+			rd.BroadcastValue = delta
+		}
+		reqDelta = &rd
+	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(e.conns))
@@ -364,14 +475,7 @@ func (e *Executor) Broadcast(ctx context.Context, id string, value mbsp.Item) er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, _, err := wc.call(ctx, request{Kind: kindBroadcast, BroadcastID: id, BroadcastValue: value})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if resp.Err != "" {
-				errs[i] = errors.New(resp.Err)
-			}
+			errs[i] = e.broadcastToWorker(ctx, wc, id, version, reqFull, reqDelta)
 		}()
 	}
 	wg.Wait()
@@ -398,6 +502,87 @@ func (e *Executor) Broadcast(ctx context.Context, id string, value mbsp.Item) er
 	return nil
 }
 
+// broadcastToWorker delivers one broadcast to one worker, delta-first
+// when eligible. The delta is attempted exactly once, on the current
+// live connection only — never through the retry/redial machinery,
+// because a redial replays the new full value and a delta applied on top
+// of it would double-apply. Any delta failure (transport or a worker-side
+// reject: missing base, checksum mismatch, apply error) falls back to
+// the full value through the normal retried path, so delta mode can only
+// ever cost a resend, not correctness.
+func (e *Executor) broadcastToWorker(ctx context.Context, w *workerConn, id string, version uint64, reqFull request, reqDelta *request) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return fmt.Errorf("%w: %s", ErrWorkerLost, w.addr)
+	}
+	sentBefore := w.sent.Load()
+	if reqDelta != nil && w.conn != nil && w.acked[id] == version-1 {
+		resp, err := w.callOnce(ctx, *reqDelta)
+		if err == nil && resp.Err == "" {
+			w.acked[id] = version
+			e.bDeltas.Add(1)
+			e.bBytes.Add(w.sent.Load() - sentBefore)
+			return nil
+		}
+		if err != nil {
+			// Transport failure mid-delta: the outcome is unknown, so the
+			// connection (and the gob stream riding it) is unusable. Tear
+			// it down; the full path below redials and replays.
+			w.teardown()
+		}
+		// A worker-side reject leaves the connection healthy; either way
+		// the worker's version is now unknown until the full lands.
+		delete(w.acked, id)
+	}
+	resp, _, err := w.callLocked(ctx, reqFull)
+	if err != nil {
+		delete(w.acked, id)
+		return err
+	}
+	if resp.Err != "" {
+		delete(w.acked, id)
+		return errors.New(resp.Err)
+	}
+	w.acked[id] = version
+	e.bFulls.Add(1)
+	e.bBytes.Add(w.sent.Load() - sentBefore)
+	return nil
+}
+
+// encodeInputs pre-encodes each task partition with the columnar wire
+// codec once per stage (not per attempt); nil entries fall back to gob.
+func encodeInputs(inputs []mbsp.Partition) [][]byte {
+	cols := make([][]byte, len(inputs))
+	for i, in := range inputs {
+		if b, ok := wire.EncodePartition(in); ok {
+			cols[i] = b
+		}
+	}
+	return cols
+}
+
+// taskRequest builds one task request, shipping the pre-encoded columnar
+// partition when available and the gob partition otherwise.
+func taskRequest(stage, op string, task int, input mbsp.Partition, cols []byte) request {
+	req := request{Kind: kindTask, Stage: stage, Op: op, TaskID: task}
+	if cols != nil {
+		req.InputCols = cols
+	} else {
+		req.Input = input
+	}
+	return req
+}
+
+// respOutput extracts a task response's output partition, decoding the
+// columnar form when the worker used it.
+func respOutput(resp response) (mbsp.Partition, error) {
+	if len(resp.OutputCols) == 0 {
+		return resp.Output, nil
+	}
+	return wire.DecodePartition(resp.OutputCols)
+}
+
 // RunTasks implements mbsp.Executor with worker-loss recovery. Tasks run
 // in rounds: round one deals task i to worker i%p (identical to the
 // fault-free assignment); any tasks stranded by a lost worker are
@@ -414,6 +599,7 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 		return e.runTasksSpeculative(ctx, stage, op, inputs)
 	}
 	n := len(inputs)
+	inputCols := encodeInputs(inputs)
 	outputs := make([]mbsp.Partition, n)
 	metrics := make([]mbsp.TaskMetrics, n)
 	retries := make([]int, n)
@@ -466,13 +652,7 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 						return
 					}
 					start := time.Now()
-					resp, tries, err := wc.call(ctx, request{
-						Kind:   kindTask,
-						Stage:  stage,
-						Op:     op,
-						TaskID: task,
-						Input:  inputs[task],
-					})
+					resp, tries, err := wc.call(ctx, taskRequest(stage, op, task, inputs[task], inputCols[task]))
 					retries[task] += tries
 					if err != nil {
 						if ctx.Err() != nil {
@@ -495,7 +675,16 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 						mu.Unlock()
 						continue
 					}
-					outputs[task] = resp.Output
+					out, decErr := respOutput(resp)
+					if decErr != nil {
+						// Corrupt columnar output is deterministic, like an
+						// application failure: abort rather than retry.
+						mu.Lock()
+						taskErrs = append(taskErrs, &mbsp.TaskError{Stage: stage, TaskID: task, Err: decErr})
+						mu.Unlock()
+						continue
+					}
+					outputs[task] = out
 					metrics[task] = mbsp.TaskMetrics{
 						Stage:    stage,
 						TaskID:   task,
@@ -505,7 +694,7 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 						// matching what a Spark driver observes per task.
 						Duration: time.Since(start),
 						InItems:  len(inputs[task]),
-						OutItems: len(resp.Output),
+						OutItems: len(out),
 						Retries:  retries[task],
 					}
 					_ = resp.DurMicro // worker-side compute time, available for finer breakdowns
@@ -665,15 +854,9 @@ func (st *specState) abort() {
 // response, driver-observed metrics and transport retry count. The error
 // return is transport-level (worker loss or context cancellation);
 // application failures come back inside the response.
-func (e *Executor) runOneCopy(ctx context.Context, worker int, stage, op string, task int, input mbsp.Partition) (response, mbsp.TaskMetrics, int, error) {
+func (e *Executor) runOneCopy(ctx context.Context, worker int, stage, op string, task int, input mbsp.Partition, inputCols []byte) (response, mbsp.TaskMetrics, int, error) {
 	start := time.Now()
-	resp, tries, err := e.conns[worker].call(ctx, request{
-		Kind:   kindTask,
-		Stage:  stage,
-		Op:     op,
-		TaskID: task,
-		Input:  input,
-	})
+	resp, tries, err := e.conns[worker].call(ctx, taskRequest(stage, op, task, input, inputCols))
 	m := mbsp.TaskMetrics{
 		Stage:    stage,
 		TaskID:   task,
@@ -683,6 +866,17 @@ func (e *Executor) runOneCopy(ctx context.Context, worker int, stage, op string,
 	}
 	if err != nil {
 		return resp, m, tries, err
+	}
+	if resp.Err == "" {
+		// Surface the decoded partition through resp.Output so commit and
+		// metrics read one place; a corrupt columnar frame becomes an
+		// application-level failure (deterministic, like the plain path).
+		out, decErr := respOutput(resp)
+		if decErr != nil {
+			resp.Err = decErr.Error()
+		} else {
+			resp.Output, resp.OutputCols = out, nil
+		}
 	}
 	m.OutItems = len(resp.Output)
 	return resp, m, tries, nil
@@ -696,6 +890,7 @@ func (e *Executor) runOneCopy(ctx context.Context, worker int, stage, op string,
 // either copy yields the same output and order-aware semantics hold.
 func (e *Executor) runTasksSpeculative(ctx context.Context, stage, op string, inputs []mbsp.Partition) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
 	n := len(inputs)
+	inputCols := encodeInputs(inputs)
 	outputs := make([]mbsp.Partition, n)
 	metrics := make([]mbsp.TaskMetrics, n)
 	errs := make([]error, n)
@@ -785,7 +980,7 @@ func (e *Executor) runTasksSpeculative(ctx context.Context, stage, op string, in
 						cancel()
 						continue
 					}
-					resp, m, tries, err := e.runOneCopy(tctx, worker, stage, op, task, inputs[task])
+					resp, m, tries, err := e.runOneCopy(tctx, worker, stage, op, task, inputs[task], inputCols[task])
 					cancel()
 					st.noteRetries(task, tries)
 					if err != nil {
@@ -834,7 +1029,7 @@ func (e *Executor) runTasksSpeculative(ctx context.Context, stage, op string, in
 						cancel()
 						continue
 					}
-					resp, m, tries, err := e.runOneCopy(bctx, worker, stage, op, task, inputs[task])
+					resp, m, tries, err := e.runOneCopy(bctx, worker, stage, op, task, inputs[task], inputCols[task])
 					cancel()
 					st.noteRetries(task, tries)
 					if err != nil {

@@ -1,0 +1,227 @@
+package rpcexec
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"diststream/internal/mbsp"
+)
+
+// testCounter and testIncr exercise the delta broadcast machinery with a
+// deliberately NON-idempotent, NON-matching delta: the delta-applied
+// value differs from the full value, so a test can tell from the
+// worker-visible result which path actually delivered. (Real snapshot
+// deltas reproduce the full value exactly; these exist to prove the
+// executor's delivery decisions, not to model snapshots.)
+type testCounter struct{ N int }
+
+type testIncr struct {
+	By   int
+	Fail bool
+}
+
+func (d testIncr) ApplyDelta(old mbsp.Item) (mbsp.Item, error) {
+	if d.Fail {
+		return nil, errors.New("testIncr: apply refused")
+	}
+	c, ok := old.(testCounter)
+	if !ok {
+		return nil, fmt.Errorf("testIncr: base is %T, want testCounter", old)
+	}
+	return testCounter{N: c.N + d.By}, nil
+}
+
+func init() {
+	gob.Register(testCounter{})
+	gob.Register(testIncr{})
+}
+
+// startDeltaCluster is startClusterCfg plus an op reading the "counter"
+// broadcast, so tests can observe worker-visible values.
+func startDeltaCluster(t *testing.T, n int, cfg Config) (*Executor, []*Worker) {
+	t.Helper()
+	reg := testRegistry(t)
+	reg.MustRegister("read-counter", func(ctx *mbsp.TaskContext, _ mbsp.Partition) (mbsp.Partition, error) {
+		bv, err := ctx.Broadcast("counter")
+		if err != nil {
+			return nil, err
+		}
+		c, ok := bv.(testCounter)
+		if !ok {
+			return nil, fmt.Errorf("counter broadcast is %T", bv)
+		}
+		return mbsp.Partition{c.N}, nil
+	})
+	workers, addrs, err := StartLocalCluster(n, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	})
+	exec, err := DialConfig(addrs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	return exec, workers
+}
+
+// readCounters returns the worker-visible counter value per task (task i
+// runs on worker i, one task per worker).
+func readCounters(t *testing.T, exec *Executor, n int) []int {
+	t.Helper()
+	inputs := make([]mbsp.Partition, n)
+	for i := range inputs {
+		inputs[i] = mbsp.Partition{0}
+	}
+	outputs, _, err := exec.RunTasks(context.Background(), "read", "read-counter", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, n)
+	for i, out := range outputs {
+		vals[i] = out[0].(int)
+	}
+	return vals
+}
+
+func TestBroadcastDeltaApplied(t *testing.T) {
+	exec, _ := startDeltaCluster(t, 2, Config{DeltaBroadcast: true})
+	ctx := context.Background()
+	if err := exec.Broadcast(ctx, "counter", testCounter{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Delta yields 42, full yields 2: the worker value reveals the path.
+	if err := exec.BroadcastDelta(ctx, "counter", testCounter{N: 2}, testIncr{By: 41}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range readCounters(t, exec, 2) {
+		if v != 42 {
+			t.Errorf("worker %d sees %d, want 42 (delta-applied)", i, v)
+		}
+	}
+	stats := exec.BroadcastStats()
+	if stats.Deltas != 2 || stats.Fulls != 2 {
+		t.Errorf("stats = %+v, want 2 deltas (second round) and 2 fulls (first)", stats)
+	}
+	if stats.Bytes <= 0 {
+		t.Errorf("broadcast bytes not accounted: %+v", stats)
+	}
+}
+
+func TestBroadcastDeltaDisabledShipsFull(t *testing.T) {
+	exec, _ := startDeltaCluster(t, 2, Config{})
+	ctx := context.Background()
+	if err := exec.Broadcast(ctx, "counter", testCounter{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if exec.DeltaBroadcastEnabled() {
+		t.Error("delta broadcast reported enabled on default config")
+	}
+	if err := exec.BroadcastDelta(ctx, "counter", testCounter{N: 2}, testIncr{By: 41}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range readCounters(t, exec, 2) {
+		if v != 2 {
+			t.Errorf("worker %d sees %d, want 2 (full value)", i, v)
+		}
+	}
+	if stats := exec.BroadcastStats(); stats.Deltas != 0 {
+		t.Errorf("deltas shipped while disabled: %+v", stats)
+	}
+}
+
+func TestBroadcastDeltaReconnectGetsFull(t *testing.T) {
+	exec, _ := startDeltaCluster(t, 2, Config{DeltaBroadcast: true, MaxRetries: 1, Backoff: 10 * time.Millisecond})
+	ctx := context.Background()
+	if err := exec.Broadcast(ctx, "counter", testCounter{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill worker 0's connection out from under the executor: the next
+	// broadcast must not trust the stale ack state. The redial replays the
+	// NEW full snapshot, so the delta (which would yield 42) must not ride
+	// on top of it.
+	wc := exec.conns[0]
+	wc.mu.Lock()
+	wc.teardown()
+	wc.mu.Unlock()
+	if err := exec.BroadcastDelta(ctx, "counter", testCounter{N: 2}, testIncr{By: 41}); err != nil {
+		t.Fatal(err)
+	}
+	vals := readCounters(t, exec, 2)
+	if vals[0] != 2 {
+		t.Errorf("reconnected worker sees %d, want 2 (full after reconnect)", vals[0])
+	}
+	if vals[1] != 42 {
+		t.Errorf("healthy worker sees %d, want 42 (delta)", vals[1])
+	}
+	stats := exec.BroadcastStats()
+	if stats.Deltas != 1 || stats.Fulls != 3 {
+		t.Errorf("stats = %+v, want 1 delta and 3 fulls (2 initial + 1 reconnect)", stats)
+	}
+	// Ack state recovered: the next delta reaches both workers again.
+	if err := exec.BroadcastDelta(ctx, "counter", testCounter{N: 3}, testIncr{By: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if stats := exec.BroadcastStats(); stats.Deltas != 3 {
+		t.Errorf("delta shipping did not resume after reconnect: %+v", stats)
+	}
+}
+
+func TestBroadcastDeltaApplyErrorFallsBackToFull(t *testing.T) {
+	exec, _ := startDeltaCluster(t, 2, Config{DeltaBroadcast: true})
+	ctx := context.Background()
+	if err := exec.Broadcast(ctx, "counter", testCounter{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The worker rejects the apply; the same Broadcast call must recover
+	// by resending the full value, with no error surfacing to the caller.
+	if err := exec.BroadcastDelta(ctx, "counter", testCounter{N: 2}, testIncr{Fail: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range readCounters(t, exec, 2) {
+		if v != 2 {
+			t.Errorf("worker %d sees %d, want 2 (full after rejected delta)", i, v)
+		}
+	}
+	stats := exec.BroadcastStats()
+	if stats.Deltas != 0 || stats.Fulls != 4 {
+		t.Errorf("stats = %+v, want 0 deltas and 4 fulls", stats)
+	}
+	// The fallback full re-established a known base: deltas flow again.
+	if err := exec.BroadcastDelta(ctx, "counter", testCounter{N: 3}, testIncr{By: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if stats := exec.BroadcastStats(); stats.Deltas != 2 {
+		t.Errorf("delta shipping did not resume after a rejected apply: %+v", stats)
+	}
+}
+
+// TestBroadcastFanoutParallel pins the parallel fan-out: with every
+// worker delaying each broadcast by 60ms, a serial driver would need
+// ~240ms for four workers; the parallel one finishes in roughly one
+// delay. The bound is loose (200ms) to stay robust on slow CI.
+func TestBroadcastFanoutParallel(t *testing.T) {
+	exec, workers := startDeltaCluster(t, 4, Config{})
+	for _, w := range workers {
+		w.SetBroadcastDelay(60 * time.Millisecond)
+	}
+	start := time.Now()
+	if err := exec.Broadcast(context.Background(), "counter", testCounter{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 60*time.Millisecond {
+		t.Errorf("broadcast returned in %v, before any worker's delay elapsed", elapsed)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("broadcast took %v; fan-out appears serialized (4 workers x 60ms)", elapsed)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/gob"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"diststream/internal/mbsp"
 	"diststream/internal/stream"
@@ -27,27 +28,44 @@ const (
 	kindShutdown
 )
 
-// request is the single driver→worker message frame.
+// request is the single driver→worker message frame. The envelope always
+// travels through gob; hot payloads (task partitions, snapshot deltas)
+// ride inside it as pre-encoded columnar frames (the *Cols fields), with
+// the gob-typed fields as the fallback for shapes the columnar codec
+// does not cover.
 type request struct {
 	Kind msgKind
 
-	// Broadcast fields.
-	BroadcastID    string
-	BroadcastValue mbsp.Item
+	// Broadcast fields. Exactly one of BroadcastValue and BroadcastCols
+	// carries the payload; BroadcastCols holds a wire.EncodeValue frame.
+	// BroadcastDelta marks the payload as an mbsp.BroadcastDelta to apply
+	// onto the worker's current value for the id; BroadcastVersion is the
+	// driver's version of the resulting value (observability only — the
+	// driver tracks per-worker versions itself).
+	BroadcastID      string
+	BroadcastValue   mbsp.Item
+	BroadcastCols    []byte
+	BroadcastDelta   bool
+	BroadcastVersion uint64
 
-	// Task fields.
-	Stage  string
-	Op     string
-	TaskID int
-	Input  mbsp.Partition
+	// Task fields. Exactly one of Input and InputCols carries the
+	// partition; InputCols holds a wire.EncodePartition frame.
+	Stage     string
+	Op        string
+	TaskID    int
+	Input     mbsp.Partition
+	InputCols []byte
 }
 
-// response is the single worker→driver message frame.
+// response is the single worker→driver message frame. Like requests,
+// task outputs travel columnar in OutputCols when the codec covers their
+// shape, and through the gob-typed Output otherwise.
 type response struct {
-	TaskID   int
-	Output   mbsp.Partition
-	Err      string
-	DurMicro int64 // task execution time in microseconds
+	TaskID     int
+	Output     mbsp.Partition
+	OutputCols []byte
+	Err        string
+	DurMicro   int64 // task execution time in microseconds
 }
 
 // RegisterType registers a concrete type with gob so it can travel inside
@@ -66,6 +84,27 @@ func registerBuiltins() {
 	gob.Register(mbsp.KeyedItem{})
 	gob.Register(mbsp.Group{})
 	gob.Register(stream.Record{})
+}
+
+// countingConn wraps a worker connection and counts the bytes crossing
+// it, so the driver can report broadcast and task traffic (the payoff
+// measurement for the delta/columnar paths) without instrumenting gob.
+type countingConn struct {
+	net.Conn
+	sent  *atomic.Int64
+	recvd *atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recvd.Add(int64(n))
+	return n, err
 }
 
 // writerPool recycles the buffered writers frames are gob-encoded

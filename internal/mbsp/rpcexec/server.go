@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"diststream/internal/mbsp"
+	"diststream/internal/wire"
 )
 
 var registerOnce sync.Once
@@ -47,11 +48,12 @@ type Worker struct {
 
 	broadcasts *workerStore
 
-	mu     sync.Mutex
-	closed bool
-	fault  FaultFunc
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu             sync.Mutex
+	closed         bool
+	fault          FaultFunc
+	broadcastDelay time.Duration
+	conns          map[net.Conn]struct{}
+	wg             sync.WaitGroup
 }
 
 // workerStore adapts the broadcast map to the mbsp broadcast interface.
@@ -117,6 +119,21 @@ func (w *Worker) currentFault() FaultFunc {
 	return w.fault
 }
 
+// SetBroadcastDelay makes the worker sleep before serving each broadcast
+// request. Test-only machinery: it makes the driver's parallel broadcast
+// fan-out observable (n workers × d delay must complete in ~d, not n×d).
+func (w *Worker) SetBroadcastDelay(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.broadcastDelay = d
+}
+
+func (w *Worker) currentBroadcastDelay() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broadcastDelay
+}
+
 // Close stops the worker — listener and every open connection, like a
 // process death — and waits for connection goroutines to exit.
 func (w *Worker) Close() error {
@@ -179,8 +196,10 @@ func (w *Worker) serve(conn net.Conn) {
 		}
 		switch req.Kind {
 		case kindBroadcast:
-			w.broadcasts.put(req.BroadcastID, req.BroadcastValue)
-			if err := c.send(response{}); err != nil {
+			if d := w.currentBroadcastDelay(); d > 0 {
+				time.Sleep(d)
+			}
+			if err := c.send(w.applyBroadcast(req)); err != nil {
 				return
 			}
 		case kindTask:
@@ -210,20 +229,66 @@ func (w *Worker) serve(conn net.Conn) {
 	}
 }
 
+// applyBroadcast installs one broadcast value, decoding the columnar
+// payload and applying deltas onto the worker's current value. Failures
+// come back as response errors on a healthy connection: the driver
+// reacts to a rejected delta by resending the full value.
+func (w *Worker) applyBroadcast(req request) response {
+	value := req.BroadcastValue
+	if len(req.BroadcastCols) > 0 {
+		v, err := wire.DecodeValue(req.BroadcastCols)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		value = v
+	}
+	if req.BroadcastDelta {
+		delta, ok := value.(mbsp.BroadcastDelta)
+		if !ok {
+			return response{Err: fmt.Sprintf("rpcexec: broadcast delta for %q is %T, which cannot apply", req.BroadcastID, value)}
+		}
+		base, ok := w.broadcasts.Get(req.BroadcastID)
+		if !ok {
+			return response{Err: fmt.Sprintf("rpcexec: broadcast delta for %q without a base value", req.BroadcastID)}
+		}
+		applied, err := delta.ApplyDelta(base)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		value = applied
+	}
+	w.broadcasts.put(req.BroadcastID, value)
+	return response{}
+}
+
 func (w *Worker) runTask(req request) response {
 	fn, err := w.registry.Lookup(req.Op)
 	if err != nil {
 		return response{TaskID: req.TaskID, Err: err.Error()}
+	}
+	input := req.Input
+	if len(req.InputCols) > 0 {
+		p, err := wire.DecodePartition(req.InputCols)
+		if err != nil {
+			return response{TaskID: req.TaskID, Err: err.Error()}
+		}
+		input = p
 	}
 	ctx := mbsp.NewTaskContext(req.Stage, req.TaskID, w.id, w.broadcasts)
 	start := time.Now()
 	// SafeCall contains panics: a poisonous record fails this one task
 	// (the error string, stack included, travels back to the driver's
 	// retry/abort machinery) instead of killing the worker process.
-	out, err := mbsp.SafeCall(fn, ctx, req.Input)
+	out, err := mbsp.SafeCall(fn, ctx, input)
 	dur := time.Since(start)
 	if err != nil {
 		return response{TaskID: req.TaskID, Err: err.Error(), DurMicro: dur.Microseconds()}
 	}
-	return response{TaskID: req.TaskID, Output: out, DurMicro: dur.Microseconds()}
+	resp := response{TaskID: req.TaskID, DurMicro: dur.Microseconds()}
+	if cols, ok := wire.EncodePartition(out); ok {
+		resp.OutputCols = cols
+	} else {
+		resp.Output = out
+	}
+	return resp
 }

@@ -196,6 +196,33 @@ type Executor interface {
 	Close() error
 }
 
+// BroadcastDelta is implemented by broadcast values that are differences
+// against the value previously published under the same id. An executor
+// that ships deltas applies them against the receiver's current value;
+// ApplyDelta must not mutate old (other tasks may still read it) and must
+// fail — never guess — when old is not the base the delta was computed
+// from, so the sender can fall back to publishing the full value.
+type BroadcastDelta interface {
+	ApplyDelta(old Item) (Item, error)
+}
+
+// DeltaBroadcaster is an optional Executor capability: publishing a
+// broadcast as a small delta for receivers that are known to hold the
+// previous value, with the full value as the universal fallback (fresh
+// workers, reconnects, failed delta application). Executors without the
+// capability — or with it disabled — receive the full value through the
+// plain Broadcast path instead.
+type DeltaBroadcaster interface {
+	// BroadcastDelta publishes full under id, shipping delta (which must
+	// implement BroadcastDelta) to receivers that hold the previous
+	// version and full to everyone else. After it returns, every live
+	// receiver observes a value identical to full.
+	BroadcastDelta(ctx context.Context, id string, full, delta Item) error
+	// DeltaBroadcastEnabled reports whether deltas are actually shipped;
+	// callers can skip computing a delta when false.
+	DeltaBroadcastEnabled() bool
+}
+
 // Common engine errors.
 var (
 	// ErrUnknownOp is returned when a task references an op name that is

@@ -1,0 +1,86 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+	"diststream/internal/wire"
+)
+
+// benchRecords is the hot-frame shape of the figure workloads: a record
+// partition at KDD'99 dimensionality. Coordinates get full-entropy
+// mantissas (divisions with irrational-ish results), matching real
+// sensor data — round values would flatter gob, whose float encoding
+// trims trailing zero bytes.
+func benchRecordsPartition(n, dim int) mbsp.Partition {
+	p := make(mbsp.Partition, n)
+	for i := range p {
+		vals := make(vector.Vector, dim)
+		for j := range vals {
+			vals[j] = float64(i+1) / float64(j+3)
+		}
+		p[i] = stream.Record{Seq: uint64(i), Timestamp: vclock.Time(0.01 * float64(i)), Values: vals, Label: i % 23}
+	}
+	return p
+}
+
+func BenchmarkEncodeRecordsWire(b *testing.B) {
+	p := benchRecordsPartition(256, 34)
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cols, ok := wire.EncodePartition(p)
+		if !ok {
+			b.Fatal("encode declined")
+		}
+		size = len(cols)
+	}
+	b.ReportMetric(float64(size), "bytes/frame")
+}
+
+func BenchmarkEncodeRecordsGob(b *testing.B) {
+	p := benchRecordsPartition(256, 34)
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+	}
+	b.ReportMetric(float64(size), "bytes/frame")
+}
+
+func BenchmarkDecodeRecordsWire(b *testing.B) {
+	cols, ok := wire.EncodePartition(benchRecordsPartition(256, 34))
+	if !ok {
+		b.Fatal("encode declined")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodePartition(cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRecordsGob(b *testing.B) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(benchRecordsPartition(256, 34)); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out mbsp.Partition
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
