@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke
+.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke sched-smoke
 
 build:
 	$(GO) build ./...
@@ -27,10 +27,19 @@ bench:
 # machine-readable JSON. Raise BENCHTIME (e.g. 2s) for stable numbers;
 # the 1x default is the CI smoke setting.
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run ^$$ ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+
+# sched-smoke runs the schedule-equivalence battery under the race
+# detector: the pipelined schedule must land on byte-identical model
+# state to strict BSP across algorithms, executors and fault injection,
+# with no data races in the overlapped driver loop or the fused dispatch.
+sched-smoke:
+	$(GO) test -race -count=1 -run '^TestScheduleEquivalence' .
+	$(GO) test -race -count=1 ./internal/mbsp/sched/
+	$(GO) test -race -count=1 -run '^TestDispatchStage' ./internal/mbsp/rpcexec/
 
 # serve-smoke boots `diststream serve` on a live pipeline and exercises
 # every serving endpoint end to end: readiness, assign, clusters, macro

@@ -1,0 +1,90 @@
+// Benchmarks for the pipelined execution schedule: end-to-end batch
+// latency of bsp vs pipelined over a real 4-worker TCP cluster, plain
+// and with per-batch durable checkpointing (the workload where the
+// overlapped publish/checkpoint tail pays off). `make bench-json`
+// archives the numbers in BENCH_6.json.
+package diststream_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"diststream"
+	"diststream/internal/stream"
+)
+
+// benchSchedule runs the figure workload end to end over a fresh
+// 4-worker TCP cluster under one schedule, reporting mean steady-state
+// batch latency. The warm-up (model initialization k-means plus the
+// first batch, which also ships the config broadcast) runs outside the
+// timed region: the schedules only differ in steady-state batch
+// execution.
+func benchSchedule(b *testing.B, kind diststream.ScheduleKind, checkpoint bool) {
+	_, addrs := startFacadeCluster(b, 4)
+	recs := deltaBlobStream(8000, 34)
+	warm := 300 // 200 init records + one full batch
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	batches := 0
+	var wall time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := diststream.New(diststream.Options{
+			WorkerAddrs: addrs,
+			Execution: diststream.ExecutionOptions{
+				Schedule:       kind,
+				DeltaBroadcast: true,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		algo, err := sys.NewCluStream(diststream.CluStreamOptions{Dim: 34})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := diststream.PipelineOptions{BatchSeconds: 0.1, InitRecords: 200}
+		if checkpoint {
+			opts.Checkpoint = &diststream.CheckpointConfig{Dir: b.TempDir(), EveryNBatches: 1}
+		}
+		pl, err := sys.NewPipeline(algo, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmStats, err := pl.RunContext(ctx, stream.NewSliceSource(recs[:warm]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		stats, err := pl.RunContext(ctx, stream.NewSliceSource(recs[warm:]))
+		b.StopTimer()
+		if cerr := sys.Close(); cerr != nil {
+			b.Fatal(cerr)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		batches += stats.Batches - warmStats.Batches
+		wall += stats.TotalWall
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if batches > 0 {
+		b.ReportMetric(wall.Seconds()*1e3/float64(batches), "ms/batch")
+	}
+}
+
+func BenchmarkScheduleTCP(b *testing.B) {
+	for _, kind := range []diststream.ScheduleKind{diststream.ScheduleBSP, diststream.SchedulePipelined} {
+		b.Run(string(kind), func(b *testing.B) { benchSchedule(b, kind, false) })
+	}
+}
+
+func BenchmarkScheduleTCPCheckpointed(b *testing.B) {
+	for _, kind := range []diststream.ScheduleKind{diststream.ScheduleBSP, diststream.SchedulePipelined} {
+		b.Run(string(kind), func(b *testing.B) { benchSchedule(b, kind, true) })
+	}
+}

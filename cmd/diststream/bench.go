@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"diststream/internal/core"
+	"diststream/internal/datagen"
+	"diststream/internal/harness"
+	"diststream/internal/mbsp"
+	"diststream/internal/mbsp/rpcexec"
+	"diststream/internal/mbsp/sched"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// runBench A/B-measures end-to-end batch latency of the execution
+// schedules over a real in-process TCP cluster: the same workload runs
+// under each requested schedule and the table reports per-batch latency
+// and throughput side by side. When both schedules run, the final models
+// are compared — a divergence is an error, since the pipelined schedule
+// guarantees bit-identical results.
+func runBench(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	records := fs.Int("records", 30000, "records in the generated dataset")
+	seed := fs.Int64("seed", 42, "generation seed")
+	workers := fs.Int("workers", 4, "TCP workers in the cluster")
+	algoName := fs.String("algo", "clustream", "algorithm to run")
+	schedule := fs.String("schedule", "both", "schedule to benchmark: bsp, pipelined or both")
+	delta := fs.Bool("delta", true, "ship model broadcasts as deltas")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var kinds []sched.Kind
+	switch *schedule {
+	case "both":
+		kinds = sched.Kinds()
+	default:
+		if _, err := sched.New(sched.Kind(*schedule)); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		kinds = []sched.Kind{sched.Kind(*schedule)}
+	}
+	n := *records
+	if n <= 0 {
+		n = 30000
+	}
+	ds, err := harness.LoadDataset(datagen.KDD99Sim, n, 100, *seed)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	fmt.Fprintf(w, "schedule benchmark (%s, %s, %d TCP workers, delta broadcast %v)\n",
+		ds.Name, *algoName, *workers, *delta)
+	fmt.Fprintf(w, "  %-10s %-8s %8s %12s %12s %10s %10s %10s %10s %14s\n",
+		"schedule", "executor", "batches", "batch ms", "records/s", "assign ms", "shuffle ms", "local ms", "global ms", "model weight")
+	results := make(map[sched.Kind]benchResult, len(kinds))
+	for _, kind := range kinds {
+		res, err := benchRun(ctx, ds, *algoName, *seed, *workers, kind, *delta)
+		if err != nil {
+			return fmt.Errorf("bench: %s run: %w", kind, err)
+		}
+		results[kind] = res
+		batchMS := 0.0
+		perBatch := func(d time.Duration) float64 { return 0 }
+		if res.stats.Batches > 0 {
+			batchMS = res.stats.TotalWall.Seconds() * 1e3 / float64(res.stats.Batches)
+			perBatch = func(d time.Duration) float64 { return d.Seconds() * 1e3 / float64(res.stats.Batches) }
+		}
+		fmt.Fprintf(w, "  %-10s %-8s %8d %12.2f %12.0f %10.2f %10.2f %10.2f %10.2f %14.1f\n",
+			kind, "tcp", res.stats.Batches, batchMS, res.stats.Throughput(),
+			perBatch(res.stats.Assign.Wall), perBatch(res.stats.Shuffle.Wall),
+			perBatch(res.stats.LocalUpdate.Wall), perBatch(res.stats.GlobalUpdate.Wall), res.modelWeight)
+	}
+	bsp, hasBSP := results[sched.BSP]
+	pip, hasPip := results[sched.Pipelined]
+	if hasBSP && hasPip {
+		if bsp.modelLen != pip.modelLen || bsp.modelWeight != pip.modelWeight {
+			return fmt.Errorf("bench: models diverged across schedules: bsp %d MCs / %.3f weight, pipelined %d MCs / %.3f weight",
+				bsp.modelLen, bsp.modelWeight, pip.modelLen, pip.modelWeight)
+		}
+		if pip.stats.TotalWall > 0 {
+			fmt.Fprintf(w, "  models identical; pipelined speedup %.2fx\n",
+				bsp.stats.TotalWall.Seconds()/pip.stats.TotalWall.Seconds())
+		}
+	}
+	return nil
+}
+
+type benchResult struct {
+	stats       core.RunStats
+	modelLen    int
+	modelWeight float64
+}
+
+// benchRun executes one run over a fresh in-process TCP cluster under
+// the given schedule.
+func benchRun(ctx context.Context, ds harness.Dataset, algoName string, seed int64, p int, kind sched.Kind, delta bool) (benchResult, error) {
+	harness.RegisterAllWireTypes()
+	algos, err := harness.NewAlgorithmRegistry()
+	if err != nil {
+		return benchResult{}, err
+	}
+	reg := mbsp.NewRegistry()
+	if err := core.RegisterOps(reg, algos); err != nil {
+		return benchResult{}, err
+	}
+	cluster, addrs, err := rpcexec.StartLocalCluster(p, reg)
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer func() {
+		for _, wk := range cluster {
+			_ = wk.Close()
+		}
+	}()
+	exec, err := rpcexec.DialConfig(addrs, rpcexec.Config{DeltaBroadcast: delta})
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer exec.Close()
+	eng, err := mbsp.NewEngine(exec)
+	if err != nil {
+		return benchResult{}, err
+	}
+	schedule, err := sched.New(kind)
+	if err != nil {
+		return benchResult{}, err
+	}
+	algo, err := harness.NewAlgorithm(algoName, ds, seed)
+	if err != nil {
+		return benchResult{}, err
+	}
+	pl, err := core.NewPipeline(core.Config{
+		Algorithm:     algo,
+		Engine:        eng,
+		Schedule:      schedule,
+		BatchInterval: vclock.Duration(2),
+		InitRecords:   500,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	stats, err := pl.RunContext(ctx, stream.NewSliceSource(ds.Records))
+	if err != nil {
+		return benchResult{}, err
+	}
+	return benchResult{
+		stats:       stats,
+		modelLen:    pl.Model().Len(),
+		modelWeight: pl.Model().TotalWeight(),
+	}, nil
+}

@@ -16,6 +16,8 @@
 //	batch-sweep   Figure 9 — throughput vs batch interval at p=32
 //	other-algos   Figure 10 — D-Stream and ClusTree scalability
 //	ablate        §V-A / §V-C design-choice ablations
+//	bench         A/B the bsp and pipelined execution schedules on a
+//	              TCP cluster; report per-batch latency and throughput
 //	fault         kill a TCP worker mid-run; show recovery + determinism
 //	resume        crash the driver mid-run; resume from a checkpoint
 //	serve         run a live ingesting pipeline plus the query-serving
@@ -95,9 +97,13 @@ func (o *options) algorithms() []string {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|fault|resume|serve|all> [flags]")
+		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|bench|fault|resume|serve|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "bench" {
+		// bench has its own flag set (cluster size, schedule selection).
+		return runBench(w, rest)
+	}
 	if cmd == "fault" {
 		// fault has its own flag set (cluster size, kill point, deadline).
 		return runFault(w, rest)

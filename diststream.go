@@ -41,6 +41,7 @@ import (
 	"diststream/internal/dstream"
 	"diststream/internal/mbsp"
 	"diststream/internal/mbsp/rpcexec"
+	"diststream/internal/mbsp/sched"
 	"diststream/internal/simple"
 	"diststream/internal/stream"
 	"diststream/internal/vclock"
@@ -98,10 +99,45 @@ const (
 	OrderUnordered = core.OrderUnordered
 )
 
-// RPCOptions tunes the TCP executor's fault tolerance (TCP mode only;
-// ignored for the in-process executor). Zero-valued fields take the
-// documented defaults.
-type RPCOptions struct {
+// ScheduleKind names a batch execution schedule (see ScheduleBSP and
+// SchedulePipelined).
+type ScheduleKind = sched.Kind
+
+// Shipped schedules.
+const (
+	// ScheduleBSP is the strict bulk-synchronous schedule: every stage is
+	// a full barrier. The default.
+	ScheduleBSP = sched.BSP
+	// SchedulePipelined overlaps broadcast with task delivery, streams the
+	// shuffle's counting pass as assign tasks complete, and lets the
+	// driver overlap a batch's publish/checkpoint tail and the next
+	// batch's prefetch with the current batch's parallel stages. Final
+	// model state is bit-identical to ScheduleBSP.
+	SchedulePipelined = sched.Pipelined
+)
+
+// ExecutionOptions consolidates every knob that governs how batches
+// execute: the schedule strategy, broadcast encoding, straggler
+// speculation, the TCP executor's fault-tolerance timings and the
+// default checkpoint cadence. Zero-valued fields take the documented
+// defaults; fields left zero also inherit from the deprecated
+// Options.RPC and Options.Speculation aliases, so existing callers keep
+// working unchanged.
+type ExecutionOptions struct {
+	// Schedule selects the batch execution strategy: ScheduleBSP
+	// (default) or SchedulePipelined.
+	Schedule ScheduleKind
+	// DeltaBroadcast ships per-batch model snapshots as deltas (only the
+	// micro-clusters that changed since the worker's last acknowledged
+	// snapshot) instead of full copies (TCP executor only). Reconnects,
+	// version gaps and checksum mismatches transparently fall back to
+	// full snapshots, so results are bit-identical with the option off;
+	// it purely reduces broadcast bytes for algorithms whose batches
+	// touch few clusters.
+	DeltaBroadcast bool
+	// Speculation, when set, launches backup copies of straggling tasks
+	// on idle workers; the first result wins. Works on both executors.
+	Speculation *SpeculationConfig
 	// DialTimeout bounds each TCP connection attempt to a worker.
 	// Default 5s.
 	DialTimeout time.Duration
@@ -116,12 +152,27 @@ type RPCOptions struct {
 	// Backoff is the sleep before the first retry, doubling on each
 	// subsequent one. Default 50ms.
 	Backoff time.Duration
-	// DeltaBroadcast ships per-batch model snapshots as deltas (only the
-	// micro-clusters that changed since the worker's last acknowledged
-	// snapshot) instead of full copies. Reconnects, version gaps and
-	// checksum mismatches transparently fall back to full snapshots, so
-	// results are bit-identical with the option off; it purely reduces
-	// broadcast bytes for algorithms whose batches touch few clusters.
+	// CheckpointEveryNBatches is the default checkpoint cadence applied
+	// to pipelines that enable checkpointing without setting their own
+	// CheckpointConfig.EveryNBatches. Default 1.
+	CheckpointEveryNBatches int
+}
+
+// RPCOptions tunes the TCP executor's fault tolerance.
+//
+// Deprecated: the fields moved into ExecutionOptions (same names, same
+// semantics — DeltaBroadcast included). Options.RPC is still honored for
+// any field the Execution block leaves zero.
+type RPCOptions struct {
+	// DialTimeout bounds each TCP connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds each task/broadcast round trip. Default 30s.
+	CallTimeout time.Duration
+	// MaxRetries is the number of extra attempts per call. Default 2.
+	MaxRetries int
+	// Backoff is the sleep before the first retry. Default 50ms.
+	Backoff time.Duration
+	// DeltaBroadcast ships model snapshots as deltas.
 	DeltaBroadcast bool
 }
 
@@ -134,24 +185,67 @@ type Options struct {
 	// with cmd/mbsp-worker or rpcexec.NewWorker) instead of in-process
 	// goroutines. Parallelism is then len(WorkerAddrs).
 	WorkerAddrs []string
+	// Execution gathers the execution-strategy knobs: schedule, delta
+	// broadcast, speculation, TCP fault-tolerance timings, checkpoint
+	// cadence.
+	Execution ExecutionOptions
 	// RPC tunes timeouts, retries and backoff for the TCP executor.
+	//
+	// Deprecated: use Execution. Still honored for fields Execution
+	// leaves zero.
 	RPC RPCOptions
-	// Speculation, when set, launches backup copies of straggling tasks
-	// on idle workers; the first result wins. Works on both executors.
+	// Speculation launches backup copies of straggling tasks.
+	//
+	// Deprecated: use Execution.Speculation. Still honored when
+	// Execution.Speculation is nil.
 	Speculation *SpeculationConfig
+}
+
+// execution resolves the effective execution options: the Execution
+// block wins field-by-field, with the deprecated RPC/Speculation aliases
+// filling any field left zero.
+func (o Options) execution() ExecutionOptions {
+	ex := o.Execution
+	if ex.DialTimeout == 0 {
+		ex.DialTimeout = o.RPC.DialTimeout
+	}
+	if ex.CallTimeout == 0 {
+		ex.CallTimeout = o.RPC.CallTimeout
+	}
+	if ex.MaxRetries == 0 {
+		ex.MaxRetries = o.RPC.MaxRetries
+	}
+	if ex.Backoff == 0 {
+		ex.Backoff = o.RPC.Backoff
+	}
+	if !ex.DeltaBroadcast {
+		ex.DeltaBroadcast = o.RPC.DeltaBroadcast
+	}
+	if ex.Speculation == nil {
+		ex.Speculation = o.Speculation
+	}
+	return ex
 }
 
 // System owns the execution engine and the algorithm registry. Create one
 // per process (or per isolated experiment) and build pipelines from it.
 type System struct {
-	engine *mbsp.Engine
-	algos  *core.AlgorithmRegistry
+	engine   *mbsp.Engine
+	algos    *core.AlgorithmRegistry
+	schedule sched.Schedule
+	execName string
+	exec     ExecutionOptions
 }
 
 // New builds a System with all four shipped algorithms registered.
 func New(opts Options) (*System, error) {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 1
+	}
+	ex := opts.execution()
+	schedule, err := sched.New(ex.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("diststream: %w", err)
 	}
 	algos, err := NewAlgorithmRegistry()
 	if err != nil {
@@ -162,15 +256,17 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	var exec mbsp.Executor
+	execName := "local"
 	if len(opts.WorkerAddrs) > 0 {
+		execName = "tcp"
 		RegisterWireTypes()
 		exec, err = rpcexec.DialConfig(opts.WorkerAddrs, rpcexec.Config{
-			DialTimeout:    opts.RPC.DialTimeout,
-			CallTimeout:    opts.RPC.CallTimeout,
-			MaxRetries:     opts.RPC.MaxRetries,
-			Backoff:        opts.RPC.Backoff,
-			Speculation:    opts.Speculation,
-			DeltaBroadcast: opts.RPC.DeltaBroadcast,
+			DialTimeout:    ex.DialTimeout,
+			CallTimeout:    ex.CallTimeout,
+			MaxRetries:     ex.MaxRetries,
+			Backoff:        ex.Backoff,
+			Speculation:    ex.Speculation,
+			DeltaBroadcast: ex.DeltaBroadcast,
 		})
 		if err != nil {
 			return nil, err
@@ -179,7 +275,7 @@ func New(opts Options) (*System, error) {
 		exec, err = mbsp.NewLocalExecutor(mbsp.LocalConfig{
 			Parallelism: opts.Parallelism,
 			Registry:    reg,
-			Speculation: opts.Speculation,
+			Speculation: ex.Speculation,
 		})
 		if err != nil {
 			return nil, err
@@ -189,7 +285,7 @@ func New(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{engine: engine, algos: algos}, nil
+	return &System{engine: engine, algos: algos, schedule: schedule, execName: execName, exec: ex}, nil
 }
 
 // Close releases the engine (and closes worker connections in TCP mode).
@@ -197,6 +293,13 @@ func (s *System) Close() error { return s.engine.Close() }
 
 // Parallelism returns the configured worker count.
 func (s *System) Parallelism() int { return s.engine.Parallelism() }
+
+// Schedule returns the active batch execution schedule's kind.
+func (s *System) Schedule() ScheduleKind { return s.schedule.Kind() }
+
+// ExecutorName names the executor backing this system: "local" for the
+// in-process executor, "tcp" for remote workers.
+func (s *System) ExecutorName() string { return s.execName }
 
 // NewAlgorithmRegistry returns a registry with the shipped algorithms
 // (clustream, denstream, dstream, clustree, simple). Most callers use
@@ -255,10 +358,13 @@ type PipelineOptions struct {
 	OnBatch func(batch stream.Batch, model *Model) error
 	// OnSnapshot, when set, receives a frozen deep copy of the model —
 	// micro-cluster clones plus a prebuilt search index — after
-	// initialization and after every global update. It runs synchronously
-	// on the batch loop, so implementations should be cheap (an atomic
-	// pointer swap into a registry); this is the publication feed a
-	// query-serving subsystem reads from (see `diststream serve`).
+	// initialization and after every global update. Under the default
+	// BSP schedule it runs synchronously on the batch loop; under
+	// SchedulePipelined it may run concurrently with the next batch's
+	// parallel stages (never concurrently with itself). Implementations
+	// should be cheap either way (an atomic pointer swap into a
+	// registry); this is the publication feed a query-serving subsystem
+	// reads from (see `diststream serve`).
 	OnSnapshot func(Published)
 }
 
@@ -270,9 +376,15 @@ func (s *System) NewPipeline(algo Algorithm, opts PipelineOptions) (*Pipeline, e
 	if opts.BatchSeconds <= 0 {
 		opts.BatchSeconds = 10
 	}
+	if opts.Checkpoint != nil && opts.Checkpoint.EveryNBatches == 0 && s.exec.CheckpointEveryNBatches > 0 {
+		ck := *opts.Checkpoint
+		ck.EveryNBatches = s.exec.CheckpointEveryNBatches
+		opts.Checkpoint = &ck
+	}
 	return core.NewPipeline(core.Config{
 		Algorithm:       algo,
 		Engine:          s.engine,
+		Schedule:        s.schedule,
 		BatchInterval:   vclock.Duration(opts.BatchSeconds),
 		Order:           opts.Order,
 		InitRecords:     opts.InitRecords,

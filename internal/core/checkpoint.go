@@ -144,6 +144,21 @@ type pipelineState struct {
 // controller adjusted the interval), so the snapshot is always a
 // consistent batch boundary.
 func (p *Pipeline) writeCheckpoint(batcher *stream.Batcher) error {
+	// Count this checkpoint before encoding the stats so a resumed run's
+	// counter continues from a total that includes the snapshot it was
+	// restored from.
+	p.stats.Checkpoints++
+	return p.writeCheckpointState(p.stats, batcher.State(), p.batchesSeen, p.initialized, p.initBuf)
+}
+
+// writeCheckpointState persists a pipeline snapshot built from captured
+// state, so the synchronous batch loop and the overlapped runner's async
+// checkpoint tail produce bit-identical payloads. The model is encoded
+// from p.model directly: the caller guarantees no model mutation is in
+// flight (trivially true on the batch loop; enforced by the join
+// discipline in the overlapped runner).
+func (p *Pipeline) writeCheckpointState(stats RunStats, batcherState stream.BatcherState,
+	batchesSeen int, initialized bool, initBuf []stream.Record) error {
 	codec, ok := p.cfg.Algorithm.(StateCodec)
 	if !ok { // NewPipeline validated this; defend anyway
 		return fmt.Errorf("core: algorithm %q does not implement StateCodec", p.cfg.Algorithm.Name())
@@ -152,26 +167,22 @@ func (p *Pipeline) writeCheckpoint(batcher *stream.Batcher) error {
 	if err != nil {
 		return err
 	}
-	// Count this checkpoint before encoding the stats so a resumed run's
-	// counter continues from a total that includes the snapshot it was
-	// restored from.
-	p.stats.Checkpoints++
 	st := pipelineState{
 		Format:      pipelineStateFormat,
 		Algorithm:   p.cfg.Algorithm.Name(),
 		Params:      p.cfg.Algorithm.Params(),
-		Initialized: p.initialized,
-		InitBuf:     p.initBuf,
+		Initialized: initialized,
+		InitBuf:     initBuf,
 		Model:       modelBytes,
-		Stats:       p.stats,
-		Batcher:     batcher.State(),
-		BatchesSeen: p.batchesSeen,
+		Stats:       stats,
+		Batcher:     batcherState,
+		BatchesSeen: batchesSeen,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return fmt.Errorf("core: encode checkpoint: %w", err)
 	}
-	if _, err := checkpoint.Write(p.cfg.Checkpoint.Dir, uint64(p.batchesSeen), buf.Bytes()); err != nil {
+	if _, err := checkpoint.Write(p.cfg.Checkpoint.Dir, uint64(batchesSeen), buf.Bytes()); err != nil {
 		return err
 	}
 	return checkpoint.Prune(p.cfg.Checkpoint.Dir, p.cfg.Checkpoint.Keep)

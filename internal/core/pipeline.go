@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"time"
 
 	"diststream/internal/mbsp"
+	"diststream/internal/mbsp/sched"
 	"diststream/internal/stream"
 	"diststream/internal/vclock"
 )
@@ -50,6 +52,14 @@ type Config struct {
 	Algorithm Algorithm
 	// Engine executes the parallel stages.
 	Engine *mbsp.Engine
+	// Schedule is the batch execution strategy driving the parallel
+	// stages (see internal/mbsp/sched). Nil selects the strict BSP
+	// schedule. An Overlapped schedule additionally lets the driver run
+	// the previous batch's publish/checkpoint tail and the next batch's
+	// prefetch concurrently with the current batch's parallel stages;
+	// the global update is always serialized, so final model state is
+	// bit-identical across schedules.
+	Schedule sched.Schedule
 	// BatchInterval is the mini-batch window in virtual seconds.
 	BatchInterval vclock.Duration
 	// Order defaults to OrderAware.
@@ -154,9 +164,10 @@ func (s RunStats) StragglerFraction() float64 {
 // Pipeline is a running DistStream instance: the driver-side batch loop
 // over an mbsp engine.
 type Pipeline struct {
-	cfg   Config
-	model *Model
-	stats RunStats
+	cfg      Config
+	schedule sched.Schedule
+	model    *Model
+	stats    RunStats
 
 	initBuf     []stream.Record
 	initialized bool
@@ -222,8 +233,15 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		}
 		cfg.Checkpoint = &validated
 	}
-	return &Pipeline{cfg: cfg, model: NewModel()}, nil
+	schedule := cfg.Schedule
+	if schedule == nil {
+		schedule, _ = sched.New(sched.BSP)
+	}
+	return &Pipeline{cfg: cfg, schedule: schedule, model: NewModel()}, nil
 }
+
+// Schedule returns the batch execution strategy the pipeline runs under.
+func (p *Pipeline) Schedule() sched.Schedule { return p.schedule }
 
 // Model returns the live model (driver-side view).
 func (p *Pipeline) Model() *Model { return p.model }
@@ -261,6 +279,9 @@ func (p *Pipeline) RunContext(ctx context.Context, src stream.Source) (RunStats,
 		if err := p.applyResume(ctx, src, batcher); err != nil {
 			return p.stats, err
 		}
+	}
+	if p.schedule.Overlapped() {
+		return p.runOverlapped(ctx, batcher, start)
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -301,6 +322,183 @@ func (p *Pipeline) RunContext(ctx context.Context, src stream.Source) (RunStats,
 	return p.stats, nil
 }
 
+// prefetchThreshold is the observed per-fetch wall time above which the
+// overlapped runner prefetches the next batch asynchronously. Below it
+// the source is effectively instant and the goroutine handoff would cost
+// more than the fetch it hides.
+const prefetchThreshold = 100 * time.Microsecond
+
+// fetched is one prefetched batch plus the batcher position captured
+// immediately after it was cut (the position the checkpoint tail must
+// record even while the next prefetch advances the batcher).
+type fetched struct {
+	batch stream.Batch
+	state stream.BatcherState
+	eof   bool
+	err   error
+}
+
+// runOverlapped is the batch loop for schedules with Overlapped() true.
+// It overlaps three kinds of dependency-free work with batch N's
+// broadcast+assign: batch N-1's publish/checkpoint tail (runs until
+// runBatch joins it right before the global update), and the prefetch of
+// batch N+1 from the source. The global update itself — the only model
+// mutation — stays strictly serialized, so the final model is
+// bit-identical to the synchronous loop's.
+func (p *Pipeline) runOverlapped(ctx context.Context, batcher *stream.Batcher, start time.Time) (RunStats, error) {
+	adaptive := p.cfg.Adaptive != nil
+	// Prefetching from a source that delivers instantly (a replayed slice,
+	// an in-memory buffer) costs more in goroutine handoffs than it hides,
+	// so the async prefetch engages only while fetches are observed to be
+	// slower than prefetchThreshold.
+	fetchWall := prefetchThreshold
+	fetch := func() *fetched {
+		fetchStart := time.Now()
+		f := &fetched{}
+		f.batch, f.err = batcher.Next()
+		if errors.Is(f.err, io.EOF) {
+			f.err, f.eof = nil, true
+		}
+		if f.err == nil && !f.eof {
+			f.state = batcher.State()
+		}
+		fetchWall = time.Since(fetchStart)
+		return f
+	}
+
+	// post is the in-flight publish/checkpoint tail of a previous batch;
+	// joinPost awaits it and surfaces its error exactly once.
+	var post chan error
+	joinPost := func() error {
+		if post == nil {
+			return nil
+		}
+		err := <-post
+		post = nil
+		return err
+	}
+	// inflight is the async prefetch of the next batch. takeFetch awaits
+	// and consumes it.
+	var inflight chan *fetched
+	takeFetch := func() *fetched {
+		if inflight == nil {
+			return nil
+		}
+		f := <-inflight
+		inflight = nil
+		return f
+	}
+	fail := func(err error) (RunStats, error) {
+		takeFetch()
+		if jerr := joinPost(); jerr != nil && err == nil {
+			err = jerr
+		}
+		return p.stats, err
+	}
+
+	cur := fetch()
+	for {
+		if err := ctx.Err(); err != nil {
+			takeFetch()
+			_ = joinPost() // subsumed by the cancellation
+			p.stats.TotalWall = p.wallBase + time.Since(start)
+			return p.stats, err
+		}
+		if cur.err != nil {
+			return fail(cur.err)
+		}
+		if cur.eof {
+			break
+		}
+		// Start prefetching the next batch while this one runs. Skipped
+		// under adaptive batching: the controller retunes the interval
+		// after this batch, which must happen before the next cut.
+		// (fetchWall is safe to read here: the goroutine that last wrote
+		// it was consumed by takeFetch's channel receive.)
+		if !adaptive && fetchWall >= prefetchThreshold {
+			ch := make(chan *fetched, 1)
+			inflight = ch
+			go func() { ch <- fetch() }()
+		}
+		batch := cur.batch
+		stateAfter := cur.state
+
+		processed, err := p.runBatch(ctx, batch, joinPost)
+		if err != nil {
+			return fail(err)
+		}
+		if adaptive {
+			next := p.cfg.Adaptive.next(batcher.Interval(), len(batch.Records))
+			if next != batcher.Interval() {
+				if err := batcher.SetInterval(next); err != nil {
+					return fail(err)
+				}
+				p.stats.AdaptiveAdjustments++
+			}
+			p.stats.FinalBatchSeconds = float64(batcher.Interval())
+			stateAfter = batcher.State()
+		}
+		p.batchesSeen++
+		checkpointDue := p.cfg.Checkpoint != nil && p.batchesSeen%p.cfg.Checkpoint.EveryNBatches == 0
+		if (processed && p.cfg.OnPublish != nil) || checkpointDue {
+			// Normally a no-op (runBatch already joined before its global
+			// update); real only when this batch was absorbed by warm-up
+			// without triggering initialization.
+			if err := joinPost(); err != nil {
+				return fail(err)
+			}
+			post = p.schedulePost(processed, checkpointDue, stateAfter)
+		}
+		if cur = takeFetch(); cur == nil {
+			cur = fetch()
+		}
+	}
+	if err := joinPost(); err != nil {
+		return p.stats, err
+	}
+	if err := p.finishInit(); err != nil {
+		return p.stats, err
+	}
+	p.stats.TotalWall = p.wallBase + time.Since(start)
+	return p.stats, nil
+}
+
+// schedulePost launches the publish/checkpoint tail of the batch that
+// just completed its global update. Everything the tail needs is
+// captured by value here, on the batch loop, so the tail reads nothing a
+// later batch mutates — except the model itself, which the join
+// discipline keeps immutable until the tail is awaited.
+func (p *Pipeline) schedulePost(processed, checkpointDue bool, batcherState stream.BatcherState) chan error {
+	pubStats := p.stats
+	var ckStats RunStats
+	var seq int
+	var initialized bool
+	var initBuf []stream.Record
+	if checkpointDue {
+		// Count the checkpoint on the loop now, exactly where the
+		// synchronous path does, so later batches' stats include it.
+		p.stats.Checkpoints++
+		ckStats = p.stats
+		seq = p.batchesSeen
+		initialized = p.initialized
+		initBuf = slices.Clone(p.initBuf)
+	}
+	ch := make(chan error, 1)
+	go func() {
+		if processed {
+			p.publish(pubStats)
+		}
+		var err error
+		if checkpointDue {
+			if werr := p.writeCheckpointState(ckStats, batcherState, seq, initialized, initBuf); werr != nil {
+				err = fmt.Errorf("core: checkpoint after batch %d: %w", seq, werr)
+			}
+		}
+		ch <- err
+	}()
+	return ch
+}
+
 // ProcessBatch runs one mini-batch through the three pipeline steps.
 // Records consumed by warm-up initialization do not flow through the
 // parallel stages.
@@ -311,76 +509,79 @@ func (p *Pipeline) ProcessBatch(batch stream.Batch) error {
 // ProcessBatchContext is ProcessBatch under a context, which bounds the
 // batch's broadcasts and parallel stages.
 func (p *Pipeline) ProcessBatchContext(ctx context.Context, batch stream.Batch) error {
+	processed, err := p.runBatch(ctx, batch, nil)
+	if err != nil {
+		return err
+	}
+	if processed {
+		p.publish(p.stats)
+	}
+	return nil
+}
+
+// runBatch drives one mini-batch through the configured schedule's
+// parallel stages and the driver's global update. join, when non-nil, is
+// awaited immediately before the first model mutation (the overlapped
+// runner passes the join of the previous batch's publish/checkpoint
+// tail). It reports whether the batch flowed through the parallel stages
+// (false: fully absorbed by warm-up).
+func (p *Pipeline) runBatch(ctx context.Context, batch stream.Batch, join func() error) (bool, error) {
 	records := batch.Records
 	if !p.initialized {
 		var err error
-		records, err = p.absorbInit(records)
+		records, err = p.absorbInit(records, join)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if len(records) == 0 {
-			return nil
+			return false, nil
 		}
 	}
 	p.stats.Batches++
 	p.stats.Records += len(records)
 
-	if err := p.broadcastBatchState(ctx); err != nil {
-		return err
-	}
-
-	// Step 1: record-parallel assign (§V-A).
-	items := make([]mbsp.Item, len(records))
-	for i, rec := range records {
-		items[i] = rec
-	}
-	parts, err := mbsp.RoundRobin(items, p.cfg.Engine.Parallelism())
+	job, list, err := p.buildJob(records)
 	if err != nil {
-		return err
+		return false, err
 	}
-	assignStart := time.Now()
-	keyed, err := p.cfg.Engine.MapStage(ctx, "assign", OpAssign, parts)
+	// The workers' broadcast state is unknown from the moment the
+	// schedule starts until it succeeds; any failure in between forces
+	// the next batch's broadcast to carry the full snapshot.
+	p.lastBroadcast = nil
+	res, err := p.schedule.RunBatch(ctx, p.cfg.Engine, job)
 	if err != nil {
 		p.accountEngineMetrics()
-		return fmt.Errorf("core: assign stage: %w", err)
+		return false, fmt.Errorf("core: %w", err)
 	}
-	p.stats.Assign.Wall += time.Since(assignStart)
+	p.lastBroadcast = list
+	p.configSent = true
+	p.stats.Assign.Wall += res.AssignWall
 	p.stats.Assign.Count++
-
-	// Shuffle by micro-cluster id.
-	shuffleStart := time.Now()
-	grouped, err := mbsp.ShuffleByKey(keyed, p.cfg.Engine.Parallelism())
-	if err != nil {
-		return fmt.Errorf("core: shuffle: %w", err)
-	}
-	p.stats.Shuffle.Wall += time.Since(shuffleStart)
+	p.stats.Shuffle.Wall += res.ShuffleWall
 	p.stats.Shuffle.Count++
-
-	// Step 2: model-parallel local update (§V-B).
-	localStart := time.Now()
-	updateParts, err := p.cfg.Engine.MapStage(ctx, "local-update", OpLocalUpdate, grouped)
-	if err != nil {
-		p.accountEngineMetrics()
-		return fmt.Errorf("core: local-update stage: %w", err)
-	}
-	p.stats.LocalUpdate.Wall += time.Since(localStart)
+	p.stats.LocalUpdate.Wall += res.LocalWall
 	p.stats.LocalUpdate.Count++
 
-	updates, err := collectUpdates(updateParts)
+	updates, err := collectUpdates(res.Updates)
 	if err != nil {
-		return err
+		return false, err
 	}
 
-	// Step 3: single-node global update (§V-C) with order-aware
-	// application (§IV-C2).
+	// Single-node global update (§V-C) with order-aware application
+	// (§IV-C2).
 	if p.cfg.Order == OrderAware {
 		SortUpdatesByOrderTime(updates)
 	} else {
 		ScrambleUpdates(updates)
 	}
+	if join != nil {
+		if err := join(); err != nil {
+			return false, err
+		}
+	}
 	globalStart := time.Now()
 	if err := p.cfg.Algorithm.GlobalUpdate(p.model, updates, batch.End); err != nil {
-		return fmt.Errorf("core: global update: %w", err)
+		return false, fmt.Errorf("core: global update: %w", err)
 	}
 	p.stats.GlobalUpdate.Wall += time.Since(globalStart)
 	p.stats.GlobalUpdate.Count++
@@ -391,17 +592,17 @@ func (p *Pipeline) ProcessBatchContext(ctx context.Context, batch stream.Batch) 
 
 	if p.cfg.OnBatch != nil {
 		if err := p.cfg.OnBatch(batch, p.model); err != nil {
-			return fmt.Errorf("core: batch hook: %w", err)
+			return false, fmt.Errorf("core: batch hook: %w", err)
 		}
 	}
-	p.publish()
-	return nil
+	return true, nil
 }
 
 // absorbInit feeds records into the warm-up buffer and initializes the
 // model once full. It returns the records left over for normal
-// processing.
-func (p *Pipeline) absorbInit(records []stream.Record) ([]stream.Record, error) {
+// processing. join, when non-nil, is awaited before the model-mutating
+// initialization step (never for the plain buffer append).
+func (p *Pipeline) absorbInit(records []stream.Record, join func() error) ([]stream.Record, error) {
 	need := p.cfg.InitRecords - len(p.initBuf)
 	if need > len(records) {
 		need = len(records)
@@ -410,6 +611,11 @@ func (p *Pipeline) absorbInit(records []stream.Record) ([]stream.Record, error) 
 	records = records[need:]
 	if len(p.initBuf) < p.cfg.InitRecords {
 		return records, nil
+	}
+	if join != nil {
+		if err := join(); err != nil {
+			return nil, err
+		}
 	}
 	if err := p.runInit(); err != nil {
 		return nil, err
@@ -440,52 +646,60 @@ func (p *Pipeline) runInit() error {
 	p.initialized = true
 	// Publish the freshly initialized model so serving readers become
 	// ready before the first post-warm-up batch completes.
-	p.publish()
+	p.publish(p.stats)
 	return nil
 }
 
-// broadcastBatchState ships the frozen model snapshot (every batch) and
-// the task config (once) to the workers. On engines that support delta
-// broadcast, consecutive snapshots are diffed and only the changed
-// micro-clusters ship; the full snapshot remains the fallback for fresh
-// workers, reconnects and algorithms whose every micro-cluster changes
-// per batch.
-func (p *Pipeline) broadcastBatchState(ctx context.Context) error {
+// buildJob freezes the model snapshot (plus a delta against the last
+// successful broadcast, on engines with the capability), partitions the
+// batch's records and packages everything into the schedule's job. It
+// also returns the clone list to install as lastBroadcast once the
+// schedule's broadcast succeeds. The full snapshot remains the fallback
+// for fresh workers, reconnects and algorithms whose every micro-cluster
+// changes per batch.
+func (p *Pipeline) buildJob(records []stream.Record) (*sched.Job, []MicroCluster, error) {
 	list := p.model.CloneList()
 	snap := p.cfg.Algorithm.NewSnapshot(list)
 	p.modelVersion++
 	var delta mbsp.Item
 	if differ, ok := p.cfg.Algorithm.(SnapshotDiffer); ok &&
-		p.lastBroadcast != nil && p.cfg.Engine.SupportsDeltaBroadcast() {
+		p.lastBroadcast != nil && p.cfg.Engine.Capabilities().DeltaBroadcast {
 		if d, ok := differ.DiffState(p.lastBroadcast, list); ok {
 			d.FromVersion, d.Version = p.modelVersion-1, p.modelVersion
 			delta = d
 			p.stats.DeltaBroadcasts++
 		}
 	}
-	if err := p.cfg.Engine.BroadcastDelta(ctx, BroadcastModel, snap, delta); err != nil {
-		p.lastBroadcast = nil
-		return fmt.Errorf("core: broadcast model: %w", err)
+	items := make([]mbsp.Item, len(records))
+	for i, rec := range records {
+		items[i] = rec
 	}
-	p.lastBroadcast = list
-	if p.configSent {
-		return nil
+	parts, err := mbsp.RoundRobin(items, p.cfg.Engine.Parallelism())
+	if err != nil {
+		return nil, nil, err
 	}
-	cfg := TaskConfig{
-		Params:        p.cfg.Algorithm.Params(),
-		Ordered:       p.cfg.Order == OrderAware,
-		PreMerge:      !p.cfg.DisablePreMerge,
-		OutlierGroups: uint64(p.cfg.Engine.Parallelism()),
+	job := &sched.Job{
+		ModelID:    BroadcastModel,
+		Model:      snap,
+		ModelDelta: delta,
+		AssignOp:   OpAssign,
+		LocalOp:    OpLocalUpdate,
+		Inputs:     parts,
+		Partitions: p.cfg.Engine.Parallelism(),
 	}
-	if err := p.cfg.Engine.Broadcast(ctx, BroadcastConfig, cfg); err != nil {
-		return fmt.Errorf("core: broadcast config: %w", err)
+	if !p.configSent {
+		job.ConfigID = BroadcastConfig
+		job.Config = TaskConfig{
+			Params:        p.cfg.Algorithm.Params(),
+			Ordered:       p.cfg.Order == OrderAware,
+			PreMerge:      !p.cfg.DisablePreMerge,
+			OutlierGroups: uint64(p.cfg.Engine.Parallelism()),
+		}
 	}
-	p.configSent = true
-	return nil
+	return job, list, nil
 }
 
-func collectUpdates(parts []mbsp.Partition) ([]Update, error) {
-	items := mbsp.Collect(parts)
+func collectUpdates(items mbsp.Partition) ([]Update, error) {
 	updates := make([]Update, len(items))
 	for i, item := range items {
 		u, ok := item.(Update)

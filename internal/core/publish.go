@@ -31,26 +31,33 @@ type Published struct {
 	Stats RunStats
 }
 
-// PublishHook receives each post-global-update model publication. It runs
-// synchronously on the driver's batch loop, so implementations should be
-// cheap (e.g. an atomic pointer swap); anything slow belongs on the
-// receiver's side of that swap.
+// PublishHook receives each post-global-update model publication. Under
+// the default BSP schedule it runs synchronously on the driver's batch
+// loop; under an overlapped schedule it may run concurrently with the
+// next batch's parallel stages (never with a model mutation, and never
+// concurrently with itself). Either way implementations should be cheap
+// (e.g. an atomic pointer swap); anything slow belongs on the receiver's
+// side of that swap.
 type PublishHook func(Published)
 
 // publish clones the current model and hands it to the OnPublish hook.
-func (p *Pipeline) publish() {
+// stats is passed by value so the overlapped runner can hand the hook
+// the statistics as of the published batch while the loop keeps
+// accumulating; the model itself is only read (CloneList/Now/snapshot),
+// which the overlapped runner's join discipline makes safe.
+func (p *Pipeline) publish(stats RunStats) {
 	if p.cfg.OnPublish == nil {
 		return
 	}
 	clones := p.model.CloneList()
 	idx := BuildFlatIndex(clones)
 	pub := Published{
-		Batch:  p.stats.Batches,
+		Batch:  stats.Batches,
 		Time:   p.model.Now(),
 		MCs:    clones,
 		Index:  &idx,
 		Search: p.cfg.Algorithm.NewSnapshot(clones),
-		Stats:  p.stats,
+		Stats:  stats,
 	}
 	p.cfg.OnPublish(pub)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 )
 
@@ -57,11 +58,82 @@ func (e *Engine) BroadcastDelta(ctx context.Context, id string, full, delta Item
 	return e.exec.Broadcast(ctx, id, full)
 }
 
+// Capabilities reports the executor's optional capabilities. Executors
+// implementing Capable answer for themselves; for legacy executors the
+// engine falls back to the DeltaBroadcaster type-assert and assumes no
+// async dispatch.
+func (e *Engine) Capabilities() Capabilities {
+	if c, ok := e.exec.(Capable); ok {
+		return c.Capabilities()
+	}
+	db, ok := e.exec.(DeltaBroadcaster)
+	return Capabilities{DeltaBroadcast: ok && db.DeltaBroadcastEnabled()}
+}
+
 // SupportsDeltaBroadcast reports whether the executor ships broadcast
 // deltas, so callers can skip computing one when it would be discarded.
+//
+// Deprecated: use Capabilities().DeltaBroadcast.
 func (e *Engine) SupportsDeltaBroadcast() bool {
-	db, ok := e.exec.(DeltaBroadcaster)
-	return ok && db.DeltaBroadcastEnabled()
+	return e.Capabilities().DeltaBroadcast
+}
+
+// DispatchStage runs one StageSpec — a parallel map optionally fused with
+// a broadcast and streaming per-task completions — recording stage
+// metrics exactly like MapStage. Executors with the AsyncDispatch
+// capability run it natively (broadcast frames pipelined with first
+// tasks, callbacks as outputs arrive); for the rest the engine emulates
+// it as broadcast-then-RunTasks with the callbacks fired afterwards in
+// task order, which is semantically identical, only without the overlap.
+func (e *Engine) DispatchStage(ctx context.Context, spec StageSpec) ([]Partition, error) {
+	start := time.Now()
+	outputs, taskMetrics, err := e.dispatchStage(ctx, spec)
+	e.metrics = append(e.metrics, StageMetrics{
+		Stage:  spec.Stage,
+		Tasks:  taskMetrics,
+		Wall:   time.Since(start),
+		Failed: err != nil,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+func (e *Engine) dispatchStage(ctx context.Context, spec StageSpec) ([]Partition, []TaskMetrics, error) {
+	if d, ok := e.exec.(StageDispatcher); ok {
+		if c, ok := e.exec.(Capable); ok && c.Capabilities().AsyncDispatch {
+			return d.DispatchStage(ctx, spec)
+		}
+	}
+	// Emulation: publish the broadcast through the ordinary path, run the
+	// stage with the ordinary barrier, then replay the completion
+	// callbacks in task order.
+	if spec.BroadcastID != "" {
+		var err error
+		if spec.BroadcastDelta != nil {
+			if db, ok := e.exec.(DeltaBroadcaster); ok && db.DeltaBroadcastEnabled() {
+				err = db.BroadcastDelta(ctx, spec.BroadcastID, spec.BroadcastValue, spec.BroadcastDelta)
+			} else {
+				err = e.exec.Broadcast(ctx, spec.BroadcastID, spec.BroadcastValue)
+			}
+		} else {
+			err = e.exec.Broadcast(ctx, spec.BroadcastID, spec.BroadcastValue)
+		}
+		if err != nil {
+			return nil, nil, &BroadcastError{ID: spec.BroadcastID, Err: err}
+		}
+	}
+	outputs, taskMetrics, err := e.exec.RunTasks(ctx, spec.Stage, spec.Op, spec.Inputs)
+	if err != nil {
+		return nil, taskMetrics, err
+	}
+	if spec.OnTaskDone != nil {
+		for task, out := range outputs {
+			spec.OnTaskDone(task, out)
+		}
+	}
+	return outputs, taskMetrics, nil
 }
 
 // MapStage runs the named op over every input partition in parallel and
@@ -95,48 +167,87 @@ func (e *Engine) MapStage(ctx context.Context, stage, op string, inputs []Partit
 // than) Spark's distributed shuffle, which is acceptable because shuffle
 // volume here is one (key, record) pair per input record.
 func ShuffleByKey(inputs []Partition, numPartitions int) ([]Partition, error) {
+	b := NewShuffleBuilder()
+	for pi, part := range inputs {
+		b.Count(pi, part)
+	}
+	return b.Finalize(inputs, numPartitions)
+}
+
+// ShuffleBuilder is the shuffle's counting pass made incremental, so a
+// dispatched stage can absorb task outputs as they stream in (counting is
+// commutative) and pay only the deterministic fill pass after the stage
+// barrier. Count is safe for concurrent use; Finalize is not, and must
+// run after every Count has returned. ShuffleByKey is exactly
+// NewShuffleBuilder + one Count per partition + Finalize, so the two
+// paths cannot diverge.
+type ShuffleBuilder struct {
+	mu    sync.Mutex
+	slot  map[uint64]int // key -> count (counting), then -> group index (fill)
+	total int
+	err   error
+}
+
+// NewShuffleBuilder returns an empty builder.
+func NewShuffleBuilder() *ShuffleBuilder {
+	return &ShuffleBuilder{slot: make(map[uint64]int)}
+}
+
+// Count absorbs one source partition's keyed items into the per-key
+// counts. partition is the partition's index, used only for error
+// reporting. Each partition must be counted exactly once.
+func (b *ShuffleBuilder) Count(partition int, part Partition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ii, item := range part {
+		key, _, ok := keyedOf(item)
+		if !ok {
+			if b.err == nil {
+				b.err = fmt.Errorf("mbsp: shuffle input partition %d item %d is %T, want KeyedItem", partition, ii, item)
+			}
+			return
+		}
+		b.slot[key]++
+		b.total++
+	}
+}
+
+// Finalize runs the fill pass over inputs — which must be the same
+// partitions passed to Count, in partition order — and returns the
+// grouped shuffle output. Within a group, items keep emission order
+// (source partition first, then position); groups route to partitions by
+// key % numPartitions with a sorted, deterministic group order.
+func (b *ShuffleBuilder) Finalize(inputs []Partition, numPartitions int) ([]Partition, error) {
 	if numPartitions <= 0 {
 		return nil, fmt.Errorf("mbsp: numPartitions %d must be positive", numPartitions)
 	}
-	// Two-pass counting shuffle. Pass 1 counts items per key, so pass 2
-	// can fill exactly-sized group slices carved out of one backing
-	// array — no per-group *Group allocation, no append-regrowth churn.
-	slot := make(map[uint64]int) // key -> count (pass 1), then -> group index (pass 2)
-	total := 0
-	for pi, part := range inputs {
-		for ii, item := range part {
-			key, _, ok := keyedOf(item)
-			if !ok {
-				return nil, fmt.Errorf("mbsp: shuffle input partition %d item %d is %T, want KeyedItem", pi, ii, item)
-			}
-			slot[key]++
-			total++
-		}
+	if b.err != nil {
+		return nil, b.err
 	}
-	keys := make([]uint64, 0, len(slot))
-	for key := range slot {
+	keys := make([]uint64, 0, len(b.slot))
+	for key := range b.slot {
 		keys = append(keys, key)
 	}
 	// Deterministic routing and a deterministic group order inside each
 	// partition: sort keys, route by modulo.
 	slices.Sort(keys)
-	backing := make([]any, total)
+	backing := make([]any, b.total)
 	groups := make([]Group, len(keys))
 	off := 0
 	for i, key := range keys {
-		n := slot[key]
-		// Length 0, capacity exactly n: appends in pass 2 fill in place
-		// and cannot spill into the next group's slot.
+		n := b.slot[key]
+		// Length 0, capacity exactly n: appends in the fill pass land in
+		// place and cannot spill into the next group's slot.
 		groups[i] = Group{Key: key, Items: backing[off:off:off+n]}
-		slot[key] = i
+		b.slot[key] = i
 		off += n
 	}
-	// Pass 2: fill in emission order (source partition first, then
-	// position), exactly the order the map-based shuffle appended in.
+	// Fill in emission order (source partition first, then position),
+	// exactly the order the map-based shuffle appended in.
 	for _, part := range inputs {
 		for _, item := range part {
 			key, v, _ := keyedOf(item)
-			g := &groups[slot[key]]
+			g := &groups[b.slot[key]]
 			g.Items = append(g.Items, v)
 		}
 	}

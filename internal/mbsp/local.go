@@ -56,7 +56,11 @@ type LocalExecutor struct {
 	closed bool
 }
 
-var _ Executor = (*LocalExecutor)(nil)
+var (
+	_ Executor        = (*LocalExecutor)(nil)
+	_ Capable         = (*LocalExecutor)(nil)
+	_ StageDispatcher = (*LocalExecutor)(nil)
+)
 
 // NewLocalExecutor validates cfg and returns an executor.
 func NewLocalExecutor(cfg LocalConfig) (*LocalExecutor, error) {
@@ -354,6 +358,92 @@ func (e *LocalExecutor) runTasksSpeculative(ctx context.Context, stage string, f
 		st.mu.Unlock()
 		return nil, metrics, ctx.Err()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, metrics, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, metrics, err
+		}
+	}
+	return outputs, metrics, nil
+}
+
+// Capabilities implements Capable: the in-process executor streams task
+// completions natively but has no use for broadcast deltas (workers read
+// the driver's store directly).
+func (e *LocalExecutor) Capabilities() Capabilities {
+	return Capabilities{AsyncDispatch: true}
+}
+
+// DispatchStage implements StageDispatcher. In-process there is no wire
+// to pipeline, so the fused broadcast is one store write; the value of
+// the native path is the streamed OnTaskDone callbacks, which fire from
+// the worker goroutines as each task commits instead of after the stage
+// barrier. Under speculation the stage falls back to the speculative
+// barrier path (duplicate copies make streamed exactly-once callbacks
+// ambiguous) with callbacks replayed afterwards in task order.
+func (e *LocalExecutor) DispatchStage(ctx context.Context, spec StageSpec) ([]Partition, []TaskMetrics, error) {
+	if spec.BroadcastID != "" {
+		if err := e.Broadcast(ctx, spec.BroadcastID, spec.BroadcastValue); err != nil {
+			return nil, nil, &BroadcastError{ID: spec.BroadcastID, Err: err}
+		}
+	}
+	if e.cfg.Speculation != nil || spec.OnTaskDone == nil {
+		outputs, metrics, err := e.RunTasks(ctx, spec.Stage, spec.Op, spec.Inputs)
+		if err != nil {
+			return nil, metrics, err
+		}
+		if spec.OnTaskDone != nil {
+			for task, out := range outputs {
+				spec.OnTaskDone(task, out)
+			}
+		}
+		return outputs, metrics, nil
+	}
+
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, nil, ErrClosed
+	}
+	fn, err := e.cfg.Registry.Lookup(spec.Op)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(spec.Inputs)
+	outputs := make([]Partition, n)
+	metrics := make([]TaskMetrics, n)
+	errs := make([]error, n)
+
+	p := e.cfg.Parallelism
+	workers := p
+	if n < workers {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := w; task < n; task += p {
+				if ctx.Err() != nil {
+					return
+				}
+				out, m, err := e.attemptTask(ctx, spec.Stage, fn, spec.Inputs, task, w)
+				if err != nil {
+					errs[task] = err
+					continue
+				}
+				outputs[task] = out
+				metrics[task] = m
+				spec.OnTaskDone(task, out)
+			}
+		}()
+	}
+	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, metrics, err
 	}

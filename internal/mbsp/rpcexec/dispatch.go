@@ -1,0 +1,402 @@
+package rpcexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/wire"
+)
+
+var (
+	_ mbsp.Capable         = (*Executor)(nil)
+	_ mbsp.StageDispatcher = (*Executor)(nil)
+)
+
+// Capabilities implements mbsp.Capable.
+func (e *Executor) Capabilities() mbsp.Capabilities {
+	return mbsp.Capabilities{
+		DeltaBroadcast: e.cfg.DeltaBroadcast,
+		AsyncDispatch:  true,
+	}
+}
+
+// DispatchStage implements mbsp.StageDispatcher: the stage's broadcast is
+// fused into task delivery — each worker receives its broadcast frame and
+// its first task frame back-to-back on the wire, and the driver reads
+// both responses afterwards — removing the cross-worker broadcast barrier
+// and one round trip per worker per stage. Task inputs are columnar-
+// encoded lazily on the per-worker dispatch goroutines (the plain path
+// encodes every partition serially before dispatching anything), and
+// completed task outputs stream to spec.OnTaskDone as they arrive.
+//
+// Correctness under the pipelined framing rests on a driver-side discard
+// rule: the worker's serve loop is strictly sequential, so when the
+// broadcast response reports a failure (a delta that did not apply, an
+// app-level error), the already-executed task ran against a stale model —
+// the driver discards that task response and re-sends the task after the
+// full-value fallback lands. Transport failures tear the connection down
+// and retry through the usual redial-and-replay machinery. Either way the
+// worker-visible model and the committed task outputs are identical to
+// the barrier path's.
+//
+// Under speculation the fused framing is skipped (duplicate task copies
+// need the cancellable per-call path) and the stage degrades to
+// broadcast-then-speculative-barrier with callbacks replayed afterwards.
+func (e *Executor) DispatchStage(ctx context.Context, spec mbsp.StageSpec) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
+	if e.isClosed() {
+		return nil, nil, mbsp.ErrClosed
+	}
+	if e.cfg.Speculation != nil {
+		return e.dispatchBarrier(ctx, spec)
+	}
+	return e.dispatchFused(ctx, spec)
+}
+
+// dispatchBarrier is the conservative emulation: ordinary broadcast
+// barrier, ordinary (possibly speculative) task stage, callbacks replayed
+// in task order.
+func (e *Executor) dispatchBarrier(ctx context.Context, spec mbsp.StageSpec) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
+	if spec.BroadcastID != "" {
+		delta := spec.BroadcastDelta
+		if !e.cfg.DeltaBroadcast {
+			delta = nil
+		}
+		if err := e.broadcastValue(ctx, spec.BroadcastID, spec.BroadcastValue, delta); err != nil {
+			return nil, nil, &mbsp.BroadcastError{ID: spec.BroadcastID, Err: err}
+		}
+	}
+	outputs, metrics, err := e.RunTasks(ctx, spec.Stage, spec.Op, spec.Inputs)
+	if err != nil {
+		return nil, metrics, err
+	}
+	if spec.OnTaskDone != nil {
+		for task, out := range outputs {
+			spec.OnTaskDone(task, out)
+		}
+	}
+	return outputs, metrics, nil
+}
+
+// lazyTaskRequest builds a task request, columnar-encoding the partition
+// at dispatch time on the calling goroutine. A task re-dispatched after a
+// worker loss re-encodes; that trade (rare re-encode for a fully parallel
+// common case) is the point of the lazy path.
+func lazyTaskRequest(stage, op string, task int, input mbsp.Partition) request {
+	req := request{Kind: kindTask, Stage: stage, Op: op, TaskID: task}
+	if b, ok := wire.EncodePartition(input); ok {
+		req.InputCols = b
+	} else {
+		req.Input = input
+	}
+	return req
+}
+
+// dispatchFused runs the fused broadcast+task rounds. Round one delivers
+// the broadcast to every live worker — pipelined with the worker's first
+// task where it has one, broadcast-only where it does not — and later
+// rounds re-dispatch stranded tasks exactly like RunTasks.
+func (e *Executor) dispatchFused(ctx context.Context, spec mbsp.StageSpec) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
+	n := len(spec.Inputs)
+	outputs := make([]mbsp.Partition, n)
+	metrics := make([]mbsp.TaskMetrics, n)
+	retries := make([]int, n)
+
+	// Cache the fused broadcast driver-side before anything ships, exactly
+	// as broadcastValue does: redials replay it, and the version bump
+	// decides delta eligibility per worker.
+	var reqFull request
+	var reqDelta *request
+	var version uint64
+	broadcastPending := spec.BroadcastID != ""
+	if broadcastPending {
+		e.bmu.Lock()
+		prev, seen := e.bcast[spec.BroadcastID]
+		if !seen {
+			e.border = append(e.border, spec.BroadcastID)
+		}
+		version = prev.version + 1
+		e.bcast[spec.BroadcastID] = bcastEntry{value: spec.BroadcastValue, version: version}
+		e.bmu.Unlock()
+		reqFull = request{Kind: kindBroadcast, BroadcastID: spec.BroadcastID, BroadcastValue: spec.BroadcastValue, BroadcastVersion: version}
+		delta := spec.BroadcastDelta
+		if !e.cfg.DeltaBroadcast {
+			delta = nil
+		}
+		if delta != nil && version > 1 {
+			rd := request{Kind: kindBroadcast, BroadcastID: spec.BroadcastID, BroadcastVersion: version, BroadcastDelta: true}
+			if cols, ok := wire.EncodeValue(delta); ok {
+				rd.BroadcastCols = cols
+			} else {
+				rd.BroadcastValue = delta
+			}
+			reqDelta = &rd
+		}
+	}
+
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	var lastLoss error
+	for len(pending) > 0 || broadcastPending {
+		if err := ctx.Err(); err != nil {
+			return nil, metrics, err
+		}
+		var alive []int
+		for w, wc := range e.conns {
+			if wc.alive() {
+				alive = append(alive, w)
+			}
+		}
+		if len(alive) == 0 {
+			if broadcastPending {
+				return nil, metrics, &mbsp.BroadcastError{ID: spec.BroadcastID, Err: ErrAllWorkersLost}
+			}
+			if lastLoss != nil {
+				return nil, metrics, fmt.Errorf("%w (stage %q, %d tasks stranded): %v", ErrAllWorkersLost, spec.Stage, len(pending), lastLoss)
+			}
+			return nil, metrics, fmt.Errorf("%w (stage %q)", ErrAllWorkersLost, spec.Stage)
+		}
+		assign := make([][]int, len(alive))
+		for j, task := range pending {
+			assign[j%len(alive)] = append(assign[j%len(alive)], task)
+		}
+
+		st := &dispatchRound{
+			spec:    spec,
+			outputs: outputs,
+			metrics: metrics,
+			retries: retries,
+		}
+		var wg sync.WaitGroup
+		for wi, worker := range alive {
+			tasks := assign[wi]
+			if len(tasks) == 0 && !broadcastPending {
+				continue
+			}
+			worker, tasks := worker, tasks
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wc := e.conns[worker]
+				if broadcastPending {
+					if len(tasks) == 0 {
+						// No task to fuse with: plain broadcast so this
+						// worker's state stays current for later rounds.
+						if err := e.broadcastToWorker(ctx, wc, spec.BroadcastID, version, reqFull, reqDelta); err != nil {
+							st.noteBroadcast(err)
+						}
+						return
+					}
+					rest, ok := e.fusedFirst(ctx, wc, worker, spec, version, reqFull, reqDelta, tasks, st)
+					if !ok {
+						return
+					}
+					tasks = rest
+				}
+				e.runTaskList(ctx, wc, worker, spec, tasks, st)
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, metrics, err
+		}
+		if len(st.bcastFatal) > 0 {
+			return nil, metrics, &mbsp.BroadcastError{ID: spec.BroadcastID, Err: errors.Join(st.bcastFatal...)}
+		}
+		broadcastPending = false
+		if len(st.taskErrs) > 0 {
+			sort.Slice(st.taskErrs, func(i, j int) bool { return st.taskErrs[i].TaskID < st.taskErrs[j].TaskID })
+			return nil, metrics, st.taskErrs[0]
+		}
+		if st.lastLoss != nil {
+			lastLoss = st.lastLoss
+		}
+		sort.Ints(st.requeue)
+		pending = st.requeue
+	}
+	return outputs, metrics, nil
+}
+
+// dispatchRound is the shared mutable state of one dispatch round.
+// outputs/metrics/retries are indexed by task id and written by at most
+// one goroutine per task; the appended slices are guarded by mu.
+type dispatchRound struct {
+	spec    mbsp.StageSpec
+	outputs []mbsp.Partition
+	metrics []mbsp.TaskMetrics
+	retries []int
+
+	mu         sync.Mutex
+	requeue    []int
+	taskErrs   []*mbsp.TaskError
+	bcastFatal []error
+	lastLoss   error
+}
+
+func (st *dispatchRound) noteBroadcast(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if errors.Is(err, ErrWorkerLost) {
+		// Degraded but consistent, as on the barrier path: the lost worker
+		// receives no tasks, so its stale state cannot surface.
+		st.lastLoss = err
+		return
+	}
+	st.bcastFatal = append(st.bcastFatal, err)
+}
+
+func (st *dispatchRound) strand(tasks []int, err error) {
+	st.mu.Lock()
+	st.lastLoss = err
+	st.requeue = append(st.requeue, tasks...)
+	st.mu.Unlock()
+}
+
+// commit records one successful task response. It returns an error only
+// for deterministic failures (app error, corrupt columnar output), which
+// the caller records as a task error rather than re-dispatching.
+func (st *dispatchRound) commit(worker, task int, resp response, start time.Time) {
+	if resp.Err != "" {
+		st.mu.Lock()
+		st.taskErrs = append(st.taskErrs, &mbsp.TaskError{Stage: st.spec.Stage, TaskID: task, Err: errors.New(resp.Err)})
+		st.mu.Unlock()
+		return
+	}
+	out, decErr := respOutput(resp)
+	if decErr != nil {
+		st.mu.Lock()
+		st.taskErrs = append(st.taskErrs, &mbsp.TaskError{Stage: st.spec.Stage, TaskID: task, Err: decErr})
+		st.mu.Unlock()
+		return
+	}
+	st.outputs[task] = out
+	st.metrics[task] = mbsp.TaskMetrics{
+		Stage:    st.spec.Stage,
+		TaskID:   task,
+		WorkerID: worker,
+		Duration: time.Since(start),
+		InItems:  len(st.spec.Inputs[task]),
+		OutItems: len(out),
+		Retries:  st.retries[task],
+	}
+	if st.spec.OnTaskDone != nil {
+		st.spec.OnTaskDone(task, out)
+	}
+}
+
+// fusedFirst delivers the stage broadcast and the worker's first task as
+// two back-to-back frames on the live connection, then reads both
+// responses. It returns the tasks still to run on this worker and whether
+// the caller should continue driving it (false when the worker was lost
+// or a fatal broadcast error was recorded).
+func (e *Executor) fusedFirst(ctx context.Context, w *workerConn, worker int, spec mbsp.StageSpec, version uint64, reqFull request, reqDelta *request, tasks []int, st *dispatchRound) ([]int, bool) {
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		st.strand(tasks, fmt.Errorf("%w: %s", ErrWorkerLost, w.addr))
+		return nil, false
+	}
+	first := tasks[0]
+	rest := tasks[1:]
+	firstDone := false
+	bcastOK := false
+	start := time.Now()
+	if w.conn != nil {
+		useDelta := reqDelta != nil && w.acked[spec.BroadcastID] == version-1
+		breq := reqFull
+		if useDelta {
+			breq = *reqDelta
+		}
+		treq := lazyTaskRequest(spec.Stage, spec.Op, first, spec.Inputs[first])
+		bresp, tresp, bcastBytes, err := w.exchangePipelined(ctx, breq, treq)
+		switch {
+		case err != nil:
+			// Transport failure somewhere in the pipelined exchange: the
+			// outcome of both frames is unknown. Tear down; the sequential
+			// fallback below redials and replays.
+			w.teardown()
+			delete(w.acked, spec.BroadcastID)
+			st.retries[first]++
+		case bresp.Err != "":
+			// Worker-side reject on a healthy connection. The task already
+			// executed against the stale model — discard its response.
+			delete(w.acked, spec.BroadcastID)
+			if !useDelta {
+				// The full value itself was rejected: fatal, as on the
+				// barrier path.
+				w.mu.Unlock()
+				st.noteBroadcast(errors.New(bresp.Err))
+				return nil, false
+			}
+			st.retries[first]++
+		default:
+			w.acked[spec.BroadcastID] = version
+			if useDelta {
+				e.bDeltas.Add(1)
+			} else {
+				e.bFulls.Add(1)
+			}
+			e.bBytes.Add(bcastBytes)
+			bcastOK = true
+			st.commit(worker, first, tresp, start)
+			firstDone = true
+		}
+	}
+	if !bcastOK {
+		// Sequential fallback: the full value through the retried path
+		// (redial replays every cached broadcast, including this one), then
+		// the first task again.
+		sentBefore := w.sent.Load()
+		resp, _, err := w.callLocked(ctx, reqFull)
+		if err != nil {
+			w.mu.Unlock()
+			if errors.Is(err, ErrWorkerLost) {
+				st.strand(tasks, err)
+			} else {
+				st.noteBroadcast(err)
+			}
+			return nil, false
+		}
+		if resp.Err != "" {
+			delete(w.acked, spec.BroadcastID)
+			w.mu.Unlock()
+			st.noteBroadcast(errors.New(resp.Err))
+			return nil, false
+		}
+		w.acked[spec.BroadcastID] = version
+		e.bFulls.Add(1)
+		e.bBytes.Add(w.sent.Load() - sentBefore)
+	}
+	w.mu.Unlock()
+	if firstDone {
+		return rest, true
+	}
+	return tasks, true
+}
+
+// runTaskList drives one worker through its task list for the round,
+// stranding the remainder if the worker is lost.
+func (e *Executor) runTaskList(ctx context.Context, wc *workerConn, worker int, spec mbsp.StageSpec, tasks []int, st *dispatchRound) {
+	for k, task := range tasks {
+		if ctx.Err() != nil {
+			return
+		}
+		start := time.Now()
+		resp, tries, err := wc.call(ctx, lazyTaskRequest(spec.Stage, spec.Op, task, spec.Inputs[task]))
+		st.retries[task] += tries
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			st.strand(tasks[k:], err)
+			return
+		}
+		st.commit(worker, task, resp, start)
+	}
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"diststream/internal/mbsp"
+)
+
+// bspSchedule is the strict bulk-synchronous schedule: every stage is a
+// full barrier, exactly the control flow core.Pipeline used to inline.
+// It exists both as the default strategy and as the reference the
+// pipelined schedule is equivalence-tested against.
+type bspSchedule struct{}
+
+// Kind implements Schedule.
+func (bspSchedule) Kind() Kind { return BSP }
+
+// Overlapped implements Schedule.
+func (bspSchedule) Overlapped() bool { return false }
+
+// RunBatch implements Schedule with the historical barrier sequence:
+// broadcast model (delta-aware), broadcast config once, assign barrier,
+// driver-side shuffle, local-update barrier, collect.
+func (bspSchedule) RunBatch(ctx context.Context, eng *mbsp.Engine, job *Job) (*Result, error) {
+	if err := eng.BroadcastDelta(ctx, job.ModelID, job.Model, job.ModelDelta); err != nil {
+		return nil, fmt.Errorf("broadcast model: %w", err)
+	}
+	if job.Config != nil {
+		if err := eng.Broadcast(ctx, job.ConfigID, job.Config); err != nil {
+			return nil, fmt.Errorf("broadcast config: %w", err)
+		}
+	}
+	res := &Result{}
+
+	assignStart := time.Now()
+	keyed, err := eng.MapStage(ctx, "assign", job.AssignOp, job.Inputs)
+	if err != nil {
+		return nil, fmt.Errorf("assign stage: %w", err)
+	}
+	res.AssignWall = time.Since(assignStart)
+
+	shuffleStart := time.Now()
+	grouped, err := mbsp.ShuffleByKey(keyed, job.Partitions)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: %w", err)
+	}
+	res.ShuffleWall = time.Since(shuffleStart)
+
+	localStart := time.Now()
+	updateParts, err := eng.MapStage(ctx, "local-update", job.LocalOp, grouped)
+	if err != nil {
+		return nil, fmt.Errorf("local-update stage: %w", err)
+	}
+	res.LocalWall = time.Since(localStart)
+
+	res.Updates = mbsp.Collect(updateParts)
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"diststream/internal/mbsp"
+)
+
+// newSchedRegistry registers a toy assign/local pair exercising both
+// broadcasts: assign shifts each record by the "model" broadcast and keys
+// it, local-update scales each grouped record by the "config" broadcast.
+func newSchedRegistry(t *testing.T) *mbsp.Registry {
+	t.Helper()
+	reg := mbsp.NewRegistry()
+	reg.MustRegister("toy-assign", func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		bv, err := ctx.Broadcast("model")
+		if err != nil {
+			return nil, err
+		}
+		off := bv.(int)
+		out := make(mbsp.Partition, len(in))
+		for i, item := range in {
+			v := item.(int) + off
+			out[i] = mbsp.KeyedItem{Key: uint64(v % 5), Item: v}
+		}
+		return out, nil
+	})
+	reg.MustRegister("toy-local", func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		bv, err := ctx.Broadcast("config")
+		if err != nil {
+			return nil, err
+		}
+		scale := bv.(int)
+		var out mbsp.Partition
+		for _, item := range in {
+			g := item.(mbsp.Group)
+			for _, v := range g.Items {
+				out = append(out, v.(int)*scale)
+			}
+		}
+		return out, nil
+	})
+	reg.MustRegister("unkeyed", func(_ *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
+		return in, nil
+	})
+	return reg
+}
+
+func newSchedEngine(t *testing.T, p int) *mbsp.Engine {
+	t.Helper()
+	exec, err := mbsp.NewLocalExecutor(mbsp.LocalConfig{Parallelism: p, Registry: newSchedRegistry(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = exec.Close() })
+	eng, err := mbsp.NewEngine(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func toyJob(withConfig bool) *Job {
+	inputs := make([]mbsp.Partition, 4)
+	for i := 0; i < 40; i++ {
+		inputs[i%4] = append(inputs[i%4], i*7)
+	}
+	job := &Job{
+		ModelID:    "model",
+		Model:      3,
+		AssignOp:   "toy-assign",
+		LocalOp:    "toy-local",
+		Inputs:     inputs,
+		Partitions: 4,
+	}
+	if withConfig {
+		job.ConfigID = "config"
+		job.Config = 10
+	}
+	return job
+}
+
+func TestNew(t *testing.T) {
+	cases := []struct {
+		kind       Kind
+		want       Kind
+		overlapped bool
+	}{
+		{"", BSP, false},
+		{BSP, BSP, false},
+		{Pipelined, Pipelined, true},
+	}
+	for _, c := range cases {
+		s, err := New(c.kind)
+		if err != nil {
+			t.Fatalf("New(%q): %v", c.kind, err)
+		}
+		if s.Kind() != c.want {
+			t.Errorf("New(%q).Kind() = %q, want %q", c.kind, s.Kind(), c.want)
+		}
+		if s.Overlapped() != c.overlapped {
+			t.Errorf("New(%q).Overlapped() = %v, want %v", c.kind, s.Overlapped(), c.overlapped)
+		}
+	}
+	if _, err := New("speculative"); err == nil ||
+		!strings.Contains(err.Error(), `unknown schedule "speculative"`) {
+		t.Errorf("New(speculative) err = %v, want unknown-schedule error", err)
+	}
+	if kinds := Kinds(); len(kinds) != 2 || kinds[0] != BSP || kinds[1] != Pipelined {
+		t.Errorf("Kinds() = %v", kinds)
+	}
+}
+
+// TestSchedulesEquivalent runs the same two batches under each schedule
+// and requires identical collected updates in identical order — the
+// contract that lets core.Pipeline treat schedules as interchangeable.
+// The second batch ships no config, so it also proves the once-per-run
+// config broadcast persists on workers across batches.
+func TestSchedulesEquivalent(t *testing.T) {
+	ctx := context.Background()
+	results := map[Kind][]mbsp.Partition{}
+	for _, kind := range Kinds() {
+		s, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := newSchedEngine(t, 4)
+		for _, withConfig := range []bool{true, false} {
+			res, err := s.RunBatch(ctx, eng, toyJob(withConfig))
+			if err != nil {
+				t.Fatalf("%s: RunBatch: %v", kind, err)
+			}
+			results[kind] = append(results[kind], res.Updates)
+		}
+	}
+	bsp, pip := results[BSP], results[Pipelined]
+	for b := range bsp {
+		if len(bsp[b]) != 40 {
+			t.Fatalf("batch %d: bsp produced %d updates, want 40", b, len(bsp[b]))
+		}
+		if len(pip[b]) != len(bsp[b]) {
+			t.Fatalf("batch %d: pipelined produced %d updates, bsp %d", b, len(pip[b]), len(bsp[b]))
+		}
+		for i := range bsp[b] {
+			if bsp[b][i] != pip[b][i] {
+				t.Errorf("batch %d update %d: bsp %v, pipelined %v", b, i, bsp[b][i], pip[b][i])
+			}
+		}
+	}
+}
+
+// TestErrorPrefixes pins the phase prefixes core.Pipeline's error
+// messages depend on, for both schedules.
+func TestErrorPrefixes(t *testing.T) {
+	ctx := context.Background()
+	for _, kind := range Kinds() {
+		s, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(string(kind), func(t *testing.T) {
+			job := toyJob(true)
+			job.AssignOp = "no-such-op"
+			eng := newSchedEngine(t, 2)
+			if _, err := s.RunBatch(ctx, eng, job); err == nil ||
+				!strings.Contains(err.Error(), "assign stage:") {
+				t.Errorf("assign error = %v, want assign stage prefix", err)
+			}
+
+			job = toyJob(true)
+			job.AssignOp = "unkeyed" // emits plain ints: the shuffle must reject them
+			eng = newSchedEngine(t, 2)
+			if _, err := s.RunBatch(ctx, eng, job); err == nil ||
+				!strings.Contains(err.Error(), "shuffle:") {
+				t.Errorf("shuffle error = %v, want shuffle prefix", err)
+			}
+
+			job = toyJob(true)
+			job.LocalOp = "no-such-op"
+			eng = newSchedEngine(t, 2)
+			if _, err := s.RunBatch(ctx, eng, job); err == nil ||
+				!strings.Contains(err.Error(), "local-update stage:") {
+				t.Errorf("local-update error = %v, want local-update stage prefix", err)
+			}
+		})
+	}
+}

@@ -174,6 +174,78 @@ func (s StageMetrics) StragglerFraction() float64 {
 	return float64(s.Stragglers()) / float64(len(s.Tasks))
 }
 
+// Capabilities describes what an executor can do beyond the required
+// Executor surface, so schedules select behavior without executor-specific
+// type switches scattered through the driver.
+type Capabilities struct {
+	// DeltaBroadcast reports that the executor ships broadcast deltas to
+	// workers holding the previous value (the DeltaBroadcaster interface,
+	// enabled in its configuration).
+	DeltaBroadcast bool
+	// AsyncDispatch reports that the executor implements StageDispatcher
+	// natively: fused broadcast+task delivery and streamed per-task
+	// completion callbacks. Executors without it still run dispatched
+	// stages through an engine-level emulation, just without the overlap.
+	AsyncDispatch bool
+}
+
+// Capable is the capability-discovery interface. Executors that do not
+// implement it are assumed to have no optional capabilities beyond what
+// the legacy DeltaBroadcaster type-assert reveals.
+type Capable interface {
+	Capabilities() Capabilities
+}
+
+// StageSpec describes one dispatched stage: a parallel map over Inputs,
+// optionally fused with a broadcast that every worker must observe before
+// running any task of the stage, and an optional per-task completion
+// callback that streams outputs to the caller as they arrive.
+type StageSpec struct {
+	// Stage and Op name the stage (metrics) and the registered operation.
+	Stage string
+	Op    string
+	// Inputs are the task partitions; task i processes Inputs[i].
+	Inputs []Partition
+	// BroadcastID, when non-empty, fuses a broadcast into the dispatch:
+	// BroadcastValue is published under the id to every live worker before
+	// that worker runs any task of this stage. BroadcastDelta, when
+	// non-nil, is offered to workers holding the previous version exactly
+	// as in DeltaBroadcaster.BroadcastDelta.
+	BroadcastID    string
+	BroadcastValue Item
+	BroadcastDelta Item
+	// OnTaskDone, when set, is called exactly once per successful task
+	// with its output partition, as soon as the output is available. Calls
+	// may come from concurrent dispatch goroutines; the callback must be
+	// safe for concurrent use. Failed or re-dispatched attempts do not
+	// fire it; the eventual successful attempt does.
+	OnTaskDone func(task int, out Partition)
+}
+
+// StageDispatcher is an optional Executor capability (advertised through
+// Capabilities().AsyncDispatch): executing a whole StageSpec with the
+// broadcast fused into task delivery and outputs streamed through
+// OnTaskDone. Outputs are still returned in input order, like RunTasks.
+type StageDispatcher interface {
+	DispatchStage(ctx context.Context, spec StageSpec) ([]Partition, []TaskMetrics, error)
+}
+
+// BroadcastError marks a dispatched stage that failed while publishing
+// its fused broadcast (as opposed to a task failure), so callers can
+// report the two phases distinctly.
+type BroadcastError struct {
+	ID  string
+	Err error
+}
+
+// Error implements error.
+func (e *BroadcastError) Error() string {
+	return fmt.Sprintf("mbsp: broadcast %q: %v", e.ID, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *BroadcastError) Unwrap() error { return e.Err }
+
 // Executor runs the tasks of one stage in parallel. Implementations must
 // return outputs in input-partition order (output[i] is the result of
 // inputs[i]) regardless of scheduling.

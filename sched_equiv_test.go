@@ -1,0 +1,127 @@
+// Schedule-equivalence battery: the pipelined schedule must produce
+// byte-identical final model state to strict BSP — across algorithms,
+// across executors, and under fault injection. This is the acceptance
+// test for the version-pinning rule (batch N+1 always assigns against
+// batch N's post-global-update model, however the frames are packed).
+package diststream_test
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diststream"
+	"diststream/internal/mbsp/rpcexec"
+	"diststream/internal/stream"
+)
+
+type schedEquivRun struct {
+	stats diststream.RunStats
+	state []byte // gob-encoded driver model: byte equality = bit identity
+}
+
+// runSchedEquiv runs the figure workload under one schedule on the given
+// executor and captures the final model's serialized state. When stall is
+// set (TCP only), one worker stalls an assign task past the call timeout
+// partway through the run, forcing a retry on the pipelined fused path.
+func runSchedEquiv(t *testing.T, algoName, executor string, kind diststream.ScheduleKind, stall bool) schedEquivRun {
+	t.Helper()
+	diststream.RegisterWireTypes() // EncodeState gob-encodes algorithm MC types
+	opts := diststream.Options{
+		Execution: diststream.ExecutionOptions{
+			Schedule:    kind,
+			CallTimeout: 2 * time.Second,
+			MaxRetries:  1,
+			Backoff:     10 * time.Millisecond,
+		},
+	}
+	switch executor {
+	case "local":
+		opts.Parallelism = 3
+	case "tcp":
+		workers, addrs := startFacadeCluster(t, 3)
+		opts.WorkerAddrs = addrs
+		if stall {
+			// Stall exactly one assign task for longer than the call
+			// timeout, once the run is past warm-up.
+			var fired atomic.Bool
+			workers[1].SetFault(func(stage string, task int) (rpcexec.Fault, time.Duration) {
+				if stage == "assign" && fired.CompareAndSwap(false, true) {
+					return rpcexec.FaultStall, 3 * time.Second
+				}
+				return rpcexec.FaultNone, 0
+			})
+		}
+	default:
+		t.Fatalf("unknown executor %q", executor)
+	}
+	sys, err := diststream.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	pl, err := sys.NewPipeline(newFacadeAlgo(t, sys, algoName), diststream.PipelineOptions{
+		BatchSeconds: 1,
+		InitRecords:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.RunContext(context.Background(), stream.NewSliceSource(deltaBlobStream(1200, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := pl.Model().EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schedEquivRun{stats: stats, state: state}
+}
+
+// TestScheduleEquivalenceBitIdentical is the tentpole acceptance matrix:
+// {CluStream, DenStream} x {local, TCP} — the pipelined schedule's final
+// model must be byte-equal to BSP's, with the same run shape.
+func TestScheduleEquivalenceBitIdentical(t *testing.T) {
+	for _, algoName := range []string{"clustream", "denstream"} {
+		for _, executor := range []string{"local", "tcp"} {
+			t.Run(algoName+"/"+executor, func(t *testing.T) {
+				bsp := runSchedEquiv(t, algoName, executor, diststream.ScheduleBSP, false)
+				pip := runSchedEquiv(t, algoName, executor, diststream.SchedulePipelined, false)
+				if !bytes.Equal(pip.state, bsp.state) {
+					t.Errorf("model state diverged: pipelined %d bytes, bsp %d bytes",
+						len(pip.state), len(bsp.state))
+				}
+				if pip.stats.Records != bsp.stats.Records || pip.stats.Batches != bsp.stats.Batches {
+					t.Errorf("run shape diverged: pipelined %d records / %d batches, bsp %d / %d",
+						pip.stats.Records, pip.stats.Batches, bsp.stats.Records, bsp.stats.Batches)
+				}
+				if pip.stats.UpdatedMCs != bsp.stats.UpdatedMCs || pip.stats.CreatedMCs != bsp.stats.CreatedMCs {
+					t.Errorf("update accounting diverged: pipelined %d/%d, bsp %d/%d",
+						pip.stats.UpdatedMCs, pip.stats.CreatedMCs, bsp.stats.UpdatedMCs, bsp.stats.CreatedMCs)
+				}
+			})
+		}
+	}
+}
+
+// TestScheduleEquivalenceUnderWorkerStall injects a worker stall longer
+// than the call timeout into a pipelined TCP run: the fused dispatch must
+// retry through the redial-and-replay machinery and still land on a model
+// byte-equal to a clean BSP run.
+func TestScheduleEquivalenceUnderWorkerStall(t *testing.T) {
+	clean := runSchedEquiv(t, "clustream", "tcp", diststream.ScheduleBSP, false)
+	stalled := runSchedEquiv(t, "clustream", "tcp", diststream.SchedulePipelined, true)
+	if !bytes.Equal(stalled.state, clean.state) {
+		t.Errorf("model state diverged under stall: pipelined %d bytes, clean bsp %d bytes",
+			len(stalled.state), len(clean.state))
+	}
+	if stalled.stats.TaskRetries == 0 {
+		t.Error("stalled run reported no task retries: the fault never engaged")
+	}
+	if stalled.stats.Records != clean.stats.Records || stalled.stats.Batches != clean.stats.Batches {
+		t.Errorf("run shape diverged: stalled %d records / %d batches, clean %d / %d",
+			stalled.stats.Records, stalled.stats.Batches, clean.stats.Records, clean.stats.Batches)
+	}
+}
