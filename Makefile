@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke sched-smoke
+.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke sched-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,19 @@ sched-smoke:
 	$(GO) test -race -count=1 -run '^TestScheduleEquivalence' .
 	$(GO) test -race -count=1 ./internal/mbsp/sched/
 	$(GO) test -race -count=1 -run '^TestDispatchStage' ./internal/mbsp/rpcexec/
+
+# chaos-smoke proves elastic membership keeps the output bit-identical
+# under churn: first the facade-level churn-equivalence battery (kill +
+# fresh join mid-stream vs a clean fixed-membership run, both
+# algorithms, both schedules) under the race detector, then the full
+# supervised-subprocess demo — SIGKILL a worker every few batches, the
+# supervisor restarts it, the registry readmits it, and the run must end
+# with joins >= kills and a byte-identical model (non-zero exit
+# otherwise).
+chaos-smoke:
+	$(GO) test -race -count=1 -run '^TestChurnEquivalence' .
+	$(GO) test -race -count=1 ./internal/membership/ ./internal/supervise/ ./internal/backoff/
+	$(GO) run -race ./cmd/diststream chaos -records 4000 -kills 2 -kill-every 3
 
 # serve-smoke boots `diststream serve` on a live pipeline and exercises
 # every serving endpoint end to end: readiness, assign, clusters, macro

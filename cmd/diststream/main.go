@@ -19,6 +19,9 @@
 //	bench         A/B the bsp and pipelined execution schedules on a
 //	              TCP cluster; report per-batch latency and throughput
 //	fault         kill a TCP worker mid-run; show recovery + determinism
+//	chaos         supervised subprocess cluster with periodic SIGKILLs;
+//	              workers rejoin via membership catch-up, model must stay
+//	              byte-identical to a clean fixed-membership run
 //	resume        crash the driver mid-run; resume from a checkpoint
 //	serve         run a live ingesting pipeline plus the query-serving
 //	              HTTP API (assign / clusters / macro / metrics) together
@@ -97,7 +100,7 @@ func (o *options) algorithms() []string {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|bench|fault|resume|serve|all> [flags]")
+		return fmt.Errorf("usage: diststream <datasets|quality|quality-batch|throughput|scalability|batch-sweep|other-algos|ablate|bench|fault|chaos|resume|serve|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "bench" {
@@ -107,6 +110,15 @@ func run(args []string, w io.Writer) error {
 	if cmd == "fault" {
 		// fault has its own flag set (cluster size, kill point, deadline).
 		return runFault(w, rest)
+	}
+	if cmd == "chaos" {
+		// chaos has its own flag set (kill cadence, schedules, algorithms).
+		return runChaos(w, rest)
+	}
+	if cmd == "_worker" {
+		// Hidden: the chaos driver re-execs its own binary into worker
+		// mode to build a supervised subprocess cluster.
+		return runChaosWorker(rest)
 	}
 	if cmd == "resume" {
 		// resume has its own flag set (checkpoint cadence, crash point).

@@ -17,11 +17,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"diststream"
+	"diststream/internal/backoff"
 	"diststream/internal/core"
 	"diststream/internal/mbsp"
 	"diststream/internal/mbsp/rpcexec"
+	"diststream/internal/membership"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("mbsp-worker", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address")
 	id := fs.Int("id", 0, "worker id reported in task metrics")
+	announce := fs.String("announce", "", "driver membership address to announce to (enables elastic join)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,11 +58,41 @@ func run(args []string) error {
 	}
 	fmt.Printf("mbsp-worker %d listening on %s\n", *id, worker.Addr())
 
+	if *announce != "" {
+		// Hello handshake: register with the driver's membership registry
+		// so an already-running pipeline can admit this worker at its next
+		// batch boundary. Retried in case the worker came up a beat before
+		// the driver's registry listener.
+		pol := backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+		var aerr error
+		for attempt := 1; attempt <= 6; attempt++ {
+			actx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			aerr = membership.Announce(actx, *announce, worker.Addr())
+			cancel()
+			if aerr == nil {
+				break
+			}
+			time.Sleep(pol.Delay(attempt))
+		}
+		if aerr != nil {
+			_ = worker.Close()
+			return fmt.Errorf("announce to %s: %w", *announce, aerr)
+		}
+		fmt.Printf("mbsp-worker %d announced to %s\n", *id, *announce)
+	}
+
 	// Serve until interrupted. Drivers tolerate a worker dying mid-run
 	// (tasks are re-dispatched onto surviving workers), so SIGTERM here
 	// is safe even with a pipeline in flight.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
+	if *announce != "" {
+		// Goodbye handshake: a clean shutdown drains the slot at the next
+		// boundary instead of waiting for probes to declare it dead.
+		gctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = membership.Goodbye(gctx, *announce, worker.Addr())
+		cancel()
+	}
 	return worker.Close()
 }

@@ -42,6 +42,7 @@ import (
 	"diststream/internal/mbsp"
 	"diststream/internal/mbsp/rpcexec"
 	"diststream/internal/mbsp/sched"
+	"diststream/internal/membership"
 	"diststream/internal/simple"
 	"diststream/internal/stream"
 	"diststream/internal/vclock"
@@ -156,6 +157,32 @@ type ExecutionOptions struct {
 	// to pipelines that enable checkpointing without setting their own
 	// CheckpointConfig.EveryNBatches. Default 1.
 	CheckpointEveryNBatches int
+	// Membership, when set, makes the TCP worker set elastic: the system
+	// runs a membership registry with health probes and a Hello/Goodbye
+	// listener (address via System.MembershipAddr), and the executor
+	// retires departed workers and admits announced joiners at batch
+	// boundaries — with full model catch-up — without changing the
+	// partitioning, so output stays bit-identical under churn. Requires
+	// WorkerAddrs.
+	Membership *MembershipOptions
+}
+
+// MembershipOptions tunes elastic worker membership (TCP executor only).
+// Zero-valued fields take the documented defaults.
+type MembershipOptions struct {
+	// ListenAddr binds the Hello/Goodbye announcement listener that
+	// restarted or new workers contact to join. Default "127.0.0.1:0"
+	// (ephemeral; read the chosen address from System.MembershipAddr).
+	ListenAddr string
+	// ProbeInterval is the health-probe period. Default 1s.
+	ProbeInterval time.Duration
+	// SuspectAfter is how long a worker may fail probes before it is
+	// marked suspect (and, after another SuspectAfter, dead). Default
+	// 3x ProbeInterval.
+	SuspectAfter time.Duration
+	// JoinBarrier bounds how long one batch boundary spends catching up
+	// join candidates before dispatch proceeds without them. Default 2s.
+	JoinBarrier time.Duration
 }
 
 // RPCOptions tunes the TCP executor's fault tolerance.
@@ -235,6 +262,9 @@ type System struct {
 	schedule sched.Schedule
 	execName string
 	exec     ExecutionOptions
+	// members is the elastic-membership registry (nil unless
+	// Execution.Membership was set).
+	members *membership.Registry
 }
 
 // New builds a System with all four shipped algorithms registered.
@@ -256,22 +286,48 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	var exec mbsp.Executor
+	var members *membership.Registry
 	execName := "local"
 	if len(opts.WorkerAddrs) > 0 {
 		execName = "tcp"
 		RegisterWireTypes()
-		exec, err = rpcexec.DialConfig(opts.WorkerAddrs, rpcexec.Config{
+		if m := ex.Membership; m != nil {
+			listen := m.ListenAddr
+			if listen == "" {
+				listen = "127.0.0.1:0"
+			}
+			members, err = membership.New(membership.Config{
+				ListenAddr:    listen,
+				ProbeInterval: m.ProbeInterval,
+				SuspectAfter:  m.SuspectAfter,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("diststream: %w", err)
+			}
+		}
+		cfg := rpcexec.Config{
 			DialTimeout:    ex.DialTimeout,
 			CallTimeout:    ex.CallTimeout,
 			MaxRetries:     ex.MaxRetries,
 			Backoff:        ex.Backoff,
 			Speculation:    ex.Speculation,
 			DeltaBroadcast: ex.DeltaBroadcast,
-		})
+			Membership:     members,
+		}
+		if ex.Membership != nil {
+			cfg.JoinBarrier = ex.Membership.JoinBarrier
+		}
+		exec, err = rpcexec.DialConfig(opts.WorkerAddrs, cfg)
 		if err != nil {
+			if members != nil {
+				_ = members.Close()
+			}
 			return nil, err
 		}
 	} else {
+		if ex.Membership != nil {
+			return nil, errors.New("diststream: Execution.Membership requires WorkerAddrs (TCP executor)")
+		}
 		exec, err = mbsp.NewLocalExecutor(mbsp.LocalConfig{
 			Parallelism: opts.Parallelism,
 			Registry:    reg,
@@ -283,13 +339,35 @@ func New(opts Options) (*System, error) {
 	}
 	engine, err := mbsp.NewEngine(exec)
 	if err != nil {
+		if members != nil {
+			_ = members.Close()
+		}
 		return nil, err
 	}
-	return &System{engine: engine, algos: algos, schedule: schedule, execName: execName, exec: ex}, nil
+	return &System{engine: engine, algos: algos, schedule: schedule, execName: execName, exec: ex, members: members}, nil
 }
 
-// Close releases the engine (and closes worker connections in TCP mode).
-func (s *System) Close() error { return s.engine.Close() }
+// Close releases the engine (and closes worker connections in TCP mode),
+// plus the membership registry when one is running.
+func (s *System) Close() error {
+	err := s.engine.Close()
+	if s.members != nil {
+		if merr := s.members.Close(); err == nil {
+			err = merr
+		}
+	}
+	return err
+}
+
+// MembershipAddr returns the Hello/Goodbye announcement listener's
+// address — what restarted or new workers pass as their -announce target
+// to join the cluster — or "" when elastic membership is not enabled.
+func (s *System) MembershipAddr() string {
+	if s.members == nil {
+		return ""
+	}
+	return s.members.Addr()
+}
 
 // Parallelism returns the configured worker count.
 func (s *System) Parallelism() int { return s.engine.Parallelism() }

@@ -1,0 +1,118 @@
+package diststream_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"diststream/internal/core"
+	"diststream/internal/datagen"
+	"diststream/internal/harness"
+	"diststream/internal/mbsp"
+	"diststream/internal/mbsp/sched"
+	"diststream/internal/stream"
+	"diststream/internal/vclock"
+)
+
+// plainExecutor hides every optional capability of the executor it
+// wraps: it forwards only the four base Executor methods, so the engine
+// sees no Capable, no StageDispatcher, no DeltaBroadcaster, no
+// MembershipReconciler — the shape of a third-party executor written
+// against the minimal interface.
+type plainExecutor struct{ inner mbsp.Executor }
+
+func (p *plainExecutor) Parallelism() int { return p.inner.Parallelism() }
+func (p *plainExecutor) Broadcast(ctx context.Context, id string, value mbsp.Item) error {
+	return p.inner.Broadcast(ctx, id, value)
+}
+func (p *plainExecutor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp.Partition) ([]mbsp.Partition, []mbsp.TaskMetrics, error) {
+	return p.inner.RunTasks(ctx, stage, op, inputs)
+}
+func (p *plainExecutor) Close() error { return p.inner.Close() }
+
+// emulationRun executes one pipeline over an in-process executor and
+// returns the encoded final model. With plain set, the executor is
+// wrapped so the engine must fall back to capability emulation.
+func emulationRun(t *testing.T, ds harness.Dataset, algoName string, kind sched.Kind, plain bool) []byte {
+	t.Helper()
+	harness.RegisterAllWireTypes()
+	algos, err := harness.NewAlgorithmRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mbsp.NewRegistry()
+	if err := core.RegisterOps(reg, algos); err != nil {
+		t.Fatal(err)
+	}
+	local, err := mbsp.NewLocalExecutor(mbsp.LocalConfig{Parallelism: 3, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex mbsp.Executor = local
+	if plain {
+		ex = &plainExecutor{inner: local}
+	}
+	eng, err := mbsp.NewEngine(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := eng.Capabilities()
+	if plain && caps != (mbsp.Capabilities{}) {
+		t.Fatalf("wrapped executor leaked capabilities: %+v", caps)
+	}
+	if !plain && !caps.AsyncDispatch {
+		t.Fatal("native LocalExecutor should advertise AsyncDispatch")
+	}
+	schedule, err := sched.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := harness.NewAlgorithm(algoName, ds, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPipeline(core.Config{
+		Algorithm:     algo,
+		Engine:        eng,
+		Schedule:      schedule,
+		BatchInterval: vclock.Duration(2),
+		InitRecords:   500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.RunContext(context.Background(), stream.NewSliceSource(ds.Records)); err != nil {
+		t.Fatal(err)
+	}
+	state, err := pl.Model().EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state
+}
+
+// TestCapabilityEmulationFallback pins the engine's compatibility
+// guarantee: an executor exposing only the minimal Executor interface
+// (no AsyncDispatch, no DeltaBroadcast) runs both schedules through the
+// engine-level emulation and produces output byte-identical to the
+// fully capable native path.
+func TestCapabilityEmulationFallback(t *testing.T) {
+	ds, err := harness.LoadDataset(datagen.KDD99Sim, 1200, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algoName := range []string{"clustream", "denstream"} {
+		t.Run(algoName, func(t *testing.T) {
+			native := emulationRun(t, ds, algoName, sched.BSP, false)
+			for _, kind := range []sched.Kind{sched.BSP, sched.Pipelined} {
+				t.Run(string(kind), func(t *testing.T) {
+					got := emulationRun(t, ds, algoName, kind, true)
+					if !bytes.Equal(got, native) {
+						t.Errorf("emulated %s run diverged from native path: %d vs %d state bytes",
+							kind, len(got), len(native))
+					}
+				})
+			}
+		})
+	}
+}

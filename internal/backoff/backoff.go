@@ -1,0 +1,87 @@
+// Package backoff provides the jittered exponential retry delay used by
+// every reconnect/restart loop in the tree: the rpcexec client's call
+// retries, the worker announce loop, and the process supervisor.
+//
+// The policy is deliberately tiny: delay(n) = min(Base << (n-1), Max),
+// then jittered downward by up to Jitter fraction so a fleet of retriers
+// that failed together does not retry in lockstep.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Defaults applied by Policy.Delay when the corresponding field is zero.
+const (
+	DefaultBase   = 50 * time.Millisecond
+	DefaultMax    = 5 * time.Second
+	DefaultJitter = 0.2
+)
+
+// Policy describes a jittered exponential backoff schedule. The zero
+// value is usable and means "defaults".
+type Policy struct {
+	// Base is the delay before the first retry. Doubles per attempt.
+	Base time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+	// Jitter is the fraction of the delay that may be shaved off at
+	// random, in [0, 1): the returned delay is uniform in
+	// [d*(1-Jitter), d]. Negative means "no jitter"; zero means the
+	// default. Values >= 1 are clamped to the default.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0 || p.Jitter >= 1:
+		p.Jitter = DefaultJitter
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	return p
+}
+
+// Delay returns the sleep before retry attempt n (1-based). Attempts
+// below 1 are treated as 1. The result is always in (0, Max].
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		if d >= p.Max/2 {
+			d = p.Max
+			break
+		}
+		d <<= 1
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		d -= time.Duration(p.Jitter * rand.Float64() * float64(d))
+	}
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// NoJitter returns a copy of the policy with jitter disabled, for
+// callers (and tests) that need the deterministic schedule.
+func (p Policy) NoJitter() Policy {
+	p.Jitter = -1
+	return p
+}

@@ -1,0 +1,77 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayExponentialNoJitter(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second}.NoJitter()
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond}.NoJitter()
+	if got := p.Delay(4); got != 50*time.Millisecond {
+		t.Errorf("Delay(4) = %v, want cap 50ms", got)
+	}
+	// Huge attempt counts must not overflow the shift.
+	if got := p.Delay(100000); got != 50*time.Millisecond {
+		t.Errorf("Delay(100000) = %v, want cap 50ms", got)
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	lo := 50 * time.Millisecond
+	hi := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		got := p.Delay(1)
+		if got < lo || got > hi {
+			t.Fatalf("Delay(1) = %v, want in [%v, %v]", got, lo, hi)
+		}
+	}
+}
+
+func TestDelayZeroConfigDefaults(t *testing.T) {
+	var p Policy
+	for i := 1; i < 20; i++ {
+		got := p.Delay(i)
+		if got <= 0 || got > DefaultMax {
+			t.Fatalf("zero policy Delay(%d) = %v, want in (0, %v]", i, got, DefaultMax)
+		}
+	}
+	// First attempt of the zero policy is within jitter of DefaultBase.
+	got := p.Delay(1)
+	lo := time.Duration(float64(DefaultBase) * (1 - DefaultJitter))
+	if got < lo || got > DefaultBase {
+		t.Errorf("zero policy Delay(1) = %v, want in [%v, %v]", got, lo, DefaultBase)
+	}
+}
+
+func TestDelayAttemptBelowOne(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second}.NoJitter()
+	if got := p.Delay(0); got != 10*time.Millisecond {
+		t.Errorf("Delay(0) = %v, want base", got)
+	}
+	if got := p.Delay(-5); got != 10*time.Millisecond {
+		t.Errorf("Delay(-5) = %v, want base", got)
+	}
+}
+
+func TestDelayMaxBelowBase(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Millisecond}.NoJitter()
+	if got := p.Delay(1); got != 100*time.Millisecond {
+		t.Errorf("Delay(1) = %v, want base when max < base", got)
+	}
+}

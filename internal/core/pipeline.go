@@ -142,6 +142,14 @@ type RunStats struct {
 	// delta (TCP executor with RPCOptions.DeltaBroadcast on; workers
 	// without the previous version still receive the full snapshot).
 	DeltaBroadcasts int
+	// WorkerJoins and WorkerDepartures count membership changes applied
+	// at batch boundaries (executors with ElasticMembership only): a
+	// join is a worker admitted — or readmitted after a crash — into the
+	// dispatch rotation with full broadcast catch-up; a departure is a
+	// worker that left it (crash, exhausted health probes, or clean
+	// drain). A fixed-membership run reports 0 for both.
+	WorkerJoins      int
+	WorkerDepartures int
 }
 
 // Throughput returns processed records per wall-clock second.
@@ -539,6 +547,19 @@ func (p *Pipeline) runBatch(ctx context.Context, batch stream.Batch, join func()
 	}
 	p.stats.Batches++
 	p.stats.Records += len(records)
+
+	// Reconcile elastic membership at the batch boundary, before the job
+	// is built: departed workers leave the rotation and announced joiners
+	// are admitted (caught up via full broadcast replay), so this batch
+	// dispatches against the settled worker set.
+	if p.cfg.Engine.Capabilities().ElasticMembership {
+		delta, err := p.cfg.Engine.ReconcileMembership(ctx)
+		if err != nil {
+			return false, fmt.Errorf("core: membership reconcile: %w", err)
+		}
+		p.stats.WorkerJoins += len(delta.Joined)
+		p.stats.WorkerDepartures += len(delta.Departed)
+	}
 
 	job, list, err := p.buildJob(records)
 	if err != nil {

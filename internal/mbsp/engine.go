@@ -78,6 +78,18 @@ func (e *Engine) SupportsDeltaBroadcast() bool {
 	return e.Capabilities().DeltaBroadcast
 }
 
+// ReconcileMembership applies pending worker-set changes on executors
+// with the ElasticMembership capability and reports what changed; for
+// every other executor it is a no-op. Callers must invoke it only
+// between batches (the executor swaps connections without stage-path
+// locking at this quiescent point).
+func (e *Engine) ReconcileMembership(ctx context.Context) (MembershipDelta, error) {
+	if r, ok := e.exec.(MembershipReconciler); ok && e.Capabilities().ElasticMembership {
+		return r.ReconcileMembership(ctx)
+	}
+	return MembershipDelta{}, nil
+}
+
 // DispatchStage runs one StageSpec — a parallel map optionally fused with
 // a broadcast and streaming per-task completions — recording stage
 // metrics exactly like MapStage. Executors with the AsyncDispatch

@@ -10,7 +10,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"diststream/internal/backoff"
 	"diststream/internal/mbsp"
+	"diststream/internal/membership"
 	"diststream/internal/wire"
 )
 
@@ -28,6 +30,9 @@ const (
 	// DefaultBackoff is the sleep before the first retry; it doubles on
 	// each subsequent one.
 	DefaultBackoff = 50 * time.Millisecond
+	// DefaultJoinBarrier bounds how long one batch boundary spends
+	// catching up join candidates before dispatch proceeds without them.
+	DefaultJoinBarrier = 2 * time.Second
 )
 
 // Config tunes the TCP executor's fault tolerance. The zero value of any
@@ -60,6 +65,17 @@ type Config struct {
 	// silently falls back to the full snapshot, so the worker-visible
 	// value is always identical to the delta-off configuration.
 	DeltaBroadcast bool
+	// Membership, when set, makes the worker set elastic: the executor
+	// feeds detected losses into the registry, installs its health probe,
+	// and — via ReconcileMembership, called by the driver between batches
+	// — retires departed workers and admits announced joiners into the
+	// vacant stride slots. The slot count stays fixed at the initial
+	// address count, so partitioning (and output) is unchanged by churn.
+	Membership *membership.Registry
+	// JoinBarrier bounds how long one reconciliation spends dialing and
+	// catching up join candidates before giving up until the next batch
+	// boundary. Default 2s.
+	JoinBarrier time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,7 +97,16 @@ func (c Config) withDefaults() Config {
 	if c.Backoff == 0 {
 		c.Backoff = DefaultBackoff
 	}
+	if c.JoinBarrier <= 0 {
+		c.JoinBarrier = DefaultJoinBarrier
+	}
 	return c
+}
+
+// retryPolicy is the jittered exponential schedule behind call retries,
+// derived from the configured base backoff.
+func (c Config) retryPolicy() backoff.Policy {
+	return backoff.Policy{Base: c.Backoff}
 }
 
 // Fault-tolerance errors.
@@ -114,6 +139,15 @@ type Executor struct {
 	mu     sync.Mutex
 	closed bool
 
+	// Membership bookkeeping, touched only from ReconcileMembership
+	// (driver goroutine, between batches). counted marks addresses whose
+	// departure has already been reported in a MembershipDelta; the
+	// retired counters carry the traffic of replaced connections so
+	// NetworkBytes stays cumulative.
+	counted      map[string]bool
+	retiredSent  atomic.Int64
+	retiredRecvd atomic.Int64
+
 	// bmu guards the driver-side broadcast cache replayed on reconnect.
 	bmu    sync.Mutex
 	border []string
@@ -140,6 +174,7 @@ type bcastEntry struct {
 type workerConn struct {
 	addr   string
 	cfg    Config
+	retry  backoff.Policy
 	replay func(c *frameCodec) (map[string]uint64, error)
 
 	// sent and recvd count bytes through the live connection (see
@@ -151,6 +186,9 @@ type workerConn struct {
 	conn  net.Conn
 	codec *frameCodec
 	dead  bool
+	// lastErr is the transport failure that killed this connection, kept
+	// so cluster-death errors can name each worker's cause.
+	lastErr error
 	// acked maps broadcast id → the version this worker is known to hold,
 	// the ground truth for whether a delta may be shipped. Entries are
 	// written on acknowledged broadcasts and replays, and deleted whenever
@@ -163,6 +201,23 @@ func (w *workerConn) alive() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return !w.dead
+}
+
+// lastError returns the transport failure recorded when the worker was
+// declared lost (nil while alive or after a clean retire).
+func (w *workerConn) lastError() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
+// retire marks the worker dead without an error — a clean drain — and
+// closes its connection.
+func (w *workerConn) retire() {
+	w.mu.Lock()
+	w.dead = true
+	w.teardown()
+	w.mu.Unlock()
 }
 
 // teardown closes and forgets the current connection (the gob stream is
@@ -273,9 +328,8 @@ func (w *workerConn) callLocked(ctx context.Context, req request) (response, int
 	var lastErr error
 	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			backoff := w.cfg.Backoff << (attempt - 1)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(w.retry.Delay(attempt)):
 			case <-ctx.Done():
 				return response{}, attempt, ctx.Err()
 			}
@@ -300,6 +354,7 @@ func (w *workerConn) callLocked(ctx context.Context, req request) (response, int
 		}
 	}
 	w.dead = true
+	w.lastErr = lastErr
 	w.teardown()
 	return response{}, w.cfg.MaxRetries, fmt.Errorf("%w: %s: %v", ErrWorkerLost, w.addr, lastErr)
 }
@@ -326,19 +381,56 @@ func DialConfig(addrs []string, cfg Config) (*Executor, error) {
 		cfg.Speculation = &validated
 	}
 	e := &Executor{
-		cfg:   cfg,
-		conns: make([]*workerConn, 0, len(addrs)),
-		bcast: make(map[string]bcastEntry),
+		cfg:     cfg,
+		conns:   make([]*workerConn, 0, len(addrs)),
+		bcast:   make(map[string]bcastEntry),
+		counted: make(map[string]bool),
 	}
 	for _, addr := range addrs {
-		wc := &workerConn{addr: addr, cfg: cfg, replay: e.replayBroadcasts}
+		wc := e.newWorkerConn(addr)
 		if err := wc.redial(context.Background()); err != nil {
 			_ = e.Close()
 			return nil, err
 		}
 		e.conns = append(e.conns, wc)
 	}
+	if reg := cfg.Membership; reg != nil {
+		// Seed the initial fixed set (it never says Hello) and install the
+		// health probe so the registry can suspect/kill/resurrect members.
+		for _, addr := range addrs {
+			reg.Track(addr)
+		}
+		reg.SetProber(func(ctx context.Context, addr string) error {
+			return Ping(ctx, addr, cfg.DialTimeout)
+		})
+	}
 	return e, nil
+}
+
+// newWorkerConn builds an undialed connection wired into the executor's
+// broadcast replay and retry policy.
+func (e *Executor) newWorkerConn(addr string) *workerConn {
+	return &workerConn{addr: addr, cfg: e.cfg, retry: e.cfg.retryPolicy(), replay: e.replayBroadcasts}
+}
+
+// allWorkersLost builds the cluster-death error: ErrAllWorkersLost plus
+// each worker's last transport failure (via errors.Join), so operators
+// see why the cluster died, not just that it did. stranded < 0 omits the
+// task count (broadcast-phase deaths).
+func (e *Executor) allWorkersLost(stage string, stranded int) error {
+	var head error
+	if stranded >= 0 {
+		head = fmt.Errorf("%w (stage %q, %d tasks stranded)", ErrAllWorkersLost, stage, stranded)
+	} else {
+		head = fmt.Errorf("%w (stage %q)", ErrAllWorkersLost, stage)
+	}
+	errs := []error{head}
+	for _, wc := range e.conns {
+		if err := wc.lastError(); err != nil {
+			errs = append(errs, fmt.Errorf("worker %s: %w", wc.addr, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // replayBroadcasts re-sends every cached broadcast on a fresh connection,
@@ -430,6 +522,7 @@ func (e *Executor) BroadcastStats() BroadcastStats {
 // NetworkBytes returns the total bytes sent to and received from all
 // workers over the executor's lifetime, including redials.
 func (e *Executor) NetworkBytes() (sent, recvd int64) {
+	sent, recvd = e.retiredSent.Load(), e.retiredRecvd.Load()
 	for _, wc := range e.conns {
 		sent += wc.sent.Load()
 		recvd += wc.recvd.Load()
@@ -608,7 +701,6 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 	for i := range pending {
 		pending[i] = i
 	}
-	var lastLoss error
 	for len(pending) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, metrics, err
@@ -620,10 +712,7 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 			}
 		}
 		if len(alive) == 0 {
-			if lastLoss != nil {
-				return nil, metrics, fmt.Errorf("%w (stage %q, %d tasks stranded): %v", ErrAllWorkersLost, stage, len(pending), lastLoss)
-			}
-			return nil, metrics, fmt.Errorf("%w (stage %q)", ErrAllWorkersLost, stage)
+			return nil, metrics, e.allWorkersLost(stage, len(pending))
 		}
 		// Deal pending tasks (already in ascending order) round-robin over
 		// the survivors. On the first round with all workers alive this
@@ -661,7 +750,6 @@ func (e *Executor) RunTasks(ctx context.Context, stage, op string, inputs []mbsp
 						// Worker lost: strand its remaining tasks for the
 						// next round and stop driving this connection.
 						mu.Lock()
-						lastLoss = err
 						requeue = append(requeue, tasks[k:]...)
 						mu.Unlock()
 						return
@@ -932,8 +1020,6 @@ func (e *Executor) runTasksSpeculative(ctx context.Context, stage, op string, in
 	for i := range pending {
 		pending[i] = i
 	}
-	var mu sync.Mutex // guards lastLoss
-	var lastLoss error
 	for len(pending) > 0 {
 		if err := ctx.Err(); err != nil {
 			st.abort()
@@ -946,10 +1032,7 @@ func (e *Executor) runTasksSpeculative(ctx context.Context, stage, op string, in
 			}
 		}
 		if len(alive) == 0 {
-			if lastLoss != nil {
-				return nil, metrics, fmt.Errorf("%w (stage %q, %d tasks stranded): %v", ErrAllWorkersLost, stage, len(pending), lastLoss)
-			}
-			return nil, metrics, fmt.Errorf("%w (stage %q)", ErrAllWorkersLost, stage)
+			return nil, metrics, e.allWorkersLost(stage, len(pending))
 		}
 		assign := make([][]int, len(alive))
 		for j, task := range pending {
@@ -992,9 +1075,6 @@ func (e *Executor) runTasksSpeculative(ctx context.Context, stage, op string, in
 						}
 						// Worker lost: strand the remaining tasks for the
 						// next round and stop driving this connection.
-						mu.Lock()
-						lastLoss = err
-						mu.Unlock()
 						for _, t := range tasks[k:] {
 							st.clearStart(t)
 						}

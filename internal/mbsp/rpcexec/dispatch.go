@@ -20,8 +20,9 @@ var (
 // Capabilities implements mbsp.Capable.
 func (e *Executor) Capabilities() mbsp.Capabilities {
 	return mbsp.Capabilities{
-		DeltaBroadcast: e.cfg.DeltaBroadcast,
-		AsyncDispatch:  true,
+		DeltaBroadcast:    e.cfg.DeltaBroadcast,
+		AsyncDispatch:     true,
+		ElasticMembership: e.cfg.Membership != nil,
 	}
 }
 
@@ -142,7 +143,6 @@ func (e *Executor) dispatchFused(ctx context.Context, spec mbsp.StageSpec) ([]mb
 	for i := range pending {
 		pending[i] = i
 	}
-	var lastLoss error
 	for len(pending) > 0 || broadcastPending {
 		if err := ctx.Err(); err != nil {
 			return nil, metrics, err
@@ -155,12 +155,9 @@ func (e *Executor) dispatchFused(ctx context.Context, spec mbsp.StageSpec) ([]mb
 		}
 		if len(alive) == 0 {
 			if broadcastPending {
-				return nil, metrics, &mbsp.BroadcastError{ID: spec.BroadcastID, Err: ErrAllWorkersLost}
+				return nil, metrics, &mbsp.BroadcastError{ID: spec.BroadcastID, Err: e.allWorkersLost(spec.Stage, -1)}
 			}
-			if lastLoss != nil {
-				return nil, metrics, fmt.Errorf("%w (stage %q, %d tasks stranded): %v", ErrAllWorkersLost, spec.Stage, len(pending), lastLoss)
-			}
-			return nil, metrics, fmt.Errorf("%w (stage %q)", ErrAllWorkersLost, spec.Stage)
+			return nil, metrics, e.allWorkersLost(spec.Stage, len(pending))
 		}
 		assign := make([][]int, len(alive))
 		for j, task := range pending {
@@ -213,9 +210,6 @@ func (e *Executor) dispatchFused(ctx context.Context, spec mbsp.StageSpec) ([]mb
 		if len(st.taskErrs) > 0 {
 			sort.Slice(st.taskErrs, func(i, j int) bool { return st.taskErrs[i].TaskID < st.taskErrs[j].TaskID })
 			return nil, metrics, st.taskErrs[0]
-		}
-		if st.lastLoss != nil {
-			lastLoss = st.lastLoss
 		}
 		sort.Ints(st.requeue)
 		pending = st.requeue

@@ -1,0 +1,164 @@
+package rpcexec
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/membership"
+)
+
+var _ mbsp.MembershipReconciler = (*Executor)(nil)
+
+// Ping performs one lightweight health probe against a worker: dial,
+// one kindPing round trip, close. It is the prober DialConfig installs
+// into a membership registry.
+func Ping(ctx context.Context, addr string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rpcexec: ping dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	_ = conn.SetDeadline(deadline)
+	c := newFrameCodec(conn)
+	defer c.release()
+	if err := c.send(request{Kind: kindPing}); err != nil {
+		return fmt.Errorf("rpcexec: ping %s: %w", addr, err)
+	}
+	var resp response
+	if err := c.recv(&resp); err != nil {
+		return fmt.Errorf("rpcexec: ping %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("rpcexec: ping %s: %s", addr, resp.Err)
+	}
+	return nil
+}
+
+// ReconcileMembership implements mbsp.MembershipReconciler. It runs at a
+// batch boundary on the driver goroutine — never concurrently with a
+// stage — and does three things:
+//
+//  1. syncs executor-detected losses into the registry (so probes and
+//     operators see why a slot emptied),
+//  2. retires connections whose registry state went dead underneath a
+//     healthy-looking socket (clean Goodbye drains, probe-declared
+//     deaths), and
+//  3. admits join candidates into vacant stride slots: each is dialed
+//     fresh, which replays every cached broadcast in publication order
+//     (full model snapshot first contact, deltas resume next batch via
+//     the seeded ack map), then enters the dispatch rotation.
+//
+// The slot count never changes — joiners only fill seats the departed
+// vacated — so partitioning, the deterministic re-dispatch rules, and
+// therefore output bytes are identical to a fixed-membership run.
+func (e *Executor) ReconcileMembership(ctx context.Context) (mbsp.MembershipDelta, error) {
+	var delta mbsp.MembershipDelta
+	reg := e.cfg.Membership
+	if reg == nil || e.isClosed() {
+		return delta, nil
+	}
+
+	for _, wc := range e.conns {
+		st, known := reg.State(wc.addr)
+		if wc.alive() {
+			if known && st == membership.StateDead {
+				// The registry learned of a departure (Goodbye, exhausted
+				// probes) the executor has not hit yet: retire the slot
+				// cleanly before the next dispatch round.
+				wc.retire()
+			}
+		} else if known && st != membership.StateDead && st != membership.StateJoining && st != membership.StateRejoining {
+			// The executor detected the loss first; tell the registry why.
+			// Candidate states are left alone: a worker can have been
+			// resurrected (probe or re-announce) before this boundary.
+			reg.MarkDead(wc.addr, wc.lastError())
+		}
+		if !wc.alive() && !e.counted[wc.addr] {
+			e.counted[wc.addr] = true
+			delta.Departed = append(delta.Departed, wc.addr)
+		}
+	}
+
+	cands := reg.Candidates()
+	if len(cands) == 0 {
+		return delta, nil
+	}
+	barrier := time.Now().Add(e.cfg.JoinBarrier)
+	for _, addr := range cands {
+		slot := e.vacantSlot()
+		if slot < 0 {
+			break // full strength; candidates wait for a vacancy
+		}
+		if e.hasLiveConn(addr) {
+			continue
+		}
+		wc := e.newWorkerConn(addr)
+		jctx, cancel := context.WithDeadline(ctx, barrier)
+		err := wc.redial(jctx)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return delta, ctx.Err()
+			}
+			// Not reachable (yet): it stays a candidate and is retried at
+			// the next batch boundary.
+			continue
+		}
+		e.installConn(slot, wc)
+		delete(e.counted, addr)
+		reg.MarkReady(addr)
+		delta.Joined = append(delta.Joined, addr)
+	}
+	return delta, nil
+}
+
+// vacantSlot returns the lowest dispatch slot without a live worker, or
+// -1 at full strength.
+func (e *Executor) vacantSlot() int {
+	for i, wc := range e.conns {
+		if !wc.alive() {
+			return i
+		}
+	}
+	return -1
+}
+
+// hasLiveConn reports whether addr already occupies a slot.
+func (e *Executor) hasLiveConn(addr string) bool {
+	for _, wc := range e.conns {
+		if wc.addr == addr && wc.alive() {
+			return true
+		}
+	}
+	return false
+}
+
+// installConn swaps a fresh connection into a vacant slot, folding the
+// retired connection's traffic counters into the executor totals.
+func (e *Executor) installConn(slot int, wc *workerConn) {
+	old := e.conns[slot]
+	e.retiredSent.Add(old.sent.Load())
+	e.retiredRecvd.Add(old.recvd.Load())
+	old.retire()
+	e.conns[slot] = wc
+}
+
+// MembershipStates snapshots the registry's view of the cluster, or nil
+// when membership is not enabled.
+func (e *Executor) MembershipStates() map[string]membership.State {
+	if e.cfg.Membership == nil {
+		return nil
+	}
+	return e.cfg.Membership.States()
+}

@@ -1,0 +1,243 @@
+package rpcexec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"diststream/internal/mbsp"
+	"diststream/internal/membership"
+)
+
+func TestPing(t *testing.T) {
+	reg := testRegistry(t)
+	workers, addrs, err := StartLocalCluster(1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workers[0].Close()
+
+	ctx := context.Background()
+	if err := Ping(ctx, addrs[0], time.Second); err != nil {
+		t.Fatalf("ping live worker: %v", err)
+	}
+	_ = workers[0].Close()
+	if err := Ping(ctx, addrs[0], 200*time.Millisecond); err == nil {
+		t.Fatal("ping dead worker succeeded")
+	}
+}
+
+// TestAllWorkersLostCauses asserts the satellite requirement: the
+// cluster-death error names every worker address and its last transport
+// failure, so operators can see why the cluster died.
+func TestAllWorkersLostCauses(t *testing.T) {
+	exec, workers := startClusterCfg(t, 2, Config{
+		CallTimeout: 2 * time.Second,
+		MaxRetries:  1,
+		Backoff:     5 * time.Millisecond,
+	})
+	addrs := []string{workers[0].Addr(), workers[1].Addr()}
+	for _, w := range workers {
+		_ = w.Close()
+	}
+
+	_, _, err := exec.RunTasks(context.Background(), "s", "double", []mbsp.Partition{{1}, {2}})
+	if !errors.Is(err, ErrAllWorkersLost) {
+		t.Fatalf("err = %v, want ErrAllWorkersLost", err)
+	}
+	msg := err.Error()
+	for _, addr := range addrs {
+		if !strings.Contains(msg, addr) {
+			t.Errorf("error %q missing worker address %s", msg, addr)
+		}
+	}
+	// The per-worker causes must surface too (dial refusals here).
+	if !strings.Contains(msg, "connect") && !strings.Contains(msg, "refused") {
+		t.Errorf("error %q missing transport causes", msg)
+	}
+}
+
+func newMemberRegistry(t *testing.T) *membership.Registry {
+	t.Helper()
+	reg, err := membership.New(membership.Config{
+		ListenAddr:    "127.0.0.1:0",
+		ProbeInterval: -1, // reconcile-driven tests; no background probes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = reg.Close() })
+	return reg
+}
+
+// TestReconcileAdmitsJoinerWithCatchUp is the tentpole's core mechanic
+// at the executor level: a worker dies, a replacement announces itself,
+// and reconciliation seats it in the vacant slot with the full broadcast
+// environment replayed — observable because a task on the joiner reads a
+// broadcast value published before it existed.
+func TestReconcileAdmitsJoinerWithCatchUp(t *testing.T) {
+	opReg := testRegistry(t)
+	members := newMemberRegistry(t)
+	exec, workers := startClusterCfg(t, 2, Config{
+		CallTimeout: 2 * time.Second,
+		MaxRetries:  1,
+		Backoff:     5 * time.Millisecond,
+		Membership:  members,
+		JoinBarrier: 5 * time.Second,
+	})
+	ctx := context.Background()
+
+	if !exec.Capabilities().ElasticMembership {
+		t.Fatal("ElasticMembership capability not advertised")
+	}
+	if err := exec.Broadcast(ctx, "offset", 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill worker 1 and let a call discover the loss.
+	deadAddr := workers[1].Addr()
+	_ = workers[1].Close()
+	if _, _, err := exec.RunTasks(ctx, "s", "double", []mbsp.Partition{{1}, {2}}); err != nil {
+		t.Fatalf("degraded run: %v", err)
+	}
+	if exec.AliveWorkers() != 1 {
+		t.Fatalf("AliveWorkers = %d, want 1", exec.AliveWorkers())
+	}
+
+	// First reconcile: the departure is reported and synced to the
+	// registry; no candidate yet, so no join.
+	d1, err := exec.ReconcileMembership(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Departed) != 1 || d1.Departed[0] != deadAddr {
+		t.Fatalf("Departed = %v, want [%s]", d1.Departed, deadAddr)
+	}
+	if len(d1.Joined) != 0 {
+		t.Fatalf("Joined = %v, want none", d1.Joined)
+	}
+	if st, _ := members.State(deadAddr); st != membership.StateDead {
+		t.Fatalf("registry state = %v, want dead", st)
+	}
+
+	// A replacement process comes up on a fresh port and announces.
+	repl, err := NewWorker(9, "127.0.0.1:0", opReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = repl.Close() })
+	if err := membership.Announce(ctx, members.Addr(), repl.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := exec.ReconcileMembership(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Joined) != 1 || d2.Joined[0] != repl.Addr() {
+		t.Fatalf("Joined = %v, want [%s]", d2.Joined, repl.Addr())
+	}
+	if len(d2.Departed) != 0 {
+		t.Fatalf("Departed reported twice: %v", d2.Departed)
+	}
+	if exec.AliveWorkers() != 2 {
+		t.Fatalf("AliveWorkers after admit = %d, want 2", exec.AliveWorkers())
+	}
+	if exec.Parallelism() != 2 {
+		t.Fatalf("Parallelism changed to %d", exec.Parallelism())
+	}
+
+	// Both slots must serve tasks, and the joiner must hold the broadcast
+	// published before it existed (replayed during admission).
+	outs, _, err := exec.RunTasks(ctx, "s", "add-broadcast", []mbsp.Partition{{10}, {20}})
+	if err != nil {
+		t.Fatalf("post-join run: %v", err)
+	}
+	if outs[0][0].(int) != 17 || outs[1][0].(int) != 27 {
+		t.Fatalf("outputs = %v, want offset 7 applied on both slots", outs)
+	}
+
+	// Idempotence: nothing changed, nothing reported.
+	d3, err := exec.ReconcileMembership(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d3.Joined)+len(d3.Departed) != 0 {
+		t.Fatalf("steady-state reconcile reported %+v", d3)
+	}
+}
+
+// TestReconcileGoodbyeDrain: a clean Goodbye retires the slot at the
+// next boundary even though its connection is still healthy.
+func TestReconcileGoodbyeDrain(t *testing.T) {
+	members := newMemberRegistry(t)
+	exec, workers := startClusterCfg(t, 2, Config{
+		CallTimeout: 2 * time.Second,
+		MaxRetries:  1,
+		Backoff:     5 * time.Millisecond,
+		Membership:  members,
+	})
+	ctx := context.Background()
+
+	drained := workers[0].Addr()
+	if err := membership.Goodbye(ctx, members.Addr(), drained); err != nil {
+		t.Fatal(err)
+	}
+	d, err := exec.ReconcileMembership(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Departed) != 1 || d.Departed[0] != drained {
+		t.Fatalf("Departed = %v, want [%s]", d.Departed, drained)
+	}
+	if exec.AliveWorkers() != 1 {
+		t.Fatalf("AliveWorkers = %d, want 1 after drain", exec.AliveWorkers())
+	}
+	// The survivor picks up all tasks.
+	outs, _, err := exec.RunTasks(ctx, "s", "double", []mbsp.Partition{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0][0].(int) != 2 || outs[1][0].(int) != 4 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+// TestReconcileJoinBarrierExpires: an announced candidate that is not
+// dialable does not block the boundary forever; it stays a candidate.
+func TestReconcileJoinBarrierExpires(t *testing.T) {
+	members := newMemberRegistry(t)
+	exec, workers := startClusterCfg(t, 2, Config{
+		CallTimeout: 2 * time.Second,
+		MaxRetries:  1,
+		Backoff:     5 * time.Millisecond,
+		DialTimeout: 200 * time.Millisecond,
+		Membership:  members,
+		JoinBarrier: 300 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	_ = workers[0].Close()
+	_, _, _ = exec.RunTasks(ctx, "s", "double", []mbsp.Partition{{1}, {2}})
+
+	// Announce an address nobody listens on.
+	if err := membership.Announce(ctx, members.Addr(), "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	d, err := exec.ReconcileMembership(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Joined) != 0 {
+		t.Fatalf("Joined = %v, want none", d.Joined)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("reconcile took %v, join barrier did not bound it", elapsed)
+	}
+	if st, _ := members.State("127.0.0.1:1"); st != membership.StateJoining {
+		t.Fatalf("unreachable candidate state = %v, want still joining", st)
+	}
+}

@@ -29,6 +29,9 @@ const (
 	kindBroadcast msgKind = iota + 1
 	kindTask
 	kindShutdown
+	// kindPing is a lightweight health probe: the worker answers an empty
+	// response immediately, without touching registries or broadcasts.
+	kindPing
 )
 
 // request is the single driver→worker message frame. The envelope always

@@ -220,6 +220,10 @@ func (w *Worker) serve(conn net.Conn) {
 			if err := c.send(resp); err != nil {
 				return
 			}
+		case kindPing:
+			if err := c.send(response{TaskID: -1}); err != nil {
+				return
+			}
 		case kindShutdown:
 			_ = c.send(response{})
 			return

@@ -187,6 +187,11 @@ type Capabilities struct {
 	// completion callbacks. Executors without it still run dispatched
 	// stages through an engine-level emulation, just without the overlap.
 	AsyncDispatch bool
+	// ElasticMembership reports that the executor implements
+	// MembershipReconciler: its worker set is a runtime quantity, and the
+	// driver should reconcile membership at every batch boundary so
+	// departed workers are retired and joiners admitted.
+	ElasticMembership bool
 }
 
 // Capable is the capability-discovery interface. Executors that do not
@@ -228,6 +233,28 @@ type StageSpec struct {
 // OnTaskDone. Outputs are still returned in input order, like RunTasks.
 type StageDispatcher interface {
 	DispatchStage(ctx context.Context, spec StageSpec) ([]Partition, []TaskMetrics, error)
+}
+
+// MembershipDelta reports what one membership reconciliation changed:
+// which workers entered the dispatch rotation and which left it. The
+// slot count (Parallelism) never changes, so task partitioning — and
+// therefore output — is unaffected by churn.
+type MembershipDelta struct {
+	// Joined lists worker addresses admitted (or readmitted) into the
+	// rotation, already caught up via full broadcast replay.
+	Joined []string
+	// Departed lists worker addresses that left the rotation since the
+	// previous reconciliation (crash, exhausted probes, or clean drain).
+	Departed []string
+}
+
+// MembershipReconciler is an optional Executor capability (advertised
+// through Capabilities().ElasticMembership): applying pending membership
+// changes — retiring departed workers, admitting joiners into vacant
+// slots — at a quiescent point. The driver must call it only between
+// batches, never while a stage is in flight.
+type MembershipReconciler interface {
+	ReconcileMembership(ctx context.Context) (MembershipDelta, error)
 }
 
 // BroadcastError marks a dispatched stage that failed while publishing

@@ -1,0 +1,128 @@
+package membership
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The Hello/Goodbye handshake is a one-shot gob exchange on its own
+// listener, deliberately separate from the task RPC protocol: a worker
+// can announce itself before it is dialable by the executor, and the
+// registry stays usable with executors that know nothing about it.
+
+const (
+	kindHello   = "hello"
+	kindGoodbye = "goodbye"
+
+	announceTimeout = 5 * time.Second
+)
+
+type announcement struct {
+	Kind string // kindHello or kindGoodbye
+	Addr string // the worker's task-RPC listen address
+}
+
+type announceReply struct {
+	Err string
+}
+
+type announceListener struct {
+	ln net.Listener
+	r  *Registry
+	wg sync.WaitGroup
+}
+
+func newAnnounceListener(bind string, r *Registry) (*announceListener, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("membership: listen %s: %w", bind, err)
+	}
+	al := &announceListener{ln: ln, r: r}
+	al.wg.Add(1)
+	go al.acceptLoop()
+	return al, nil
+}
+
+func (al *announceListener) addr() string { return al.ln.Addr().String() }
+
+func (al *announceListener) close() error {
+	err := al.ln.Close()
+	al.wg.Wait()
+	return err
+}
+
+func (al *announceListener) acceptLoop() {
+	defer al.wg.Done()
+	for {
+		conn, err := al.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		al.wg.Add(1)
+		go func() {
+			defer al.wg.Done()
+			al.handle(conn)
+		}()
+	}
+}
+
+func (al *announceListener) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(announceTimeout))
+	var msg announcement
+	if err := gob.NewDecoder(conn).Decode(&msg); err != nil {
+		return
+	}
+	var reply announceReply
+	switch {
+	case msg.Addr == "":
+		reply.Err = "membership: announcement with empty address"
+	case msg.Kind == kindHello:
+		al.r.hello(msg.Addr)
+	case msg.Kind == kindGoodbye:
+		al.r.goodbye(msg.Addr)
+	default:
+		reply.Err = fmt.Sprintf("membership: unknown announcement kind %q", msg.Kind)
+	}
+	_ = gob.NewEncoder(conn).Encode(reply)
+}
+
+// Announce sends a Hello for workerAddr to the registry listening at
+// driver. Workers call this once their task listener is up.
+func Announce(ctx context.Context, driver, workerAddr string) error {
+	return send(ctx, driver, announcement{Kind: kindHello, Addr: workerAddr})
+}
+
+// Goodbye asks the registry at driver to drain workerAddr cleanly.
+func Goodbye(ctx context.Context, driver, workerAddr string) error {
+	return send(ctx, driver, announcement{Kind: kindGoodbye, Addr: workerAddr})
+}
+
+func send(ctx context.Context, driver string, msg announcement) error {
+	d := net.Dialer{Timeout: announceTimeout}
+	conn, err := d.DialContext(ctx, "tcp", driver)
+	if err != nil {
+		return fmt.Errorf("membership: dial %s: %w", driver, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(announceTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	_ = conn.SetDeadline(deadline)
+	if err := gob.NewEncoder(conn).Encode(msg); err != nil {
+		return fmt.Errorf("membership: send %s: %w", msg.Kind, err)
+	}
+	var reply announceReply
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		return fmt.Errorf("membership: %s reply: %w", msg.Kind, err)
+	}
+	if reply.Err != "" {
+		return fmt.Errorf("membership: %s rejected: %s", msg.Kind, reply.Err)
+	}
+	return nil
+}

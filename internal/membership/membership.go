@@ -1,0 +1,515 @@
+// Package membership tracks the worker set of a running cluster as a
+// runtime quantity instead of a startup constant.
+//
+// The driver owns a Registry. Each worker address moves through the
+// lifecycle
+//
+//	joining -> ready -> suspect -> dead -> rejoining -> ready -> ...
+//
+// fed by two signal sources:
+//
+//   - a Hello/Goodbye handshake (workers announce themselves on start
+//     and drain cleanly on shutdown) served on the registry's own tiny
+//     gob-over-TCP listener, and
+//   - periodic lightweight health probes executed by an injected Prober
+//     (the rpcexec executor installs a ping over its RPC protocol; the
+//     registry itself has no dependency on the executor).
+//
+// The registry only records state; admission into the dispatch rotation
+// is the executor's job, performed between batches so the worker count
+// never changes mid-stage.
+package membership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a member's position in the lifecycle.
+type State int
+
+const (
+	// StateJoining: announced via Hello, never yet admitted.
+	StateJoining State = iota + 1
+	// StateReady: in the dispatch rotation.
+	StateReady
+	// StateSuspect: in the rotation but failing health probes.
+	StateSuspect
+	// StateDead: out of the rotation (crash detected, probes exhausted,
+	// or clean Goodbye).
+	StateDead
+	// StateRejoining: was dead, then announced or probed healthy again;
+	// a candidate for readmission.
+	StateRejoining
+)
+
+func (s State) String() string {
+	switch s {
+	case StateJoining:
+		return "joining"
+	case StateReady:
+		return "ready"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateRejoining:
+		return "rejoining"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// EventKind classifies a membership transition.
+type EventKind int
+
+const (
+	// EventHello: a worker announced itself (first contact or resurrection).
+	EventHello EventKind = iota + 1
+	// EventGoodbye: a worker asked to drain cleanly.
+	EventGoodbye
+	// EventSuspected: probes started failing for a ready member.
+	EventSuspected
+	// EventDied: a member was declared dead.
+	EventDied
+	// EventReadmitted: a joining/rejoining member entered the rotation.
+	EventReadmitted
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventHello:
+		return "hello"
+	case EventGoodbye:
+		return "goodbye"
+	case EventSuspected:
+		return "suspected"
+	case EventDied:
+		return "died"
+	case EventReadmitted:
+		return "readmitted"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event records one membership transition.
+type Event struct {
+	Kind EventKind
+	Addr string
+	Err  error // cause, for Suspected/Died
+}
+
+func (e Event) String() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%s %s: %v", e.Kind, e.Addr, e.Err)
+	}
+	return fmt.Sprintf("%s %s", e.Kind, e.Addr)
+}
+
+// Prober checks one worker's health; nil error means healthy. It must
+// honor ctx (the registry bounds each probe with a deadline).
+type Prober func(ctx context.Context, addr string) error
+
+// Config parameterizes a Registry. Zero fields get defaults.
+type Config struct {
+	// ListenAddr is the bind address for the Hello/Goodbye listener.
+	// Empty disables the listener (probe-only operation).
+	ListenAddr string
+	// ProbeInterval is the health-probe period. Zero means 1s;
+	// negative disables probing entirely.
+	ProbeInterval time.Duration
+	// SuspectAfter is how long a ready member may fail probes before it
+	// is marked suspect; after another SuspectAfter without a success
+	// it is declared dead. Zero means 3x ProbeInterval.
+	SuspectAfter time.Duration
+	// OnEvent, when set, observes every transition (called without the
+	// registry lock held; must not block for long).
+	OnEvent func(Event)
+}
+
+const (
+	defaultProbeInterval = time.Second
+	// maxEvents bounds the drainable backlog.
+	maxEvents = 256
+)
+
+// ErrClosed is returned by waits on a closed registry.
+var ErrClosed = errors.New("membership: registry closed")
+
+type member struct {
+	state      State
+	lastOK     time.Time // last successful probe or announce
+	lastErr    error     // most recent failure cause
+	generation int       // bumped on each rejoin
+}
+
+// Registry is the driver-owned membership table. All methods are safe
+// for concurrent use.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members map[string]*member
+	events  []Event
+	changed chan struct{} // closed+replaced on every state change
+
+	prober   Prober
+	listener *announceListener
+	done     chan struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a registry, starts its Hello/Goodbye listener (if
+// configured) and its probe loop (probes no-op until SetProber).
+func New(cfg Config) (*Registry, error) {
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.SuspectAfter <= 0 && cfg.ProbeInterval > 0 {
+		cfg.SuspectAfter = 3 * cfg.ProbeInterval
+	}
+	r := &Registry{
+		cfg:     cfg,
+		members: make(map[string]*member),
+		changed: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if cfg.ListenAddr != "" {
+		ln, err := newAnnounceListener(cfg.ListenAddr, r)
+		if err != nil {
+			return nil, err
+		}
+		r.listener = ln
+	}
+	if cfg.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
+	return r, nil
+}
+
+// Addr returns the Hello/Goodbye listener address, or "" when disabled.
+func (r *Registry) Addr() string {
+	if r.listener == nil {
+		return ""
+	}
+	return r.listener.addr()
+}
+
+// SetProber installs the health-probe function. Until set, the probe
+// loop idles. Typically called by the executor once it can ping.
+func (r *Registry) SetProber(p Prober) {
+	r.mu.Lock()
+	r.prober = p
+	r.mu.Unlock()
+}
+
+// Close stops the listener and probe loop. Waiters unblock with ErrClosed.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	var err error
+	if r.listener != nil {
+		err = r.listener.close()
+	}
+	r.wg.Wait()
+	return err
+}
+
+// Track seeds addr as a ready member (used for the initial fixed set
+// dialed at startup, which never said Hello).
+func (r *Registry) Track(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.memberLocked(addr)
+	m.state = StateReady
+	m.lastOK = time.Now()
+	m.lastErr = nil
+	r.notifyLocked()
+}
+
+// MarkReady records that addr was admitted into the dispatch rotation.
+func (r *Registry) MarkReady(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.memberLocked(addr)
+	was := m.state
+	m.state = StateReady
+	m.lastOK = time.Now()
+	m.lastErr = nil
+	if was == StateJoining || was == StateRejoining {
+		r.emitLocked(Event{Kind: EventReadmitted, Addr: addr})
+	}
+	r.notifyLocked()
+}
+
+// MarkDead records that addr left the rotation, with an optional cause
+// (nil for a clean drain).
+func (r *Registry) MarkDead(addr string, cause error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.memberLocked(addr)
+	if m.state == StateDead {
+		return
+	}
+	m.state = StateDead
+	m.lastErr = cause
+	r.emitLocked(Event{Kind: EventDied, Addr: addr, Err: cause})
+	r.notifyLocked()
+}
+
+// State reports addr's current state.
+func (r *Registry) State(addr string) (State, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[addr]
+	if !ok {
+		return 0, false
+	}
+	return m.state, true
+}
+
+// LastErr reports the most recent failure cause recorded for addr.
+func (r *Registry) LastErr(addr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[addr]; ok {
+		return m.lastErr
+	}
+	return nil
+}
+
+// States snapshots the full table.
+func (r *Registry) States() map[string]State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]State, len(r.members))
+	for a, m := range r.members {
+		out[a] = m.state
+	}
+	return out
+}
+
+// Candidates returns joining/rejoining addresses in sorted order —
+// the workers awaiting admission at the next batch boundary.
+func (r *Registry) Candidates() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for a, m := range r.members {
+		if m.state == StateJoining || m.state == StateRejoining {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drain returns and clears the pending event backlog (oldest first).
+func (r *Registry) Drain() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.events
+	r.events = nil
+	return out
+}
+
+// WaitForMembers blocks until at least n members are alive (any state
+// but dead) and returns their addresses sorted.
+func (r *Registry) WaitForMembers(ctx context.Context, n int) ([]string, error) {
+	for {
+		r.mu.Lock()
+		var alive []string
+		for a, m := range r.members {
+			if m.state != StateDead {
+				alive = append(alive, a)
+			}
+		}
+		ch := r.changed
+		r.mu.Unlock()
+		if len(alive) >= n {
+			sort.Strings(alive)
+			return alive, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("membership: waiting for %d members (have %d): %w", n, len(alive), ctx.Err())
+		case <-r.done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// WaitForCandidate blocks until at least one worker is awaiting
+// admission (joining/rejoining) and returns its address.
+func (r *Registry) WaitForCandidate(ctx context.Context) (string, error) {
+	for {
+		if c := r.Candidates(); len(c) > 0 {
+			return c[0], nil
+		}
+		r.mu.Lock()
+		ch := r.changed
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return "", fmt.Errorf("membership: waiting for join candidate: %w", ctx.Err())
+		case <-r.done:
+			return "", ErrClosed
+		}
+	}
+}
+
+// hello processes a worker announcement (from the listener or a probe
+// that found a dead member alive again).
+func (r *Registry) hello(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, known := r.members[addr]
+	if !known {
+		m = r.memberLocked(addr)
+		m.state = StateJoining
+		m.lastOK = time.Now()
+		r.emitLocked(Event{Kind: EventHello, Addr: addr})
+		r.notifyLocked()
+		return
+	}
+	m.lastOK = time.Now()
+	switch m.state {
+	case StateDead:
+		m.state = StateRejoining
+		m.generation++
+		m.lastErr = nil
+		r.emitLocked(Event{Kind: EventHello, Addr: addr})
+	case StateSuspect:
+		// It answered: clear the suspicion.
+		m.state = StateReady
+	}
+	r.notifyLocked()
+}
+
+// goodbye processes a clean-drain request: the member is marked dead so
+// the executor retires its slot at the next batch boundary.
+func (r *Registry) goodbye(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, known := r.members[addr]
+	if !known || m.state == StateDead {
+		return
+	}
+	m.state = StateDead
+	m.lastErr = nil
+	r.emitLocked(Event{Kind: EventGoodbye, Addr: addr})
+	r.notifyLocked()
+}
+
+func (r *Registry) memberLocked(addr string) *member {
+	m, ok := r.members[addr]
+	if !ok {
+		m = &member{}
+		r.members[addr] = m
+	}
+	return m
+}
+
+func (r *Registry) emitLocked(ev Event) {
+	r.events = append(r.events, ev)
+	if len(r.events) > maxEvents {
+		r.events = r.events[len(r.events)-maxEvents:]
+	}
+	if r.cfg.OnEvent != nil {
+		go r.cfg.OnEvent(ev)
+	}
+}
+
+func (r *Registry) notifyLocked() {
+	close(r.changed)
+	r.changed = make(chan struct{})
+}
+
+// probeLoop periodically probes every member and applies transitions:
+// ready members failing past SuspectAfter become suspect, then dead;
+// dead members answering again become rejoining candidates.
+func (r *Registry) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		prober := r.prober
+		addrs := make([]string, 0, len(r.members))
+		for a := range r.members {
+			addrs = append(addrs, a)
+		}
+		r.mu.Unlock()
+		if prober == nil {
+			continue
+		}
+		for _, addr := range addrs {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeInterval)
+			err := prober(ctx, addr)
+			cancel()
+			r.recordProbe(addr, err)
+		}
+	}
+}
+
+func (r *Registry) recordProbe(addr string, err error) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[addr]
+	if !ok {
+		return
+	}
+	if err == nil {
+		m.lastOK = now
+		switch m.state {
+		case StateSuspect:
+			m.state = StateReady
+			m.lastErr = nil
+			r.notifyLocked()
+		case StateDead:
+			m.state = StateRejoining
+			m.generation++
+			m.lastErr = nil
+			r.emitLocked(Event{Kind: EventHello, Addr: addr})
+			r.notifyLocked()
+		}
+		return
+	}
+	m.lastErr = err
+	since := now.Sub(m.lastOK)
+	switch m.state {
+	case StateReady:
+		if since > r.cfg.SuspectAfter {
+			m.state = StateSuspect
+			r.emitLocked(Event{Kind: EventSuspected, Addr: addr, Err: err})
+			r.notifyLocked()
+		}
+	case StateSuspect:
+		if since > 2*r.cfg.SuspectAfter {
+			m.state = StateDead
+			r.emitLocked(Event{Kind: EventDied, Addr: addr, Err: err})
+			r.notifyLocked()
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestRegistry(t *testing.T, cfg Config) *Registry {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1 // most tests drive transitions by hand
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	return r
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+
+	// Initial fixed set: Track seeds ready.
+	r.Track("w0")
+	if st, ok := r.State("w0"); !ok || st != StateReady {
+		t.Fatalf("after Track: state = %v, %v", st, ok)
+	}
+
+	// Crash detected by the executor.
+	cause := errors.New("connection reset")
+	r.MarkDead("w0", cause)
+	if st, _ := r.State("w0"); st != StateDead {
+		t.Fatalf("after MarkDead: state = %v", st)
+	}
+	if err := r.LastErr("w0"); !errors.Is(err, cause) {
+		t.Fatalf("LastErr = %v, want %v", err, cause)
+	}
+
+	// The restarted process announces: dead -> rejoining.
+	r.hello("w0")
+	if st, _ := r.State("w0"); st != StateRejoining {
+		t.Fatalf("after hello on dead: state = %v", st)
+	}
+	if got := r.Candidates(); len(got) != 1 || got[0] != "w0" {
+		t.Fatalf("Candidates = %v, want [w0]", got)
+	}
+
+	// Executor admits it.
+	r.MarkReady("w0")
+	if st, _ := r.State("w0"); st != StateReady {
+		t.Fatalf("after MarkReady: state = %v", st)
+	}
+	if got := r.Candidates(); len(got) != 0 {
+		t.Fatalf("Candidates after admit = %v, want none", got)
+	}
+
+	// A brand-new worker announces: unknown -> joining.
+	r.hello("w9")
+	if st, _ := r.State("w9"); st != StateJoining {
+		t.Fatalf("hello on unknown: state = %v", st)
+	}
+
+	// Clean drain.
+	r.goodbye("w0")
+	if st, _ := r.State("w0"); st != StateDead {
+		t.Fatalf("after goodbye: state = %v", st)
+	}
+}
+
+func TestEventsDrain(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	r.Track("w0")
+	r.MarkDead("w0", errors.New("boom"))
+	r.hello("w0")
+	r.MarkReady("w0")
+	r.goodbye("w0")
+
+	evs := r.Drain()
+	kinds := make([]EventKind, len(evs))
+	for i, e := range evs {
+		kinds[i] = e.Kind
+	}
+	want := []EventKind{EventDied, EventHello, EventReadmitted, EventGoodbye}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+	if got := r.Drain(); len(got) != 0 {
+		t.Fatalf("second drain = %v, want empty", got)
+	}
+}
+
+func TestHelloGoodbyeOverWire(t *testing.T) {
+	r := newTestRegistry(t, Config{ListenAddr: "127.0.0.1:0"})
+	if r.Addr() == "" {
+		t.Fatal("no listener address")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	if err := Announce(ctx, r.Addr(), "10.0.0.1:7000"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r.State("10.0.0.1:7000"); st != StateJoining {
+		t.Fatalf("after wire hello: state = %v", st)
+	}
+	r.MarkReady("10.0.0.1:7000")
+	if err := Goodbye(ctx, r.Addr(), "10.0.0.1:7000"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r.State("10.0.0.1:7000"); st != StateDead {
+		t.Fatalf("after wire goodbye: state = %v", st)
+	}
+}
+
+func TestWaitForCandidate(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got string
+	var gotErr error
+	go func() {
+		defer wg.Done()
+		got, gotErr = r.WaitForCandidate(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.hello("w3")
+	wg.Wait()
+	if gotErr != nil || got != "w3" {
+		t.Fatalf("WaitForCandidate = %q, %v", got, gotErr)
+	}
+
+	// Timeout path.
+	short, scancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer scancel()
+	r.MarkReady("w3")
+	if _, err := r.WaitForCandidate(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitForCandidate timeout err = %v", err)
+	}
+}
+
+func TestWaitForMembers(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	done := make(chan struct{})
+	var addrs []string
+	var err error
+	go func() {
+		defer close(done)
+		addrs, err = r.WaitForMembers(ctx, 2)
+	}()
+	r.hello("b")
+	time.Sleep(10 * time.Millisecond)
+	r.hello("a")
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != "a" || addrs[1] != "b" {
+		t.Fatalf("WaitForMembers = %v, want [a b]", addrs)
+	}
+}
+
+func TestProbeDrivenSuspectAndDeath(t *testing.T) {
+	var mu sync.Mutex
+	healthy := map[string]bool{"w0": true}
+	prober := func(ctx context.Context, addr string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if healthy[addr] {
+			return nil
+		}
+		return errors.New("probe refused")
+	}
+	r := newTestRegistry(t, Config{
+		ProbeInterval: 10 * time.Millisecond,
+		SuspectAfter:  25 * time.Millisecond,
+	})
+	r.SetProber(prober)
+	r.Track("w0")
+
+	waitState := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if st, _ := r.State("w0"); st == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		st, _ := r.State("w0")
+		t.Fatalf("state = %v, want %v", st, want)
+	}
+
+	mu.Lock()
+	healthy["w0"] = false
+	mu.Unlock()
+	waitState(StateSuspect)
+	waitState(StateDead)
+
+	// Resurrection via probe: dead -> rejoining.
+	mu.Lock()
+	healthy["w0"] = true
+	mu.Unlock()
+	waitState(StateRejoining)
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	r, err := New(Config{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.WaitForCandidate(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = r.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not unblocked by Close")
+	}
+}

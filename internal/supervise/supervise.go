@@ -1,0 +1,363 @@
+// Package supervise runs worker subprocesses under supervision: it
+// spawns them, watches for exits, and restarts crashed processes with
+// jittered exponential backoff. A crash-loop circuit breaker gives up
+// on a process that keeps dying faster than its restart window, so a
+// wedged binary cannot spin the host.
+//
+// The supervisor is policy-free about what it runs — specs provide a
+// Command factory — and pairs with internal/membership: a restarted
+// worker re-announces itself and the registry readmits it.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"diststream/internal/backoff"
+)
+
+// EventKind classifies a supervision event.
+type EventKind int
+
+const (
+	// EventStarted: the process is running (initial start or restart).
+	EventStarted EventKind = iota + 1
+	// EventExited: the process exited while supervised.
+	EventExited
+	// EventBreakerOpen: too many crashes inside the window; the
+	// supervisor gave up on this spec.
+	EventBreakerOpen
+	// EventStopped: the spec was stopped deliberately.
+	EventStopped
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventStarted:
+		return "started"
+	case EventExited:
+		return "exited"
+	case EventBreakerOpen:
+		return "breaker-open"
+	case EventStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event reports one supervision transition.
+type Event struct {
+	Kind EventKind
+	Name string
+	Err  error // exit cause for EventExited/EventBreakerOpen
+}
+
+// Spec describes one supervised process. Zero fields get defaults.
+type Spec struct {
+	// Name identifies the process to Signal/Stop/Restarts.
+	Name string
+	// Command builds a fresh *exec.Cmd per (re)start. Required.
+	// The supervisor wires Stdout/Stderr to Output if they are unset.
+	Command func() *exec.Cmd
+	// Backoff schedules restart delays (zero value = package defaults).
+	Backoff backoff.Policy
+	// MaxRestarts crashes within Window open the circuit breaker.
+	// Zero means 5.
+	MaxRestarts int
+	// Window is the crash-counting window; a process that stays up at
+	// least this long resets the restart budget. Zero means 30s.
+	Window time.Duration
+	// Output receives the process's stdout/stderr when the Command
+	// factory left them nil. Nil means discard.
+	Output io.Writer
+	// OnEvent, when set, observes every transition.
+	OnEvent func(Event)
+}
+
+var (
+	// ErrUnknown is returned for operations on an unknown spec name.
+	ErrUnknown = errors.New("supervise: unknown process")
+	// ErrBreakerOpen reports a spec abandoned by the crash-loop breaker.
+	ErrBreakerOpen = errors.New("supervise: crash-loop breaker open")
+)
+
+const (
+	defaultMaxRestarts = 5
+	defaultWindow      = 30 * time.Second
+)
+
+type proc struct {
+	spec Spec
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	restarts int  // total successful restarts
+	broken   bool // breaker open
+	stopping bool // deliberate stop in progress
+	done     chan struct{}
+}
+
+// Supervisor manages a set of supervised processes.
+type Supervisor struct {
+	mu     sync.Mutex
+	procs  map[string]*proc
+	closed bool
+}
+
+// New creates an empty supervisor.
+func New() *Supervisor {
+	return &Supervisor{procs: make(map[string]*proc)}
+}
+
+// Start launches spec's process and begins supervising it. It returns
+// an error if the name is taken or the initial start fails (the
+// initial start is not retried: a command that cannot start even once
+// is a configuration error, not a crash).
+func (s *Supervisor) Start(spec Spec) error {
+	if spec.Name == "" || spec.Command == nil {
+		return errors.New("supervise: spec needs Name and Command")
+	}
+	if spec.MaxRestarts <= 0 {
+		spec.MaxRestarts = defaultMaxRestarts
+	}
+	if spec.Window <= 0 {
+		spec.Window = defaultWindow
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("supervise: supervisor closed")
+	}
+	if _, dup := s.procs[spec.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("supervise: process %q already supervised", spec.Name)
+	}
+	p := &proc{spec: spec, done: make(chan struct{})}
+	s.procs[spec.Name] = p
+	s.mu.Unlock()
+
+	cmd, err := p.launch()
+	if err != nil {
+		s.mu.Lock()
+		delete(s.procs, spec.Name)
+		s.mu.Unlock()
+		close(p.done)
+		return fmt.Errorf("supervise: start %q: %w", spec.Name, err)
+	}
+	p.mu.Lock()
+	p.cmd = cmd
+	p.mu.Unlock()
+	p.emit(Event{Kind: EventStarted, Name: spec.Name})
+	go p.supervise()
+	return nil
+}
+
+// Signal delivers sig to the named process's current incarnation.
+func (s *Supervisor) Signal(name string, sig os.Signal) error {
+	p, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken {
+		return fmt.Errorf("%w: %s", ErrBreakerOpen, name)
+	}
+	if p.cmd == nil || p.cmd.Process == nil {
+		return fmt.Errorf("supervise: %s not running", name)
+	}
+	return p.cmd.Process.Signal(sig)
+}
+
+// Stop terminates the named process without restarting it and waits
+// for its supervision loop to finish.
+func (s *Supervisor) Stop(name string) error {
+	p, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.stopping = true
+	if p.cmd != nil && p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+	broken := p.broken
+	p.mu.Unlock()
+	if !broken {
+		<-p.done
+	}
+	p.emit(Event{Kind: EventStopped, Name: name})
+	return nil
+}
+
+// Restarts reports how many times the named process has been restarted.
+func (s *Supervisor) Restarts(name string) int {
+	p, err := s.lookup(name)
+	if err != nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restarts
+}
+
+// Broken reports whether the named spec's crash-loop breaker is open.
+func (s *Supervisor) Broken(name string) bool {
+	p, err := s.lookup(name)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.broken
+}
+
+// Close stops every supervised process and waits for the loops.
+func (s *Supervisor) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	names := make([]string, 0, len(s.procs))
+	for n := range s.procs {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	for _, n := range names {
+		_ = s.Stop(n)
+	}
+	return nil
+}
+
+func (s *Supervisor) lookup(name string) (*proc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.procs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	return p, nil
+}
+
+// launch builds and starts a fresh incarnation.
+func (p *proc) launch() (*exec.Cmd, error) {
+	cmd := p.spec.Command()
+	if cmd == nil {
+		return nil, errors.New("nil command")
+	}
+	out := p.spec.Output
+	if out == nil {
+		out = io.Discard
+	}
+	if cmd.Stdout == nil {
+		cmd.Stdout = out
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = out
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// supervise waits on the current incarnation and restarts it on
+// unexpected exits until stopped or the breaker opens.
+func (p *proc) supervise() {
+	defer close(p.done)
+	attempt := 0
+	var recent []time.Time // crash timestamps inside the window
+	for {
+		p.mu.Lock()
+		cmd := p.cmd
+		p.mu.Unlock()
+		started := time.Now()
+		err := cmd.Wait()
+		p.emit(Event{Kind: EventExited, Name: p.spec.Name, Err: err})
+
+		p.mu.Lock()
+		if p.stopping {
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+
+		// A healthy run resets the crash budget.
+		if time.Since(started) >= p.spec.Window {
+			attempt = 0
+			recent = recent[:0]
+		}
+
+		// Restart loop: each iteration accounts one crash (the exit
+		// above, or a spawn failure below).
+		for {
+			attempt++
+			now := time.Now()
+			recent = append(recent, now)
+			cutoff := now.Add(-p.spec.Window)
+			for len(recent) > 0 && recent[0].Before(cutoff) {
+				recent = recent[1:]
+			}
+			if len(recent) > p.spec.MaxRestarts {
+				p.mu.Lock()
+				p.broken = true
+				p.mu.Unlock()
+				p.emit(Event{Kind: EventBreakerOpen, Name: p.spec.Name, Err: err})
+				return
+			}
+
+			deadline := time.Now().Add(p.spec.Backoff.Delay(attempt))
+			for time.Now().Before(deadline) {
+				p.mu.Lock()
+				stopping := p.stopping
+				p.mu.Unlock()
+				if stopping {
+					return
+				}
+				time.Sleep(minDuration(10*time.Millisecond, time.Until(deadline)))
+			}
+
+			next, lerr := p.launch()
+			if lerr != nil {
+				// Spawn failure counts as an instant crash.
+				err = lerr
+				p.emit(Event{Kind: EventExited, Name: p.spec.Name, Err: lerr})
+				continue
+			}
+			p.mu.Lock()
+			if p.stopping {
+				_ = next.Process.Kill()
+				_ = next.Wait()
+				p.mu.Unlock()
+				return
+			}
+			p.cmd = next
+			p.restarts++
+			p.mu.Unlock()
+			p.emit(Event{Kind: EventStarted, Name: p.spec.Name})
+			break
+		}
+	}
+}
+
+func (p *proc) emit(ev Event) {
+	if p.spec.OnEvent != nil {
+		p.spec.OnEvent(ev)
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package supervise
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"os/exec"
+
+	"diststream/internal/backoff"
+)
+
+func fastBackoff() backoff.Policy {
+	return backoff.Policy{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond}.NoJitter()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRestartAfterKill(t *testing.T) {
+	s := New()
+	defer s.Close()
+	err := s.Start(Spec{
+		Name:    "sleeper",
+		Command: func() *exec.Cmd { return exec.Command("sleep", "60") },
+		Backoff: fastBackoff(),
+		Window:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Signal("sleeper", syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restart", func() bool { return s.Restarts("sleeper") >= 1 })
+	// The fresh incarnation must be signalable (i.e. running again).
+	waitFor(t, "running replacement", func() bool {
+		return s.Signal("sleeper", syscall.Signal(0)) == nil
+	})
+	if s.Broken("sleeper") {
+		t.Fatal("breaker opened after a single kill")
+	}
+}
+
+func TestCrashLoopBreaker(t *testing.T) {
+	var mu sync.Mutex
+	var events []EventKind
+	s := New()
+	defer s.Close()
+	err := s.Start(Spec{
+		Name:        "crasher",
+		Command:     func() *exec.Cmd { return exec.Command("false") },
+		Backoff:     fastBackoff(),
+		MaxRestarts: 3,
+		Window:      10 * time.Second,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev.Kind)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "breaker open", func() bool { return s.Broken("crasher") })
+	if got := s.Restarts("crasher"); got > 3 {
+		t.Errorf("Restarts = %d, want <= MaxRestarts", got)
+	}
+	if err := s.Signal("crasher", syscall.Signal(0)); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("Signal on broken spec: err = %v, want ErrBreakerOpen", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sawBreaker := false
+	for _, k := range events {
+		if k == EventBreakerOpen {
+			sawBreaker = true
+		}
+	}
+	if !sawBreaker {
+		t.Errorf("events %v missing EventBreakerOpen", events)
+	}
+}
+
+func TestStopPreventsRestart(t *testing.T) {
+	s := New()
+	defer s.Close()
+	err := s.Start(Spec{
+		Name:    "stopper",
+		Command: func() *exec.Cmd { return exec.Command("sleep", "60") },
+		Backoff: fastBackoff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop("stopper"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Restarts("stopper")
+	time.Sleep(50 * time.Millisecond)
+	if got := s.Restarts("stopper"); got != before {
+		t.Errorf("restarted after Stop: %d -> %d", before, got)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if err := s.Start(Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if err := s.Start(Spec{
+		Name:    "missing",
+		Command: func() *exec.Cmd { return exec.Command("/no/such/binary/anywhere") },
+	}); err == nil {
+		t.Error("unstartable command accepted")
+	}
+	spec := Spec{
+		Name:    "dup",
+		Command: func() *exec.Cmd { return exec.Command("sleep", "60") },
+	}
+	if err := s.Start(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(spec); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := s.Signal("nope", syscall.Signal(0)); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Signal unknown: err = %v, want ErrUnknown", err)
+	}
+}
