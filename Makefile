@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke sched-smoke chaos-smoke
+.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke sched-smoke shard-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ bench:
 # machine-readable JSON. Raise BENCHTIME (e.g. 2s) for stable numbers;
 # the 1x default is the CI smoke setting.
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_8.json
 
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run ^$$ ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
@@ -40,6 +40,17 @@ sched-smoke:
 	$(GO) test -race -count=1 -run '^TestScheduleEquivalence' .
 	$(GO) test -race -count=1 ./internal/mbsp/sched/
 	$(GO) test -race -count=1 -run '^TestDispatchStage' ./internal/mbsp/rpcexec/
+
+# shard-smoke runs the sharded-global-update equivalence battery under
+# the race detector: with GlobalShards set, the final model must be
+# byte-identical to the serial path across {clustream,denstream} x
+# {bsp,pipelined} x {local,tcp}, fall back transparently for algorithms
+# without the capability, survive a checkpoint resume, and hold on the
+# per-package randomized differential batteries.
+shard-smoke:
+	$(GO) test -race -count=1 -run '^TestSharded' .
+	$(GO) test -race -count=1 -run '^TestShard|^TestReducerPool' ./internal/core/
+	$(GO) test -race -count=1 -run '^TestSharded' ./internal/clustream/ ./internal/denstream/
 
 # chaos-smoke proves elastic membership keeps the output bit-identical
 # under churn: first the facade-level churn-equivalence battery (kill +

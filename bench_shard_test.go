@@ -1,0 +1,216 @@
+// Microbenchmarks for the sharded global update: the order-aware sort,
+// then serial vs sharded GlobalUpdate for CluStream (budget-enforcement
+// heavy: a merge chain over the nearest-neighbor cache) and DenStream
+// (sweep heavy: a high-touch batch plus decay/promote/prune over a large
+// model). The sharded variants sweep the reducer pool 1..NumCPU;
+// apply/fold sub-phase wall time is reported alongside ns/op. `make
+// bench-json` archives the numbers in BENCH_8.json.
+package diststream_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"diststream/internal/clustream"
+	"diststream/internal/core"
+	"diststream/internal/denstream"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// shardBenchCase is one algorithm workload: a base model, a batch
+// template, and the serial/sharded entry points. Each benchmark
+// iteration advances the virtual clock by one interval and applies a
+// fresh clone of the batch, so the model evolves the way a steady-state
+// driver's would (decay and budget enforcement do real work every
+// iteration) without re-decoding state inside the loop.
+type shardBenchCase struct {
+	name    string
+	model   *core.Model
+	updates []core.Update
+	now     vclock.Time
+	serial  func(*core.Model, []core.Update, vclock.Time) error
+	sharded core.ShardedGlobalUpdater
+}
+
+// nextBatch clones the batch template stamped at the case's next virtual
+// time, advancing the clock — the per-batch input a driver would hand
+// the global update.
+func (tc *shardBenchCase) nextBatch() ([]core.Update, vclock.Time) {
+	tc.now++
+	out := make([]core.Update, len(tc.updates))
+	for i, u := range tc.updates {
+		u.MC = u.MC.Clone()
+		u.OrderTime = tc.now
+		out[i] = u
+	}
+	return out, tc.now
+}
+
+// cluShardBench builds the CluStream case: 384 live micro-clusters, 128
+// creations per batch, budget 384 — every global update runs a ~128-step
+// merge chain whose cost is dominated by nearest-neighbor maintenance.
+func cluShardBench(b *testing.B) *shardBenchCase {
+	const dim = 34
+	r := rand.New(rand.NewSource(81))
+	algo := clustream.New(clustream.Config{
+		Dim: dim, MaxMicroClusters: 384, Horizon: 1e9, MLast: 10,
+	})
+	now := 1000.0
+	mk := func(t float64) *clustream.MC {
+		n := 1 + float64(r.Intn(4))
+		cf1 := vector.New(dim)
+		cf2 := vector.New(dim)
+		for d := range cf1 {
+			v := r.NormFloat64() * 5
+			cf1[d] = v * n
+			cf2[d] = v * v * n
+		}
+		return &clustream.MC{
+			CF1X: cf1, CF2X: cf2, CF1T: t * n, CF2T: t * t * n, N: n,
+			Born: vclock.Time(t), Last: vclock.Time(t),
+		}
+	}
+	model := core.NewModel()
+	for i := 0; i < 384; i++ {
+		model.Add(mk(now - r.Float64()))
+	}
+	var updates []core.Update
+	for i := 0; i < 128; i++ {
+		updates = append(updates, core.Update{
+			Kind: core.KindCreated, MC: mk(now),
+			OrderSeq: uint64(i),
+		})
+	}
+	return &shardBenchCase{
+		name: "clustream", model: model, updates: updates, now: vclock.Time(now),
+		serial: algo.GlobalUpdate, sharded: algo,
+	}
+}
+
+// denShardBench builds the DenStream case: 4096 live micro-clusters and
+// a high-touch batch (3072 replacements over 4096 ids, duplicates
+// included) — the workload where the serial path's touched-id map and
+// per-update id lookups dominate, which is exactly the bookkeeping the
+// plan's positional routing eliminates.
+func denShardBench(b *testing.B) *shardBenchCase {
+	const dim = 8
+	r := rand.New(rand.NewSource(82))
+	algo := denstream.New(denstream.Config{
+		Dim: dim, Epsilon: 2, Mu: 10, Beta: 0.5, Lambda: 0.01,
+	})
+	now := 100.0
+	mk := func(t float64) *denstream.MC {
+		w := 2 + 8*r.Float64()
+		cf1 := vector.New(dim)
+		cf2 := vector.New(dim)
+		for d := range cf1 {
+			v := r.NormFloat64() * 2
+			cf1[d] = v * w
+			cf2[d] = v * v * w
+		}
+		return &denstream.MC{
+			CF1: cf1, CF2: cf2, W: w, Potential: w >= 5,
+			Born: vclock.Time(t), Last: vclock.Time(t),
+		}
+	}
+	model := core.NewModel()
+	for i := 0; i < 4096; i++ {
+		model.Add(mk(now - 2*r.Float64()))
+	}
+	live := model.IDs()
+	var updates []core.Update
+	for i := 0; i < 3072; i++ {
+		mc := mk(now)
+		mc.Id = live[r.Intn(len(live))]
+		updates = append(updates, core.Update{
+			Kind: core.KindUpdated, MC: mc, OrderSeq: uint64(i),
+		})
+	}
+	return &shardBenchCase{
+		name: "denstream", model: model, updates: updates, now: vclock.Time(now),
+		serial: algo.GlobalUpdate, sharded: algo,
+	}
+}
+
+func shardBenchCases(b *testing.B) []*shardBenchCase {
+	return []*shardBenchCase{cluShardBench(b), denShardBench(b)}
+}
+
+// reducerSweep returns the pool sizes to benchmark: powers of two from 1
+// up to and including NumCPU.
+func reducerSweep() []int {
+	max := runtime.NumCPU()
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// BenchmarkSortUpdatesByOrderTime measures the order-aware sort that
+// precedes every global update (timing split out in RunStats.GlobalSort).
+func BenchmarkSortUpdatesByOrderTime(b *testing.B) {
+	r := rand.New(rand.NewSource(17))
+	base := make([]core.Update, 8192)
+	for i := range base {
+		base[i] = core.Update{
+			OrderTime: vclock.Time(r.Float64() * 100),
+			OrderSeq:  uint64(i),
+		}
+	}
+	core.ScrambleUpdates(base) // arrival-order-destroyed input, as shuffled workers produce
+	updates := make([]core.Update, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		copy(updates, base)
+		b.StartTimer()
+		core.SortUpdatesByOrderTime(updates)
+	}
+}
+
+// BenchmarkGlobalUpdateSerial is the baseline: the unsharded driver-side
+// global update.
+func BenchmarkGlobalUpdateSerial(b *testing.B) {
+	for _, mkCase := range []func(*testing.B) *shardBenchCase{cluShardBench, denShardBench} {
+		tc := mkCase(b)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				updates, now := tc.nextBatch()
+				if err := tc.serial(tc.model, updates, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGlobalUpdateSharded sweeps the reducer pool 1..NumCPU on the
+// same workloads (4 shards), reporting the parallel-apply and serialized
+// fold/residue sub-phase wall time per op.
+func BenchmarkGlobalUpdateSharded(b *testing.B) {
+	for _, mkCase := range []func(*testing.B) *shardBenchCase{cluShardBench, denShardBench} {
+		for _, workers := range reducerSweep() {
+			tc := mkCase(b)
+			b.Run(fmt.Sprintf("%s/reducers=%d", tc.name, workers), func(b *testing.B) {
+				pool := core.NewReducerPool(workers)
+				planner := core.NewShardPlanner()
+				var applyNS, foldNS float64
+				for i := 0; i < b.N; i++ {
+					updates, now := tc.nextBatch()
+					run := core.NewShardedRun(4, pool, planner)
+					if err := tc.sharded.GlobalUpdateSharded(tc.model, updates, now, run); err != nil {
+						b.Fatal(err)
+					}
+					applyNS += float64(run.ApplyWall().Nanoseconds())
+					foldNS += float64(run.FoldWall().Nanoseconds())
+				}
+				b.ReportMetric(applyNS/float64(b.N), "apply_ns/op")
+				b.ReportMetric(foldNS/float64(b.N), "fold_ns/op")
+			})
+		}
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"diststream/internal/core"
@@ -31,9 +34,37 @@ func runBench(w io.Writer, args []string) error {
 	algoName := fs.String("algo", "clustream", "algorithm to run")
 	schedule := fs.String("schedule", "both", "schedule to benchmark: bsp, pipelined or both")
 	delta := fs.Bool("delta", true, "ship model broadcasts as deltas")
+	shards := fs.Int("global-shards", 0, "shard the driver-side global update across this many shards (0 = serial)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmarked runs to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("bench: cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("bench: cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(w, "bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(w, "bench: memprofile: %v\n", err)
+			}
+		}()
 	}
 	var kinds []sched.Kind
 	switch *schedule {
@@ -57,13 +88,13 @@ func runBench(w io.Writer, args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	fmt.Fprintf(w, "schedule benchmark (%s, %s, %d TCP workers, delta broadcast %v)\n",
-		ds.Name, *algoName, *workers, *delta)
-	fmt.Fprintf(w, "  %-10s %-8s %8s %12s %12s %10s %10s %10s %10s %14s\n",
-		"schedule", "executor", "batches", "batch ms", "records/s", "assign ms", "shuffle ms", "local ms", "global ms", "model weight")
+	fmt.Fprintf(w, "schedule benchmark (%s, %s, %d TCP workers, delta broadcast %v, global shards %d)\n",
+		ds.Name, *algoName, *workers, *delta, *shards)
+	fmt.Fprintf(w, "  %-10s %-8s %8s %12s %12s %10s %10s %10s %10s %9s %9s %9s %14s\n",
+		"schedule", "executor", "batches", "batch ms", "records/s", "assign ms", "shuffle ms", "local ms", "global ms", "sort ms", "apply ms", "fold ms", "model weight")
 	results := make(map[sched.Kind]benchResult, len(kinds))
 	for _, kind := range kinds {
-		res, err := benchRun(ctx, ds, *algoName, *seed, *workers, kind, *delta)
+		res, err := benchRun(ctx, ds, *algoName, *seed, *workers, kind, *delta, *shards)
 		if err != nil {
 			return fmt.Errorf("bench: %s run: %w", kind, err)
 		}
@@ -74,10 +105,16 @@ func runBench(w io.Writer, args []string) error {
 			batchMS = res.stats.TotalWall.Seconds() * 1e3 / float64(res.stats.Batches)
 			perBatch = func(d time.Duration) float64 { return d.Seconds() * 1e3 / float64(res.stats.Batches) }
 		}
-		fmt.Fprintf(w, "  %-10s %-8s %8d %12.2f %12.0f %10.2f %10.2f %10.2f %10.2f %14.1f\n",
+		fmt.Fprintf(w, "  %-10s %-8s %8d %12.2f %12.0f %10.2f %10.2f %10.2f %10.2f %9.2f %9.2f %9.2f %14.1f\n",
 			kind, "tcp", res.stats.Batches, batchMS, res.stats.Throughput(),
 			perBatch(res.stats.Assign.Wall), perBatch(res.stats.Shuffle.Wall),
-			perBatch(res.stats.LocalUpdate.Wall), perBatch(res.stats.GlobalUpdate.Wall), res.modelWeight)
+			perBatch(res.stats.LocalUpdate.Wall), perBatch(res.stats.GlobalUpdate.Wall),
+			perBatch(res.stats.GlobalSort.Wall), perBatch(res.stats.GlobalApply.Wall),
+			perBatch(res.stats.GlobalFold.Wall), res.modelWeight)
+		if *shards >= 1 && res.stats.ShardedGlobalBatches != res.stats.Batches {
+			fmt.Fprintf(w, "  (sharded global update engaged on %d of %d batches — algorithm lacks the capability on the rest)\n",
+				res.stats.ShardedGlobalBatches, res.stats.Batches)
+		}
 	}
 	bsp, hasBSP := results[sched.BSP]
 	pip, hasPip := results[sched.Pipelined]
@@ -102,7 +139,7 @@ type benchResult struct {
 
 // benchRun executes one run over a fresh in-process TCP cluster under
 // the given schedule.
-func benchRun(ctx context.Context, ds harness.Dataset, algoName string, seed int64, p int, kind sched.Kind, delta bool) (benchResult, error) {
+func benchRun(ctx context.Context, ds harness.Dataset, algoName string, seed int64, p int, kind sched.Kind, delta bool, shards int) (benchResult, error) {
 	harness.RegisterAllWireTypes()
 	algos, err := harness.NewAlgorithmRegistry()
 	if err != nil {
@@ -144,6 +181,7 @@ func benchRun(ctx context.Context, ds harness.Dataset, algoName string, seed int
 		Schedule:      schedule,
 		BatchInterval: vclock.Duration(2),
 		InitRecords:   500,
+		GlobalShards:  shards,
 	})
 	if err != nil {
 		return benchResult{}, err

@@ -157,6 +157,14 @@ type ExecutionOptions struct {
 	// to pipelines that enable checkpointing without setting their own
 	// CheckpointConfig.EveryNBatches. Default 1.
 	CheckpointEveryNBatches int
+	// GlobalShards, when >= 1, partitions the driver's global update into
+	// that many shards: the per-micro-cluster phase runs as parallel
+	// per-shard reducers and the order-sensitive cross-shard residue
+	// (merges, deletions, sweeps) stays serialized, so the final model is
+	// byte-identical to the serial path. Takes effect for algorithms with
+	// a sharded decomposition (CluStream, DenStream); others keep the
+	// serial global update. 0 (default) keeps the serial path everywhere.
+	GlobalShards int
 	// Membership, when set, makes the TCP worker set elastic: the system
 	// runs a membership registry with health probes and a Hello/Goodbye
 	// listener (address via System.MembershipAddr), and the executor
@@ -463,6 +471,7 @@ func (s *System) NewPipeline(algo Algorithm, opts PipelineOptions) (*Pipeline, e
 		Algorithm:       algo,
 		Engine:          s.engine,
 		Schedule:        s.schedule,
+		GlobalShards:    s.exec.GlobalShards,
 		BatchInterval:   vclock.Duration(opts.BatchSeconds),
 		Order:           opts.Order,
 		InitRecords:     opts.InitRecords,

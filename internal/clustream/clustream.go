@@ -404,6 +404,18 @@ func (a *Algorithm) GlobalUpdate(model *core.Model, updates []core.Update, now v
 	return a.enforceBudget(model, now)
 }
 
+// budgetCache is the contract the budget-enforcement loop drives: the
+// serial centerCache and the sharded-path shardCenterCache (sharded.go)
+// both implement it with identical decision semantics, so the loop's
+// deletion/merge sequence is the same object-for-object whichever cache
+// backs it.
+type budgetCache interface {
+	leastRecent() (uint64, float64, bool)
+	closestPair() (uint64, uint64, bool)
+	put(m *MC)
+	remove(id uint64)
+}
+
 // enforceBudget shrinks the model back to MaxMicroClusters. The
 // closest-pair cache is built only when the budget is actually exceeded,
 // keeping the common one-record-at-a-time call cheap.
@@ -411,7 +423,12 @@ func (a *Algorithm) enforceBudget(model *core.Model, now vclock.Time) error {
 	if model.Len() <= a.cfg.MaxMicroClusters {
 		return nil
 	}
-	cache := newCenterCache(model, a.cfg.MLast)
+	return a.enforceBudgetWith(model, now, newCenterCache(model, a.cfg.MLast))
+}
+
+// enforceBudgetWith runs the deletion/merge loop against a prebuilt
+// cache until the model fits the budget again.
+func (a *Algorithm) enforceBudgetWith(model *core.Model, now vclock.Time, cache budgetCache) error {
 	for model.Len() > a.cfg.MaxMicroClusters {
 		if id, stamp, ok := cache.leastRecent(); ok && stamp < float64(now)-a.cfg.Horizon {
 			model.Remove(id)

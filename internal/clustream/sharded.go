@@ -1,0 +1,292 @@
+package clustream
+
+import (
+	"fmt"
+	"math"
+
+	"diststream/internal/core"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// This file implements the core.ShardedGlobalUpdater capability for
+// CluStream. The decomposition:
+//
+//	parallel (per shard)   reduce the shard's fragment (touched
+//	                       positions + final micro-clusters) and, when
+//	                       the budget will be exceeded, fill the shard's
+//	                       rows of the contiguous budget cache (centroid
+//	                       matrix + relevance stamps);
+//	barrier
+//	residue (serialized)   fold the fragments into the model, then run
+//	                       the ordinary deletion/merge budget loop
+//	                       against the prebuilt cache.
+//
+// Byte-identity with the serial path: the apply phase only replaces
+// disjoint positions and pre-assigns creation ids in global order (see
+// core.ShardPlan), and the budget loop is the same enforceBudgetWith
+// loop the serial path runs — backed by a cache whose centroids are
+// computed with the exact Center() arithmetic (CF1X[d] * (1/N)) and
+// whose nearest-neighbor queries go through vector.ArgminBelowBound,
+// which is documented (and differentially fuzzed) to reproduce the
+// scalar squared-distance scan bit-for-bit. Lazy recomputation happens
+// at the same sequence points as the serial cache, over the same entry
+// order, so every deletion and merge picks the same pair.
+var _ core.ShardedGlobalUpdater = (*Algorithm)(nil)
+
+// GlobalUpdateSharded implements core.ShardedGlobalUpdater.
+func (a *Algorithm) GlobalUpdateSharded(model *core.Model, updates []core.Update, now vclock.Time, run *core.ShardedRun) error {
+	plan, err := run.Plan(model, updates)
+	if err != nil {
+		return fmt.Errorf("clustream: %w", err)
+	}
+	frags := make([]*core.ShardFragment, plan.Shards())
+	// The budget decision is deterministic at plan time: the update phase
+	// always grows the model to exactly FinalLen.
+	var cache *shardCenterCache
+	if plan.FinalLen() > a.cfg.MaxMicroClusters {
+		dim := len(plan.FinalMC(0).(*MC).CF1X)
+		cache = newShardCenterCache(plan.FinalLen(), dim, a.cfg.MLast, run.Pool())
+	}
+	if err := run.Parallel(func(s int) error {
+		frags[s] = plan.Reduce(s)
+		if cache == nil {
+			return nil
+		}
+		for _, pos := range plan.ShardPositions(s) {
+			p := int(pos)
+			m, ok := plan.FinalMC(p).(*MC)
+			if !ok {
+				return fmt.Errorf("clustream: micro-cluster at position %d is %T, want *MC", p, plan.FinalMC(p))
+			}
+			cache.fill(p, plan.FinalID(p), m)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return run.Residue(func() error {
+		if err := plan.Fold(model, frags); err != nil {
+			return err
+		}
+		if cache == nil {
+			return nil
+		}
+		cache.finishBuild()
+		return a.enforceBudgetWith(model, now, cache)
+	})
+}
+
+// parallelRecomputeMin is the number of stale nearest-neighbor entries
+// above which closestPair recomputes them on the reducer pool instead of
+// inline. Small merge-loop iterations dirty only a handful of entries;
+// the big all-dirty recomputation right after the cache is built is the
+// one worth fanning out.
+const parallelRecomputeMin = 32
+
+// shardCenterCache is the budget cache the sharded path uses: the same
+// entries, stamps and lazy nearest-neighbor discipline as the serial
+// centerCache, but with the centroids in one contiguous row-major matrix
+// so recomputation runs the early-exit flat kernel, rows are filled in
+// parallel during the apply phase, and bulk recomputation fans out over
+// the reducer pool. Entry order mirrors the serial cache exactly
+// (admission order at build, swap-with-last on removal), which is what
+// keeps strict-less/first-index-wins tie-breaking identical.
+type shardCenterCache struct {
+	mLast   float64
+	pool    *core.ReducerPool
+	ids     []uint64
+	index   map[uint64]int
+	centers vector.Matrix
+	stamps  []float64
+	nnDist  []float64
+	nnID    []uint64
+	// clean is the inverse of the serial cache's dirty flag so the
+	// freshly built cache (all entries stale) needs no initialization
+	// pass over the flags.
+	clean    []bool
+	dirtyIdx []int
+}
+
+// newShardCenterCache allocates a cache for n entries of the given
+// dimensionality. Rows are filled positionally (and concurrently, one
+// shard's positions per reducer) via fill; finishBuild completes the
+// serial parts before the budget loop runs.
+func newShardCenterCache(n, dim int, mLast float64, pool *core.ReducerPool) *shardCenterCache {
+	return &shardCenterCache{
+		mLast:   mLast,
+		pool:    pool,
+		ids:     make([]uint64, n),
+		centers: vector.NewMatrix(n, dim),
+		stamps:  make([]float64, n),
+		nnDist:  make([]float64, n),
+		nnID:    make([]uint64, n),
+		clean:   make([]bool, n),
+	}
+}
+
+// fill writes entry pos from m: its id, centroid row and relevance
+// stamp. Distinct positions are written by distinct reducers, so fill is
+// safe to call concurrently for disjoint positions.
+func (c *shardCenterCache) fill(pos int, id uint64, m *MC) {
+	c.ids[pos] = id
+	c.setCenter(pos, m)
+	c.stamps[pos] = m.RelevanceStamp(c.mLast)
+}
+
+// setCenter writes m's centroid into row i with the exact arithmetic of
+// MC.Center (clone then scale by the precomputed 1/N), so the row's bits
+// equal what the serial cache stores.
+func (c *shardCenterCache) setCenter(i int, m *MC) {
+	row := c.centers.Row(i)
+	if m.N == 0 {
+		copy(row, m.CF1X)
+		return
+	}
+	inv := 1 / m.N
+	for d := range m.CF1X {
+		row[d] = m.CF1X[d] * inv
+	}
+}
+
+// finishBuild completes the parts of construction that must stay serial:
+// the id -> entry map.
+func (c *shardCenterCache) finishBuild() {
+	c.index = make(map[uint64]int, len(c.ids))
+	for i, id := range c.ids {
+		c.index[id] = i
+	}
+}
+
+// leastRecent mirrors centerCache.leastRecent: smallest stamp, first
+// index wins ties.
+func (c *shardCenterCache) leastRecent() (uint64, float64, bool) {
+	best := -1
+	for i := range c.ids {
+		if best < 0 || c.stamps[i] < c.stamps[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return c.ids[best], c.stamps[best], true
+}
+
+// put mirrors centerCache.put: refresh an existing entry in place (the
+// budget loop's merge destination) or append a new one.
+func (c *shardCenterCache) put(m *MC) {
+	if i, ok := c.index[m.Id]; ok {
+		c.setCenter(i, m)
+		c.stamps[i] = m.RelevanceStamp(c.mLast)
+		c.clean[i] = false
+		c.invalidateReferencesTo(m.Id)
+		return
+	}
+	i := len(c.ids)
+	c.ids = append(c.ids, m.Id)
+	c.centers.Data = append(c.centers.Data, make([]float64, c.centers.Cols)...)
+	c.centers.Rows++
+	c.setCenter(i, m)
+	c.stamps = append(c.stamps, m.RelevanceStamp(c.mLast))
+	c.nnDist = append(c.nnDist, 0)
+	c.nnID = append(c.nnID, 0)
+	c.clean = append(c.clean, false)
+	c.index[m.Id] = i
+}
+
+// remove mirrors centerCache.remove: swap-with-last, then invalidate
+// entries whose nearest neighbor was the removed id.
+func (c *shardCenterCache) remove(id uint64) {
+	i, ok := c.index[id]
+	if !ok {
+		return
+	}
+	last := len(c.ids) - 1
+	c.ids[i] = c.ids[last]
+	copy(c.centers.Row(i), c.centers.Row(last))
+	c.stamps[i] = c.stamps[last]
+	c.nnDist[i] = c.nnDist[last]
+	c.nnID[i] = c.nnID[last]
+	c.clean[i] = c.clean[last]
+	c.index[c.ids[i]] = i
+	c.ids = c.ids[:last]
+	c.centers.Data = c.centers.Data[:last*c.centers.Cols]
+	c.centers.Rows = last
+	c.stamps = c.stamps[:last]
+	c.nnDist = c.nnDist[:last]
+	c.nnID = c.nnID[:last]
+	c.clean = c.clean[:last]
+	delete(c.index, id)
+	c.invalidateReferencesTo(id)
+}
+
+func (c *shardCenterCache) invalidateReferencesTo(id uint64) {
+	for i := range c.ids {
+		if c.nnID[i] == id {
+			c.clean[i] = false
+		}
+	}
+}
+
+// recompute finds entry i's nearest other entry via two early-exit
+// kernel scans (rows before i, then rows after i with the prefix winner
+// threaded through as the bound) — one continuous scalar scan that skips
+// i, bit-identical to centerCache.recompute per ArgminBelowBound's
+// guarantee, including strict-less/first-index-wins tie-breaking.
+func (c *shardCenterCache) recompute(i int) {
+	cols := c.centers.Cols
+	n := c.centers.Rows
+	x := c.centers.Row(i)
+	prefix := vector.Matrix{Data: c.centers.Data[:i*cols], Rows: i, Cols: cols}
+	pb, pd := vector.ArgminBelowBound(x, prefix, math.Inf(1))
+	suffix := vector.Matrix{Data: c.centers.Data[(i+1)*cols : n*cols], Rows: n - i - 1, Cols: cols}
+	sb, sd := vector.ArgminBelowBound(x, suffix, pd)
+	switch {
+	case sb >= 0:
+		c.nnDist[i], c.nnID[i] = sd, c.ids[i+1+sb]
+	case pb >= 0:
+		c.nnDist[i], c.nnID[i] = pd, c.ids[pb]
+	default:
+		c.nnDist[i], c.nnID[i] = math.Inf(1), 0
+	}
+	c.clean[i] = true
+}
+
+// closestPair mirrors centerCache.closestPair: recompute stale entries
+// (fanned out over the reducer pool when there are many — each
+// recompute writes only its own entry, so distinct indices are
+// race-free), then take the strict-less minimum in index order.
+func (c *shardCenterCache) closestPair() (uint64, uint64, bool) {
+	if len(c.ids) < 2 {
+		return 0, 0, false
+	}
+	c.dirtyIdx = c.dirtyIdx[:0]
+	for i := range c.ids {
+		if !c.clean[i] {
+			c.dirtyIdx = append(c.dirtyIdx, i)
+		}
+	}
+	if len(c.dirtyIdx) >= parallelRecomputeMin && c.pool != nil && c.pool.Workers() > 1 {
+		_ = c.pool.Run(len(c.dirtyIdx), func(k int) error {
+			c.recompute(c.dirtyIdx[k])
+			return nil
+		})
+	} else {
+		for _, i := range c.dirtyIdx {
+			c.recompute(i)
+		}
+	}
+	best := math.Inf(1)
+	bi := -1
+	for i := range c.ids {
+		if c.nnDist[i] < best {
+			best = c.nnDist[i]
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return 0, 0, false
+	}
+	return c.ids[bi], c.nnID[bi], true
+}

@@ -96,6 +96,26 @@ func (m *Model) Remove(id uint64) bool {
 // Len returns the number of live micro-clusters.
 func (m *Model) Len() int { return len(m.mcs) }
 
+// At returns the live micro-cluster at admission position i without
+// copying the list — the positional access the sharded global update's
+// parallel sweeps use (each shard owns a disjoint set of positions).
+func (m *Model) At(i int) MicroCluster { return m.mcs[i] }
+
+// ReplaceAt substitutes the micro-cluster at admission position i with
+// mc, which must carry the same id — the positional fast path of the
+// sharded global update's fold, which resolved positions at plan time
+// and so skips the id -> position map lookup Replace pays.
+func (m *Model) ReplaceAt(i int, mc MicroCluster) error {
+	if cur := m.mcs[i]; cur != mc {
+		if cur.ID() != mc.ID() {
+			return fmt.Errorf("core: replace at %d: id %d does not match live id %d", i, mc.ID(), cur.ID())
+		}
+		m.mcs[i] = mc
+		m.version++
+	}
+	return nil
+}
+
 // List returns the live micro-clusters in admission order. The slice is a
 // copy; the elements are the live objects.
 func (m *Model) List() []MicroCluster {

@@ -57,9 +57,18 @@ type Config struct {
 	// schedule. An Overlapped schedule additionally lets the driver run
 	// the previous batch's publish/checkpoint tail and the next batch's
 	// prefetch concurrently with the current batch's parallel stages;
-	// the global update is always serialized, so final model state is
-	// bit-identical across schedules.
+	// the global update runs exclusively on the batch loop (serial, or
+	// sharded via GlobalShards — never concurrent with a previous batch's
+	// tail), so final model state is bit-identical across schedules.
 	Schedule sched.Schedule
+	// GlobalShards, when >= 1, partitions the global update's micro-
+	// cluster keyspace into that many shards and runs the per-MC phase as
+	// parallel per-shard reducers with a serialized cross-shard residue —
+	// byte-identical to the serial path. It takes effect only for
+	// algorithms implementing ShardedGlobalUpdater (CluStream, DenStream);
+	// others transparently keep the serial global update. 0 (default)
+	// selects the serial path for every algorithm.
+	GlobalShards int
 	// BatchInterval is the mini-batch window in virtual seconds.
 	BatchInterval vclock.Duration
 	// Order defaults to OrderAware.
@@ -109,8 +118,25 @@ type RunStats struct {
 	Assign         StageStats
 	Shuffle        StageStats
 	LocalUpdate    StageStats
-	GlobalUpdate   StageStats
-	TotalWall      time.Duration
+	// GlobalUpdate times the whole driver-side global update call per
+	// batch (apply + fold, excluding the sort). The sub-timings below
+	// attribute where that wall time goes.
+	GlobalUpdate StageStats
+	// GlobalSort times the order-aware sort (or baseline scramble) of the
+	// collected updates.
+	GlobalSort StageStats
+	// GlobalApply times the per-MC application phase: the whole
+	// GlobalUpdate call on the serial path, the parallel per-shard
+	// reducer phase on the sharded path.
+	GlobalApply StageStats
+	// GlobalFold times the sharded path's serialized residue (fragment
+	// fold, merges, deletions, sweeps); zero on the serial path.
+	GlobalFold StageStats
+	// ShardedGlobalBatches counts batches whose global update ran the
+	// sharded path (GlobalShards >= 1 and the algorithm has the
+	// capability).
+	ShardedGlobalBatches int
+	TotalWall            time.Duration
 	// StragglerTasks and TotalTasks aggregate over all parallel stages.
 	StragglerTasks, TotalTasks int
 	// TaskRetries counts task re-executions across all parallel stages:
@@ -177,6 +203,13 @@ type Pipeline struct {
 	model    *Model
 	stats    RunStats
 
+	// Sharded global update machinery (nil sharder: serial path). The
+	// pool and planner persist across batches so steady-state sharded
+	// updates neither spawn state nor allocate plan buffers per batch.
+	sharder      ShardedGlobalUpdater
+	shardPool    *ReducerPool
+	shardPlanner *ShardPlanner
+
 	initBuf     []stream.Record
 	initialized bool
 	configSent  bool
@@ -241,12 +274,29 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		}
 		cfg.Checkpoint = &validated
 	}
+	if cfg.GlobalShards < 0 {
+		return nil, fmt.Errorf("core: global shards %d must be >= 0", cfg.GlobalShards)
+	}
 	schedule := cfg.Schedule
 	if schedule == nil {
 		schedule, _ = sched.New(sched.BSP)
 	}
-	return &Pipeline{cfg: cfg, schedule: schedule, model: NewModel()}, nil
+	p := &Pipeline{cfg: cfg, schedule: schedule, model: NewModel()}
+	if cfg.GlobalShards >= 1 {
+		// Capability detection, same pattern as mbsp.Capabilities:
+		// algorithms without a sharded decomposition keep the serial path.
+		if sharder, ok := cfg.Algorithm.(ShardedGlobalUpdater); ok {
+			p.sharder = sharder
+			p.shardPool = NewReducerPool(0)
+			p.shardPlanner = NewShardPlanner()
+		}
+	}
+	return p, nil
 }
+
+// ShardedGlobal reports whether global updates run the sharded path:
+// GlobalShards >= 1 and the algorithm implements ShardedGlobalUpdater.
+func (p *Pipeline) ShardedGlobal() bool { return p.sharder != nil }
 
 // Schedule returns the batch execution strategy the pipeline runs under.
 func (p *Pipeline) Schedule() sched.Schedule { return p.schedule }
@@ -351,8 +401,10 @@ type fetched struct {
 // broadcast+assign: batch N-1's publish/checkpoint tail (runs until
 // runBatch joins it right before the global update), and the prefetch of
 // batch N+1 from the source. The global update itself — the only model
-// mutation — stays strictly serialized, so the final model is
-// bit-identical to the synchronous loop's.
+// mutation — runs exclusively on the batch loop after that join (its
+// sharded variant parallelizes internally but never overlaps another
+// batch's work), so the final model is bit-identical to the synchronous
+// loop's.
 func (p *Pipeline) runOverlapped(ctx context.Context, batcher *stream.Batcher, start time.Time) (RunStats, error) {
 	adaptive := p.cfg.Adaptive != nil
 	// Prefetching from a source that delivers instantly (a replayed slice,
@@ -588,22 +640,40 @@ func (p *Pipeline) runBatch(ctx context.Context, batch stream.Batch, join func()
 		return false, err
 	}
 
-	// Single-node global update (§V-C) with order-aware application
-	// (§IV-C2).
+	// Driver-side global update (§V-C) with order-aware application
+	// (§IV-C2): serial by default, or sharded into parallel per-shard
+	// reducers plus a serialized residue when GlobalShards is set and the
+	// algorithm has the capability.
+	sortStart := time.Now()
 	if p.cfg.Order == OrderAware {
 		SortUpdatesByOrderTime(updates)
 	} else {
 		ScrambleUpdates(updates)
 	}
+	p.stats.GlobalSort.Wall += time.Since(sortStart)
+	p.stats.GlobalSort.Count++
 	if join != nil {
 		if err := join(); err != nil {
 			return false, err
 		}
 	}
 	globalStart := time.Now()
-	if err := p.cfg.Algorithm.GlobalUpdate(p.model, updates, batch.End); err != nil {
-		return false, fmt.Errorf("core: global update: %w", err)
+	if p.sharder != nil {
+		run := NewShardedRun(p.cfg.GlobalShards, p.shardPool, p.shardPlanner)
+		if err := p.sharder.GlobalUpdateSharded(p.model, updates, batch.End, run); err != nil {
+			return false, fmt.Errorf("core: sharded global update: %w", err)
+		}
+		p.stats.GlobalApply.Wall += run.ApplyWall()
+		p.stats.GlobalFold.Wall += run.FoldWall()
+		p.stats.GlobalFold.Count++
+		p.stats.ShardedGlobalBatches++
+	} else {
+		if err := p.cfg.Algorithm.GlobalUpdate(p.model, updates, batch.End); err != nil {
+			return false, fmt.Errorf("core: global update: %w", err)
+		}
+		p.stats.GlobalApply.Wall += time.Since(globalStart)
 	}
+	p.stats.GlobalApply.Count++
 	p.stats.GlobalUpdate.Wall += time.Since(globalStart)
 	p.stats.GlobalUpdate.Count++
 	p.model.SetNow(batch.End)

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"testing"
+
+	"diststream/internal/vector"
+)
+
+// shardMC builds an unadmitted toy micro-cluster for planner tests.
+func shardMC(w float64, coords ...float64) *toyMC {
+	return &toyMC{Sum: vector.Vector(coords), W: w, Created: 1, Updated: 1}
+}
+
+// shardModel admits n micro-clusters and returns the model.
+func shardModel(t *testing.T, n int) *Model {
+	t.Helper()
+	m := NewModel()
+	for i := 0; i < n; i++ {
+		m.Add(shardMC(float64(i+1), float64(i), float64(-i)))
+	}
+	return m
+}
+
+// applySerialUpdates is the reference serial update phase (the shipped
+// algorithms' apply loop verbatim): replace live bases, re-admit
+// vanished ones, admit creations, in order.
+func applySerialUpdates(t *testing.T, m *Model, updates []Update) {
+	t.Helper()
+	for _, u := range updates {
+		switch u.Kind {
+		case KindUpdated:
+			if m.Get(u.MC.ID()) == nil {
+				m.Add(u.MC)
+			} else if err := m.Replace(u.MC); err != nil {
+				t.Fatalf("serial replace: %v", err)
+			}
+		case KindCreated:
+			m.Add(u.MC)
+		default:
+			t.Fatalf("unknown kind %d", u.Kind)
+		}
+	}
+}
+
+// applyShardedUpdates runs the same updates through plan/reduce/fold.
+func applyShardedUpdates(t *testing.T, m *Model, updates []Update, shards int) *ShardPlan {
+	t.Helper()
+	plan, err := NewShardPlanner().Plan(m, updates, shards)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	frags := make([]*ShardFragment, plan.Shards())
+	for s := range frags {
+		frags[s] = plan.Reduce(s)
+	}
+	if err := plan.Fold(m, frags); err != nil {
+		t.Fatalf("fold: %v", err)
+	}
+	return plan
+}
+
+// encodeToy serializes a model of toy micro-clusters.
+func encodeToy(t *testing.T, m *Model) []byte {
+	t.Helper()
+	gob.Register(&toyMC{})
+	data, err := m.EncodeState()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+// cloneToyModel deep-copies a model via the state codec.
+func cloneToyModel(t *testing.T, m *Model) *Model {
+	t.Helper()
+	out, err := DecodeModelState(encodeToy(t, m))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+// requireSerialShardedEqual applies updates serially and sharded to
+// copies of base and requires byte-equal state.
+func requireSerialShardedEqual(t *testing.T, base *Model, updates []Update, shards int) {
+	t.Helper()
+	serial := cloneToyModel(t, base)
+	applySerialUpdates(t, serial, updates)
+	sharded := cloneToyModel(t, base)
+	applyShardedUpdates(t, sharded, updates, shards)
+	if !bytes.Equal(encodeToy(t, serial), encodeToy(t, sharded)) {
+		t.Fatalf("sharded state diverged from serial (shards=%d)", shards)
+	}
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for shards := 1; shards <= 9; shards++ {
+		for id := uint64(0); id < 300; id++ {
+			s := ShardOf(id, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", id, shards, s)
+			}
+			if again := ShardOf(id, shards); again != s {
+				t.Fatalf("ShardOf(%d, %d) unstable: %d then %d", id, shards, s, again)
+			}
+		}
+	}
+	if got := ShardOf(42, 0); got != 0 {
+		t.Fatalf("ShardOf with 0 shards = %d, want 0", got)
+	}
+}
+
+func TestShardPlanEmptyBatch(t *testing.T) {
+	base := shardModel(t, 5)
+	before := encodeToy(t, base)
+	plan := applyShardedUpdates(t, base, nil, 4)
+	if plan.FinalLen() != 5 || plan.NumCreations() != 0 {
+		t.Fatalf("empty batch plan: finalLen=%d creations=%d", plan.FinalLen(), plan.NumCreations())
+	}
+	if !bytes.Equal(before, encodeToy(t, base)) {
+		t.Fatal("empty batch mutated the model")
+	}
+	// Every fragment must be empty but well-formed (checksum of nothing).
+	for s := 0; s < plan.Shards(); s++ {
+		frag := plan.Reduce(s)
+		if len(frag.Positions) != 0 || len(frag.Upserts) != 0 {
+			t.Fatalf("shard %d fragment not empty: %d positions", s, len(frag.Positions))
+		}
+	}
+}
+
+func TestShardPlanAllUpdatesToOneMC(t *testing.T) {
+	base := shardModel(t, 6)
+	id := base.IDs()[2]
+	var updates []Update
+	for i := 0; i < 10; i++ {
+		mc := shardMC(100+float64(i), float64(i), 0)
+		mc.Id = id
+		updates = append(updates, Update{Kind: KindUpdated, MC: mc, OrderTime: 1, OrderSeq: uint64(i)})
+	}
+	for _, shards := range []int{1, 3, 8} {
+		requireSerialShardedEqual(t, base, updates, shards)
+	}
+	// Last-wins: the surviving object must be the final update's.
+	m := cloneToyModel(t, base)
+	plan := applyShardedUpdates(t, m, updates, 3)
+	if got := m.Get(id).(*toyMC).W; got != 109 {
+		t.Fatalf("surviving weight = %v, want 109 (last update)", got)
+	}
+	touched := 0
+	for p := 0; p < plan.FinalLen(); p++ {
+		if plan.Touched(p) {
+			touched++
+		}
+	}
+	if touched != 1 {
+		t.Fatalf("touched positions = %d, want 1", touched)
+	}
+}
+
+func TestShardPlanDeletionRacingAbsorb(t *testing.T) {
+	// An update whose base was deleted before the global update (the
+	// "deletion racing an absorb" case): the serial path re-admits it
+	// under a fresh id; the planner must pre-assign that exact id.
+	base := shardModel(t, 4)
+	victim := base.IDs()[1]
+	base.Remove(victim)
+	ghost := shardMC(7, 1, 2)
+	ghost.Id = victim // stale reference to the deleted base
+	updates := []Update{
+		{Kind: KindUpdated, MC: ghost, OrderTime: 1, OrderSeq: 1},
+		{Kind: KindCreated, MC: shardMC(3, 9, 9), OrderTime: 2, OrderSeq: 2},
+	}
+	for _, shards := range []int{1, 2, 7} {
+		requireSerialShardedEqual(t, base, updates, shards)
+	}
+	m := cloneToyModel(t, base)
+	plan := applyShardedUpdates(t, m, updates, 2)
+	if plan.NumCreations() != 2 {
+		t.Fatalf("creations = %d, want 2 (re-admission + creation)", plan.NumCreations())
+	}
+	if m.Get(victim) != nil {
+		t.Fatal("deleted id resurrected under its old id")
+	}
+}
+
+func TestShardPlanUpdateTargetsMidBatchCreation(t *testing.T) {
+	// Adversarial ordering: a KindUpdated referencing the id a creation
+	// earlier in the same batch will receive. The serial path's Get finds
+	// the just-admitted creation and replaces it; the planner must route
+	// the update to that creation's position.
+	base := shardModel(t, 3)
+	predicted := base.IDs()[2] + 1 // next id the allocator hands out
+	created := shardMC(1, 5, 5)
+	replacement := shardMC(2, 6, 6)
+	replacement.Id = predicted
+	updates := []Update{
+		{Kind: KindCreated, MC: created, OrderTime: 1, OrderSeq: 1},
+		{Kind: KindUpdated, MC: replacement, OrderTime: 2, OrderSeq: 2},
+	}
+	for _, shards := range []int{1, 4} {
+		requireSerialShardedEqual(t, base, updates, shards)
+	}
+	m := cloneToyModel(t, base)
+	applyShardedUpdates(t, m, updates, 4)
+	if got := m.Get(predicted); got == nil || got.(*toyMC).W != 2 {
+		t.Fatalf("mid-batch creation not replaced: %+v", got)
+	}
+}
+
+func TestShardPlanShardCountExceedsMCCount(t *testing.T) {
+	base := shardModel(t, 2)
+	updates := []Update{
+		{Kind: KindCreated, MC: shardMC(1, 3, 3), OrderTime: 1, OrderSeq: 1},
+	}
+	requireSerialShardedEqual(t, base, updates, 64)
+	// The union of shard positions must cover every final position once.
+	plan, err := NewShardPlanner().Plan(cloneToyModel(t, base), updates, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]bool)
+	for s := 0; s < plan.Shards(); s++ {
+		for _, pos := range plan.ShardPositions(s) {
+			if seen[pos] {
+				t.Fatalf("position %d owned by two shards", pos)
+			}
+			seen[pos] = true
+		}
+	}
+	if len(seen) != plan.FinalLen() {
+		t.Fatalf("positions covered = %d, want %d", len(seen), plan.FinalLen())
+	}
+}
+
+func TestShardPlanRejectsUnknownKind(t *testing.T) {
+	base := shardModel(t, 1)
+	_, err := NewShardPlanner().Plan(base, []Update{{Kind: UpdateKind(99), MC: shardMC(1, 0, 0)}}, 2)
+	if err == nil || !strings.Contains(err.Error(), "unknown update kind") {
+		t.Fatalf("err = %v, want unknown update kind", err)
+	}
+}
+
+func TestShardFoldDetectsCorruptFragment(t *testing.T) {
+	base := shardModel(t, 3)
+	mc := shardMC(5, 1, 1)
+	mc.Id = base.IDs()[0]
+	plan, err := NewShardPlanner().Plan(base, []Update{{Kind: KindUpdated, MC: mc}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := make([]*ShardFragment, plan.Shards())
+	for s := range frags {
+		frags[s] = plan.Reduce(s)
+	}
+	for _, frag := range frags {
+		for _, up := range frag.Upserts {
+			up.(*toyMC).W++ // corrupt after reduce
+		}
+	}
+	err = plan.Fold(base, frags)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestShardPlannerReuseAcrossBatches(t *testing.T) {
+	// The pipeline reuses one planner; successive plans must not leak
+	// state from the previous batch.
+	planner := NewShardPlanner()
+	base := shardModel(t, 4)
+	mc := shardMC(9, 0, 0)
+	mc.Id = base.IDs()[3]
+	serial := cloneToyModel(t, base)
+	applySerialUpdates(t, serial, []Update{{Kind: KindUpdated, MC: mc}})
+
+	for round := 0; round < 3; round++ {
+		m := cloneToyModel(t, base)
+		mc2 := shardMC(9, 0, 0)
+		mc2.Id = m.IDs()[3]
+		plan, err := planner.Plan(m, []Update{{Kind: KindUpdated, MC: mc2}}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags := make([]*ShardFragment, plan.Shards())
+		for s := range frags {
+			frags[s] = plan.Reduce(s)
+		}
+		if err := plan.Fold(m, frags); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeToy(t, serial), encodeToy(t, m)) {
+			t.Fatalf("round %d: reused planner diverged", round)
+		}
+	}
+}
+
+func TestReducerPoolInlineAndParallelEquivalent(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		pool := NewReducerPool(workers)
+		out := make([]int, 100)
+		if err := pool.Run(len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: item %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestReducerPoolFirstErrorByIndex(t *testing.T) {
+	boom := func(i int) error {
+		if i%3 == 1 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	}
+	for _, workers := range []int{2, 8} {
+		err := NewReducerPool(workers).Run(30, boom)
+		if err == nil || err.Error() != "item 1 failed" {
+			t.Fatalf("workers=%d: err = %v, want deterministic first-by-index", workers, err)
+		}
+	}
+	// Inline mode stops at the first error too.
+	calls := 0
+	err := NewReducerPool(1).Run(30, func(i int) error {
+		calls++
+		return boom(i)
+	})
+	if err == nil || err.Error() != "item 1 failed" || calls != 2 {
+		t.Fatalf("inline: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestReducerPoolParallelPanicBecomesError(t *testing.T) {
+	err := NewReducerPool(4).Run(8, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+}
+
+func TestPipelineRejectsNegativeGlobalShards(t *testing.T) {
+	_, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        newToyEngine(t, 1),
+		BatchInterval: 10,
+		GlobalShards:  -1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "global shards") {
+		t.Fatalf("err = %v, want global shards validation error", err)
+	}
+}
+
+func TestPipelineShardedCapabilityDetection(t *testing.T) {
+	// toyAlgo has no sharded decomposition: GlobalShards must fall back
+	// to the serial path, not fail.
+	pl, err := NewPipeline(Config{
+		Algorithm:     newToyAlgo(),
+		Engine:        newToyEngine(t, 1),
+		BatchInterval: 10,
+		GlobalShards:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.ShardedGlobal() {
+		t.Fatal("toy algorithm reported a sharded global update")
+	}
+}

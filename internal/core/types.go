@@ -11,9 +11,12 @@
 //     micro-cluster's absorbed records by arrival order and folds their
 //     increments one at a time (§IV-C1, §V-B); outlier records create new
 //     micro-clusters, pre-merged within the task (§V-C);
-//  3. global update — a single driver step that applies the collected
-//     updates to the live model in created/updated-time order (§IV-C2)
-//     via the algorithm's GlobalUpdate.
+//  3. global update — a driver step that applies the collected updates
+//     to the live model in created/updated-time order (§IV-C2) via the
+//     algorithm's GlobalUpdate; with Config.GlobalShards set, algorithms
+//     implementing ShardedGlobalUpdater run the per-MC phase as parallel
+//     per-shard reducers plus a serialized cross-shard residue, with
+//     byte-identical results (see shard.go).
 //
 // The four developer APIs the paper names — micro-cluster representation,
 // distance computation, local update, global update — correspond to the

@@ -1,0 +1,112 @@
+package denstream
+
+import (
+	"fmt"
+	"slices"
+
+	"diststream/internal/core"
+	"diststream/internal/vclock"
+)
+
+// This file implements the core.ShardedGlobalUpdater capability for
+// DenStream. The decomposition:
+//
+//	parallel (per shard)   reduce the shard's fragment (touched
+//	                       positions + final micro-clusters);
+//	barrier
+//	residue (serialized)   fold the fragments, run the sweep-due check;
+//	parallel (per shard)   when a sweep is due: decay each untouched
+//	                       micro-cluster the shard owns in place,
+//	                       promote/demote, and collect deletion victims;
+//	barrier
+//	residue (serialized)   delete the victims in admission order.
+//
+// Byte-identity with the serial path: per-micro-cluster decay,
+// promotion and demotion read and write only that micro-cluster, so
+// sweeping disjoint position sets concurrently produces the same state
+// as the serial admission-order sweep; the order-sensitive deletions are
+// gathered per shard and replayed serially in admission order — exactly
+// the order the serial sweep removes them in. The positional touched
+// flags from the plan replicate the serial path's touched-id map
+// (creations and re-admitted bases count as touched under their new
+// ids).
+var _ core.ShardedGlobalUpdater = (*Algorithm)(nil)
+
+// sweepVictim is one micro-cluster the parallel sweep marked for
+// deletion: its final admission position (for deterministic ordering)
+// and its id (captured before any removal shifts positions).
+type sweepVictim struct {
+	pos int32
+	id  uint64
+}
+
+// GlobalUpdateSharded implements core.ShardedGlobalUpdater.
+func (a *Algorithm) GlobalUpdateSharded(model *core.Model, updates []core.Update, now vclock.Time, run *core.ShardedRun) error {
+	plan, err := run.Plan(model, updates)
+	if err != nil {
+		return fmt.Errorf("denstream: %w", err)
+	}
+	frags := make([]*core.ShardFragment, plan.Shards())
+	if err := run.Parallel(func(s int) error {
+		frags[s] = plan.Reduce(s)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var due bool
+	if err := run.Residue(func() error {
+		if err := plan.Fold(model, frags); err != nil {
+			return err
+		}
+		due = sweepDue(model, now, len(updates))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !due {
+		return nil
+	}
+
+	betaMu := a.cfg.Beta * a.cfg.Mu
+	doomed := make([][]sweepVictim, plan.Shards())
+	if err := run.Parallel(func(s int) error {
+		var victims []sweepVictim
+		for _, pos := range plan.ShardPositions(s) {
+			p := int(pos)
+			m, ok := model.At(p).(*MC)
+			if !ok {
+				return fmt.Errorf("denstream: micro-cluster at position %d is %T, want *MC", p, model.At(p))
+			}
+			if !plan.Touched(p) {
+				m.Decay(now, a.cfg.Lambda)
+			}
+			switch {
+			case !m.Potential && m.W >= betaMu:
+				m.Potential = true
+			case m.Potential && m.W < betaMu:
+				m.Potential = false
+			}
+			if m.W < a.deleteThreshold() {
+				victims = append(victims, sweepVictim{pos: pos, id: m.Id})
+			}
+		}
+		doomed[s] = victims
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	return run.Residue(func() error {
+		var all []sweepVictim
+		for _, victims := range doomed {
+			all = append(all, victims...)
+		}
+		slices.SortFunc(all, func(x, y sweepVictim) int {
+			return int(x.pos) - int(y.pos)
+		})
+		for _, v := range all {
+			model.Remove(v.id)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,183 @@
+package denstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"diststream/internal/core"
+	"diststream/internal/vclock"
+	"diststream/internal/vector"
+)
+
+// randMC builds a random micro-cluster. Weights are spread across the
+// promote/demote/prune thresholds of the test config so sweeps exercise
+// every branch.
+func randMC(r *rand.Rand, dim int, t float64, betaMu float64) *MC {
+	w := 0.05 + 2*betaMu*r.Float64()
+	cf1 := vector.New(dim)
+	cf2 := vector.New(dim)
+	for d := range cf1 {
+		v := r.NormFloat64() * 2
+		cf1[d] = v * w
+		cf2[d] = v * v * w
+	}
+	return &MC{
+		CF1:       cf1,
+		CF2:       cf2,
+		W:         w,
+		Potential: r.Intn(2) == 0,
+		Born:      vclock.Time(t),
+		Last:      vclock.Time(t),
+	}
+}
+
+func cloneModel(t *testing.T, a *Algorithm, m *core.Model) *core.Model {
+	t.Helper()
+	data, err := a.EncodeState(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := a.DecodeState(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func encodeModel(t *testing.T, a *Algorithm, m *core.Model) []byte {
+	t.Helper()
+	data, err := a.EncodeState(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+// cloneUpdates deep-copies a batch so one run's in-place mutations
+// (promotion flags, Add assigning re-admission ids) cannot leak into the
+// other run's input.
+func cloneUpdates(updates []core.Update) []core.Update {
+	out := make([]core.Update, len(updates))
+	for i, u := range updates {
+		u.MC = u.MC.Clone()
+		out[i] = u
+	}
+	return out
+}
+
+// TestShardedGlobalUpdateMatchesSerial is the randomized differential
+// battery: random models (with deleted ids and stale micro-clusters),
+// random batches, random shard counts and pool sizes — serial
+// GlobalUpdate and GlobalUpdateSharded must produce byte-identical
+// state, including the sweep's decay, promotions, demotions and
+// deletions.
+func TestShardedGlobalUpdateMatchesSerial(t *testing.T) {
+	const dim = 5
+	for trial := 0; trial < 60; trial++ {
+		r := rand.New(rand.NewSource(int64(2000 + trial)))
+		algo := New(Config{Dim: dim, Epsilon: 2, Mu: 4, Beta: 0.5, Lambda: 0.2})
+		betaMu := algo.cfg.Beta * algo.cfg.Mu
+		base := core.NewModel()
+		now := 50.0
+		for i := 0; i < 5+r.Intn(20); i++ {
+			// Some micro-clusters long-stale so the sweep's decay drops
+			// them below the delete threshold.
+			t0 := now - 3*r.Float64()
+			if r.Intn(3) == 0 {
+				t0 = now - 20 - 30*r.Float64()
+			}
+			base.Add(randMC(r, dim, t0, betaMu))
+		}
+		var removed []uint64
+		for _, id := range base.IDs() {
+			if r.Intn(6) == 0 {
+				base.Remove(id)
+				removed = append(removed, id)
+			}
+		}
+		base.SetNow(vclock.Time(now - 1))
+		live := base.IDs()
+		n := 2 + r.Intn(20)
+		var updates []core.Update
+		for i := 0; i < n; i++ {
+			ts := now - 1 + float64(i)/float64(n)
+			mc := randMC(r, dim, ts, betaMu)
+			u := core.Update{MC: mc, OrderTime: vclock.Time(ts), OrderSeq: uint64(i)}
+			switch roll := r.Intn(10); {
+			case roll < 5 && len(live) > 0:
+				mc.Id = live[r.Intn(len(live))]
+				u.Kind = core.KindUpdated
+			case roll < 7 && len(removed) > 0:
+				mc.Id = removed[r.Intn(len(removed))]
+				u.Kind = core.KindUpdated
+			default:
+				u.Kind = core.KindCreated
+			}
+			updates = append(updates, u)
+		}
+		shards := 1 + r.Intn(9)
+		pool := core.NewReducerPool(1 + r.Intn(4))
+
+		serial := cloneModel(t, algo, base)
+		if err := algo.GlobalUpdate(serial, cloneUpdates(updates), vclock.Time(now)); err != nil {
+			t.Fatalf("trial %d: serial: %v", trial, err)
+		}
+		sharded := cloneModel(t, algo, base)
+		run := core.NewShardedRun(shards, pool, nil)
+		if err := algo.GlobalUpdateSharded(sharded, cloneUpdates(updates), vclock.Time(now), run); err != nil {
+			t.Fatalf("trial %d: sharded: %v", trial, err)
+		}
+		if !bytes.Equal(encodeModel(t, algo, serial), encodeModel(t, algo, sharded)) {
+			t.Fatalf("trial %d: sharded state diverged (shards=%d pool=%d updates=%d)",
+				trial, shards, pool.Workers(), len(updates))
+		}
+	}
+}
+
+// TestShardedSweepGate covers the sweep-due bookkeeping: a single-update
+// batch inside the sweep interval must skip the sweep on both paths —
+// and, critically, write the same "denstream.lastSweep" meta either way,
+// since meta is part of the encoded state.
+func TestShardedSweepGate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	algo := New(Config{Dim: 3, Epsilon: 2, Mu: 4, Beta: 0.5, Lambda: 0.1})
+	betaMu := algo.cfg.Beta * algo.cfg.Mu
+	base := core.NewModel()
+	for i := 0; i < 6; i++ {
+		base.Add(randMC(r, 3, 10, betaMu))
+	}
+	base.SetMetaFloat("denstream.lastSweep", 10)
+
+	mk := func() []core.Update {
+		mc := randMC(r, 3, 10.5, betaMu)
+		mc.Id = base.IDs()[0]
+		return []core.Update{{Kind: core.KindUpdated, MC: mc, OrderTime: 10, OrderSeq: 1}}
+	}
+	// One update, 0.5s after the last sweep: not due.
+	updates := mk()
+	serial := cloneModel(t, algo, base)
+	if err := algo.GlobalUpdate(serial, updates, vclock.Time(10.5)); err != nil {
+		t.Fatal(err)
+	}
+	sharded := cloneModel(t, algo, base)
+	if err := algo.GlobalUpdateSharded(sharded, updates, vclock.Time(10.5), core.NewShardedRun(3, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeModel(t, algo, serial), encodeModel(t, algo, sharded)) {
+		t.Fatal("sweep-skipped state diverged")
+	}
+	// Same single update, past the interval: due on both paths.
+	updates = mk()
+	serial2 := cloneModel(t, algo, base)
+	if err := algo.GlobalUpdate(serial2, updates, vclock.Time(12)); err != nil {
+		t.Fatal(err)
+	}
+	sharded2 := cloneModel(t, algo, base)
+	if err := algo.GlobalUpdateSharded(sharded2, updates, vclock.Time(12), core.NewShardedRun(3, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeModel(t, algo, serial2), encodeModel(t, algo, sharded2)) {
+		t.Fatal("sweep-due state diverged")
+	}
+}

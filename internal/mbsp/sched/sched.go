@@ -2,7 +2,11 @@
 // swappable strategy. A Schedule runs the parallel portion of one
 // mini-batch — model broadcast, record-parallel assign, shuffle by
 // micro-cluster key, model-parallel local update — over an mbsp engine
-// and returns the collected updates for the driver's global step.
+// and returns the collected updates for the driver's global step. The
+// global step itself is serial by default but not inherently so: with
+// core.Config.GlobalShards set and an algorithm exposing
+// core.ShardedGlobalUpdater, the driver runs it as parallel per-shard
+// reducers plus a serialized residue, byte-identical to the serial path.
 //
 // Two strategies ship:
 //
