@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke sched-smoke shard-smoke chaos-smoke
+.PHONY: build test race vet check bench bench-json fuzz-smoke serve-smoke sched-smoke shard-smoke chaos-smoke subscribe-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ bench:
 # machine-readable JSON. Raise BENCHTIME (e.g. 2s) for stable numbers;
 # the 1x default is the CI smoke setting.
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run ^$$ ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
@@ -64,6 +64,16 @@ chaos-smoke:
 	$(GO) test -race -count=1 -run '^TestChurnEquivalence' .
 	$(GO) test -race -count=1 ./internal/membership/ ./internal/supervise/ ./internal/backoff/
 	$(GO) run -race ./cmd/diststream chaos -records 4000 -kills 2 -kill-every 3
+
+# subscribe-smoke runs the subscription-hub battery under the race
+# detector: the 64-subscriber churn test (connect/kill/reconnect with
+# cursor resume while the hub publishes), the local-replica equivalence
+# battery ({clustream,denstream}: a replica built from deltas must be
+# gob-identical to the published model), and the hub unit tests (plan
+# lifecycle, cursor resolution, shedding, coalescing, retention races).
+subscribe-smoke:
+	$(GO) test -race -count=1 ./internal/subscribe/
+	$(GO) test -race -count=1 -run '^TestRegistryRetained|^TestRegistryEviction' ./internal/serve/
 
 # serve-smoke boots `diststream serve` on a live pipeline and exercises
 # every serving endpoint end to end: readiness, assign, clusters, macro

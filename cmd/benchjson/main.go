@@ -19,6 +19,10 @@
 // (the cmd/serveload -json summary) are collected under "serveload", so
 // the archived bench JSON also tracks the serving-path trajectory (qps,
 // latency percentiles, shed counts), not just ingest benchmarks.
+// Likewise `SUBLOAD {json}` lines (from cmd/subload -json or the
+// BenchmarkSubscribeFanout fixture) are collected under "subload",
+// covering the replication fan-out path (deltas vs snapshots, bytes per
+// subscriber per batch).
 package main
 
 import (
@@ -43,6 +47,9 @@ type report struct {
 	// ServeLoad holds cmd/serveload -json summaries found on stdin, in
 	// input order.
 	ServeLoad []json.RawMessage `json:"serveload,omitempty"`
+	// SubLoad holds cmd/subload -json summaries found on stdin, in
+	// input order.
+	SubLoad []json.RawMessage `json:"subload,omitempty"`
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -70,6 +77,11 @@ func main() {
 			blob := strings.TrimSpace(strings.TrimPrefix(line, "SERVELOAD "))
 			if json.Valid([]byte(blob)) {
 				rep.ServeLoad = append(rep.ServeLoad, json.RawMessage(blob))
+			}
+		case strings.HasPrefix(line, "SUBLOAD "):
+			blob := strings.TrimSpace(strings.TrimPrefix(line, "SUBLOAD "))
+			if json.Valid([]byte(blob)) {
+				rep.SubLoad = append(rep.SubLoad, json.RawMessage(blob))
 			}
 		case strings.HasPrefix(line, "Benchmark"):
 			name, res, ok := parseBenchLine(line)

@@ -18,6 +18,7 @@ import (
 	"diststream/internal/harness"
 	"diststream/internal/serve"
 	"diststream/internal/stream"
+	"diststream/internal/subscribe"
 	"diststream/internal/vclock"
 )
 
@@ -42,6 +43,11 @@ type serveOptions struct {
 	maxQPS      float64
 	queueWait   time.Duration
 	retryAfter  time.Duration
+
+	subscribeAddr   string
+	subscribeEgress int64
+	subscribeLag    int
+	publishInterval time.Duration
 }
 
 func runServe(w io.Writer, args []string) error {
@@ -65,6 +71,10 @@ func runServe(w io.Writer, args []string) error {
 	fs.Float64Var(&o.maxQPS, "max-qps", 0, "admission: max admitted queries per second (0 = unlimited); cap this when queries share cores with ingest")
 	fs.DurationVar(&o.queueWait, "queue-wait", 100*time.Millisecond, "admission: max time a query waits before being shed")
 	fs.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
+	fs.StringVar(&o.subscribeAddr, "subscribe-addr", "", "TCP listen address for streaming model subscriptions (empty = off)")
+	fs.Int64Var(&o.subscribeEgress, "subscribe-egress", 0, "aggregate subscription fan-out budget in bytes/sec (0 = unlimited); cap this when subscribers share a NIC or cores with ingest")
+	fs.IntVar(&o.subscribeLag, "subscribe-max-lag", 0, "retained deltas a subscriber may need to replay before it is shed to a snapshot resync (0 = retention depth)")
+	fs.DurationVar(&o.publishInterval, "publish-interval", 0, "minimum wall time between model publications (0 = publish every batch); pace this when a saturated ingest loop would publish hundreds of versions per second")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,18 +125,55 @@ func runServe(w io.Writer, args []string) error {
 	defer buffered.Close()
 
 	registry := serve.NewRegistry(o.keep)
+
+	// With -subscribe-addr the publish hook routes through the hub, which
+	// chains the registry publication with delta fan-out — HTTP queries
+	// and subscribers see the same version numbers.
+	onPublish := registry.Hook()
+	var hub *subscribe.Hub
+	var subLn net.Listener
+	if o.subscribeAddr != "" {
+		harness.RegisterAllWireTypes()
+		algos, err := harness.NewAlgorithmRegistry()
+		if err != nil {
+			return err
+		}
+		hub, err = subscribe.NewHub(subscribe.HubConfig{
+			Registry:          registry,
+			Algos:             algos,
+			EgressBytesPerSec: o.subscribeEgress,
+			MaxLag:            o.subscribeLag,
+		})
+		if err != nil {
+			return err
+		}
+		onPublish = hub.Hook()
+		subLn, err = net.Listen("tcp", o.subscribeAddr)
+		if err != nil {
+			return err
+		}
+		go hub.Serve(subLn)
+		fmt.Fprintf(w, "subscriptions on %s (length-prefixed frames, cursor resume)\n", subLn.Addr())
+	}
+
 	pipeline, err := core.NewPipeline(core.Config{
-		Algorithm:     algo,
-		Engine:        engine,
-		BatchInterval: vclock.Duration(o.batch),
-		OnPublish:     registry.Hook(),
+		Algorithm:          algo,
+		Engine:             engine,
+		BatchInterval:      vclock.Duration(o.batch),
+		OnPublish:          onPublish,
+		PublishMinInterval: o.publishInterval,
 	})
 	if err != nil {
 		return err
 	}
 
+	var extraMetrics func(io.Writer)
+	if hub != nil {
+		extraMetrics = hub.WriteMetrics
+	}
 	server, err := serve.NewServer(serve.Config{
-		Registry: registry,
+		Registry:     registry,
+		ExtraMetrics: extraMetrics,
 		Admission: serve.LimiterConfig{
 			MaxInFlight: o.maxInFlight,
 			MaxQueue:    o.maxQueue,
@@ -189,6 +236,15 @@ func runServe(w io.Writer, args []string) error {
 	server.Drain()
 	buffered.Close()
 	<-ingestDone
+	if hub != nil {
+		// Graceful drain: every subscriber gets a goodbye frame carrying
+		// its cursor, so reconnecting against a restarted server resumes
+		// with deltas instead of a snapshot storm.
+		hs := hub.Stats()
+		fmt.Fprintf(w, "draining %d subscribers (%d deltas, %d snapshots sent)...\n",
+			hs.Active, hs.DeltasSent, hs.SnapshotsSent)
+		hub.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,85 @@
+// Command subload drives N concurrent subscribers against a running
+// subscription hub (`diststream serve -subscribe-addr ...`) and reports
+// the replication-path metrics: deltas vs snapshots, resume behavior,
+// and the marginal network cost of keeping one replica current per
+// published batch — the proof harness for the subscription subsystem's
+// "fan-out must not slow ingestion" claim.
+//
+// Usage:
+//
+//	subload -addr 127.0.0.1:9090 -subscribers 256 -duration 10s
+//
+// With -drain the fleet runs the full wire protocol (cursor tracking,
+// resume, shedding) without materializing local replicas, isolating the
+// hub-side cost from the subscribers' apply CPU. With -json the summary
+// is printed as a single machine-readable line
+//
+//	SUBLOAD {"subscribers":..., "deltas":..., "bytes_per_sub_per_batch":...}
+//
+// which cmd/benchjson recognizes and embeds in the archived bench JSON,
+// so the perf trajectory covers replication fan-out as well as ingest
+// and query serving.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"diststream/internal/harness"
+	"diststream/internal/subscribe"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "subload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("subload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "hub TCP address (diststream serve -subscribe-addr)")
+	subs := fs.Int("subscribers", 64, "concurrent subscribers to run")
+	duration := fs.Duration("duration", 10*time.Second, "measured run length after the fleet warms up")
+	warm := fs.Duration("warm-timeout", 30*time.Second, "max wait for every subscriber to hold a first replica")
+	drain := fs.Bool("drain", false, "run the protocol without materializing local replicas (isolates hub-side cost)")
+	asJSON := fs.Bool("json", false, "print a single SUBLOAD {json} summary line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	harness.RegisterAllWireTypes()
+	algos, err := harness.NewAlgorithmRegistry()
+	if err != nil {
+		return err
+	}
+	res, err := subscribe.RunSubscribers(subscribe.LoadConfig{
+		Addr:        *addr,
+		Subscribers: *subs,
+		Algos:       algos,
+		Duration:    *duration,
+		WarmTimeout: *warm,
+		Drain:       *drain,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		blob, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SUBLOAD %s\n", blob)
+		return nil
+	}
+	fmt.Printf("%d subscribers over %.1fs: versions %d..%d (%d spanned)\n",
+		res.Subscribers, res.Seconds, res.MinVersion, res.MaxVersion, res.VersionsSpanned)
+	fmt.Printf("  %d connects, %d deltas, %d snapshots, %d heartbeats, %d stale, %d apply errors\n",
+		res.Connects, res.Deltas, res.Snapshots, res.Heartbeats, res.Stale, res.ApplyErrors)
+	fmt.Printf("  %d bytes read, %.0f bytes/subscriber/batch\n", res.BytesRead, res.BytesPerSubPerBatch)
+	return nil
+}

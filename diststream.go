@@ -452,6 +452,12 @@ type PipelineOptions struct {
 	// registry); this is the publication feed a query-serving subsystem
 	// reads from (see `diststream serve`).
 	OnSnapshot func(Published)
+	// SnapshotMinInterval, when positive, paces OnSnapshot by wall
+	// time: building a publication (model clone + search index) has a
+	// real cost, and a saturated ingest loop reaches batch boundaries
+	// hundreds of times per second. The first publication is never
+	// skipped; zero keeps the publish-every-batch behavior.
+	SnapshotMinInterval time.Duration
 }
 
 // NewPipeline builds a DistStream pipeline for the given algorithm.
@@ -468,20 +474,21 @@ func (s *System) NewPipeline(algo Algorithm, opts PipelineOptions) (*Pipeline, e
 		opts.Checkpoint = &ck
 	}
 	return core.NewPipeline(core.Config{
-		Algorithm:       algo,
-		Engine:          s.engine,
-		Schedule:        s.schedule,
-		GlobalShards:    s.exec.GlobalShards,
-		BatchInterval:   vclock.Duration(opts.BatchSeconds),
-		Order:           opts.Order,
-		InitRecords:     opts.InitRecords,
-		DisablePreMerge: opts.DisablePreMerge,
-		DecayAlpha:      opts.DecayAlpha,
-		DecayBeta:       opts.DecayBeta,
-		Adaptive:        opts.Adaptive,
-		Checkpoint:      opts.Checkpoint,
-		OnBatch:         opts.OnBatch,
-		OnPublish:       opts.OnSnapshot,
+		Algorithm:          algo,
+		Engine:             s.engine,
+		Schedule:           s.schedule,
+		GlobalShards:       s.exec.GlobalShards,
+		BatchInterval:      vclock.Duration(opts.BatchSeconds),
+		Order:              opts.Order,
+		InitRecords:        opts.InitRecords,
+		DisablePreMerge:    opts.DisablePreMerge,
+		DecayAlpha:         opts.DecayAlpha,
+		DecayBeta:          opts.DecayBeta,
+		Adaptive:           opts.Adaptive,
+		Checkpoint:         opts.Checkpoint,
+		OnBatch:            opts.OnBatch,
+		OnPublish:          opts.OnSnapshot,
+		PublishMinInterval: opts.SnapshotMinInterval,
 	})
 }
 

@@ -99,6 +99,16 @@ type Config struct {
 	// so receivers may retain it and read it concurrently — this is the
 	// feed for the model-serving subsystem (internal/serve).
 	OnPublish PublishHook
+	// PublishMinInterval, when positive, paces OnPublish by wall time:
+	// after a publication, further batches skip the hook (and the model
+	// clone, index and snapshot built for it) until the interval has
+	// elapsed. A saturated ingest loop can complete hundreds of batches
+	// per second, and no downstream consumer — HTTP serving, replica
+	// fan-out — needs a frozen model at that cadence; pacing keeps the
+	// publication cost bounded by wall time instead of by ingest speed.
+	// The first publication (the initialized model) is never skipped.
+	// 0 publishes after every batch.
+	PublishMinInterval time.Duration
 }
 
 // StageStats accumulates wall time spent in one pipeline stage.
@@ -231,6 +241,10 @@ type Pipeline struct {
 	batchesSeen int
 	resume      *stream.BatcherState
 	wallBase    time.Duration
+
+	// lastPublish is when the OnPublish hook last ran; the publication
+	// pacing clock (see Config.PublishMinInterval).
+	lastPublish time.Time
 }
 
 // NewPipeline validates cfg and builds a pipeline.

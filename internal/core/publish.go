@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"diststream/internal/vclock"
 )
 
@@ -27,6 +29,11 @@ type Published struct {
 	// structure broadcast to assign tasks, including the algorithm's
 	// absorbable-boundary decision.
 	Search Snapshot
+	// Params is the publishing algorithm's serializable configuration —
+	// enough for a downstream consumer (a subscription hub, a replica
+	// client) to reconstruct the algorithm from the registry without
+	// holding a reference to the pipeline's instance.
+	Params Params
 	// Stats is a copy of the run statistics accumulated so far.
 	Stats RunStats
 }
@@ -49,6 +56,15 @@ func (p *Pipeline) publish(stats RunStats) {
 	if p.cfg.OnPublish == nil {
 		return
 	}
+	// Publication pacing: skip the whole clone+index+snapshot build while
+	// the interval since the last publication has not elapsed. publish is
+	// never called concurrently with itself (see PublishHook), so the
+	// plain timestamp field needs no lock.
+	if p.cfg.PublishMinInterval > 0 && !p.lastPublish.IsZero() &&
+		time.Since(p.lastPublish) < p.cfg.PublishMinInterval {
+		return
+	}
+	p.lastPublish = time.Now()
 	clones := p.model.CloneList()
 	idx := BuildFlatIndex(clones)
 	pub := Published{
@@ -57,6 +73,7 @@ func (p *Pipeline) publish(stats RunStats) {
 		MCs:    clones,
 		Index:  &idx,
 		Search: p.cfg.Algorithm.NewSnapshot(clones),
+		Params: p.cfg.Algorithm.Params(),
 		Stats:  stats,
 	}
 	p.cfg.OnPublish(pub)

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"diststream/internal/stream"
+)
+
+// TestPublishMinIntervalPaces pins the publication pacing contract: with
+// a positive PublishMinInterval the OnPublish hook (and the model clone
+// built for it) runs for the first publication and then at most once per
+// interval, while the zero value keeps the publish-every-batch behavior.
+func TestPublishMinIntervalPaces(t *testing.T) {
+	run := func(interval time.Duration) int {
+		count := 0
+		pl, err := NewPipeline(Config{
+			Algorithm:          newToyAlgo(),
+			Engine:             newToyEngine(t, 2),
+			BatchInterval:      1,
+			InitRecords:        10,
+			OnPublish:          func(Published) { count++ },
+			PublishMinInterval: interval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pl.Run(stream.NewSliceSource(slowStream(200))); err != nil {
+			t.Fatal(err)
+		}
+		return count
+	}
+
+	// An hour-long interval admits exactly the first publication — the
+	// initialized model is never skipped.
+	if got := run(time.Hour); got != 1 {
+		t.Errorf("paced run published %d times, want 1", got)
+	}
+	// Pacing off: every batch publishes.
+	if got := run(0); got < 20 {
+		t.Errorf("unpaced run published %d times, want one per batch (>= 20)", got)
+	}
+}

@@ -64,6 +64,10 @@ type Registry struct {
 	keep  int
 	// published counts publications ever made (== latest version).
 	published atomic.Uint64
+	// onEvict, when set, is called under mu — after the new window is
+	// installed — once per version that just aged out of retention, in
+	// ascending version order. See OnEvict.
+	onEvict func(version uint64)
 }
 
 // DefaultKeepVersions is how many snapshot versions a registry retains
@@ -104,7 +108,37 @@ func (r *Registry) Publish(pub core.Published) uint64 {
 	next.versions = append(next.versions, mv)
 	r.state.Store(next)
 	r.published.Store(mv.Version)
+	if r.onEvict != nil {
+		for _, evicted := range old.versions[:start] {
+			r.onEvict(evicted.Version)
+		}
+	}
 	return mv.Version
+}
+
+// OnEvict installs the eviction-notification hook: fn is called once per
+// version that ages out of the retention window, in ascending version
+// order, under the publisher lock and after the post-eviction window is
+// already installed. A consumer that mirrors registry retention (e.g. a
+// subscription hub retaining per-version deltas) therefore observes
+// evictions in publication order and can never consider a version both
+// evicted and retained: by the time fn runs, At(version) already misses.
+// fn must be cheap and must not call back into Publish. OnEvict must be
+// set before the first Publish; later calls race with publishers.
+func (r *Registry) OnEvict(fn func(version uint64)) { r.onEvict = fn }
+
+// Retained returns the oldest and newest retained version numbers, or
+// (0, 0) before the first publication. The pair is read from one
+// immutable window, so min and max are always consistent with each
+// other — though by the time the caller acts, a concurrent publish may
+// have advanced both (detect that with the OnEvict hook, or by
+// re-checking At).
+func (r *Registry) Retained() (min, max uint64) {
+	vs := r.state.Load().versions
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	return vs[0].Version, vs[len(vs)-1].Version
 }
 
 // Hook adapts the registry to the pipeline's OnPublish hook.

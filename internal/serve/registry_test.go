@@ -214,3 +214,127 @@ func TestRegistryConcurrentPublishers(t *testing.T) {
 		t.Errorf("Published = %d, want %d", r.Published(), publishers*perPublisher)
 	}
 }
+
+func TestRegistryRetained(t *testing.T) {
+	r := NewRegistry(3)
+	if min, max := r.Retained(); min != 0 || max != 0 {
+		t.Errorf("Retained() on empty registry = (%d, %d), want (0, 0)", min, max)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Publish(twoBlobPublished(i, i*100))
+	}
+	if min, max := r.Retained(); min != 3 || max != 5 {
+		t.Errorf("Retained() = (%d, %d), want (3, 5)", min, max)
+	}
+}
+
+// TestRegistryEvictionHookOrdering pins the OnEvict contract a
+// retention-mirroring consumer (the subscription hub) depends on:
+// evictions arrive once per version, in ascending order, and by the time
+// the hook runs the evicted version already misses in At — so a version
+// can never be observed as both evicted and retained.
+func TestRegistryEvictionHookOrdering(t *testing.T) {
+	const keep, publishes = 4, 50
+	r := NewRegistry(keep)
+	var evicted []uint64
+	r.OnEvict(func(v uint64) {
+		evicted = append(evicted, v)
+		if _, ok := r.At(v); ok {
+			t.Errorf("At(%d) still hits inside its own eviction callback", v)
+		}
+		if min, _ := r.Retained(); min <= v {
+			t.Errorf("Retained() min %d <= evicted version %d inside callback", min, v)
+		}
+	})
+	for i := 1; i <= publishes; i++ {
+		r.Publish(twoBlobPublished(i, i*100))
+	}
+	if want := publishes - keep; len(evicted) != want {
+		t.Fatalf("%d evictions, want %d", len(evicted), want)
+	}
+	for i, v := range evicted {
+		if v != uint64(i+1) {
+			t.Fatalf("eviction %d carried version %d, want %d (ascending, once each)", i, v, i+1)
+		}
+	}
+}
+
+// TestRegistryEvictionRaceWindow exercises the race window between a
+// publisher installing a post-eviction state and readers acting on
+// previously loaded windows. A consumer mirroring retention through
+// OnEvict (exactly what the subscription hub does) runs alongside
+// concurrent readers; under -race this verifies the hook runs under the
+// publisher lock without a data race, and the mirror invariant — the
+// mirrored set equals the registry window after every publication —
+// holds throughout, so "evicted" and "retained" are never both true.
+func TestRegistryEvictionRaceWindow(t *testing.T) {
+	const keep, publishes, readers = 4, 300, 4
+	r := NewRegistry(keep)
+
+	// The mirror a hub would keep: versions currently retained, fed only
+	// by the publish return value and the eviction hook.
+	var (
+		mirrorMu sync.Mutex
+		mirror   = map[uint64]bool{}
+	)
+	r.OnEvict(func(v uint64) {
+		mirrorMu.Lock()
+		defer mirrorMu.Unlock()
+		if !mirror[v] {
+			t.Errorf("evicted version %d was never mirrored", v)
+		}
+		delete(mirror, v)
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				min, max := r.Retained()
+				if min > max {
+					t.Errorf("Retained() returned inverted window (%d, %d)", min, max)
+					return
+				}
+				if max != 0 && max-min >= keep {
+					t.Errorf("Retained() window (%d, %d) wider than keep=%d", min, max, keep)
+					return
+				}
+				// At may race a concurrent eviction+publish, but a hit
+				// must return the version asked for.
+				if mv, ok := r.At(max); ok && mv.Version != max {
+					t.Errorf("At(%d) returned version %d", max, mv.Version)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 1; i <= publishes; i++ {
+		v := r.Publish(twoBlobPublished(i, i*100))
+		mirrorMu.Lock()
+		mirror[v] = true
+		// The mirror must agree with the registry's own window right
+		// after every publication (the hub relies on this to never hold
+		// a delta for an unretained version).
+		want := r.Versions()
+		if len(mirror) != len(want) {
+			t.Errorf("after publish %d: mirror holds %d versions, registry retains %d", v, len(mirror), len(want))
+		}
+		for _, wv := range want {
+			if !mirror[wv] {
+				t.Errorf("after publish %d: retained version %d missing from mirror", v, wv)
+			}
+		}
+		mirrorMu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}

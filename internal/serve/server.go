@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -30,6 +31,12 @@ type Config struct {
 	// counters for /metrics (typically stream.Buffered.Stats wrapped in
 	// an IngestStats).
 	IngestStats func() IngestStats
+	// ExtraMetrics, when set, is appended to the /metrics exposition
+	// after the server's own counters — the hook other subsystems (the
+	// subscription hub) use to publish on the same scrape endpoint. It
+	// must write valid Prometheus text format and must be safe to call
+	// concurrently with everything else.
+	ExtraMetrics func(w io.Writer)
 }
 
 // Server answers queries over published model snapshots. All handlers
@@ -40,6 +47,7 @@ type Server struct {
 	cache    *MacroCache
 	limiter  *Limiter
 	ingest   func() IngestStats
+	extra    func(w io.Writer)
 	mux      *http.ServeMux
 
 	assignMetrics   *endpointMetrics
@@ -57,6 +65,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cache:           NewMacroCache(cfg.CacheSize),
 		limiter:         NewLimiter(cfg.Admission),
 		ingest:          cfg.IngestStats,
+		extra:           cfg.ExtraMetrics,
 		assignMetrics:   newEndpointMetrics(),
 		clustersMetrics: newEndpointMetrics(),
 		macroMetrics:    newEndpointMetrics(),
@@ -445,6 +454,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "diststream_inflight_queries %d\n", ls.InFlight)
 	fmt.Fprintf(&b, "# TYPE diststream_queued_queries gauge\n")
 	fmt.Fprintf(&b, "diststream_queued_queries %d\n", ls.Queued)
+
+	if s.extra != nil {
+		s.extra(&b)
+	}
 
 	_, _ = w.Write([]byte(b.String()))
 }

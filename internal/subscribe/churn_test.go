@@ -1,0 +1,148 @@
+package subscribe
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubscriberChurn is the subscribe-smoke acceptance: 64 subscribers
+// follow a live publication stream while the hub repeatedly kills every
+// connection and a rotating subset of clients is closed and replaced
+// entirely (fresh hello, no cursor). Whatever mix of cursor resumes,
+// shed-forced snapshot resyncs and cold connects each client ends up
+// taking, every replica version it materializes must be byte-identical
+// to the driver's publication at that version, and every client must
+// finish on the final version. Run under -race in CI.
+func TestSubscriberChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churns 64 subscribers")
+	}
+	const (
+		subscribers = 64
+		publishes   = 60
+		kills       = 4
+	)
+	hub, _, addr := newTestHub(t, 6, 3)
+	algos := testAlgos(t)
+
+	// driverBytes[v] is recorded before Publish makes v visible, so a
+	// subscriber can never observe a version the map does not yet hold.
+	var (
+		mu          sync.Mutex
+		driverBytes = map[uint64][]byte{}
+		divergences atomic.Uint64
+	)
+	onUpdate := func(r *Replica) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(r.MCs); err != nil {
+			divergences.Add(1)
+			return
+		}
+		mu.Lock()
+		want := driverBytes[r.Version]
+		mu.Unlock()
+		if !bytes.Equal(buf.Bytes(), want) {
+			divergences.Add(1)
+		}
+	}
+	newClient := func() *Client {
+		cfg := testClientConfig(addr, algos)
+		cfg.OnUpdate = onUpdate
+		c, err := Dial(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	var (
+		clientMu sync.Mutex
+		clients  = make([]*Client, subscribers)
+	)
+	for i := range clients {
+		clients[i] = newClient()
+	}
+	defer func() {
+		clientMu.Lock()
+		defer clientMu.Unlock()
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	// Publisher: a deterministic stream the fixture guarantees produces
+	// real deltas (two micro-clusters bit-identical across versions).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := 1; v <= publishes; v++ {
+			pub := versionPublished(v)
+			mu.Lock()
+			driverBytes[uint64(v)] = gobMCs(t, pub.MCs)
+			mu.Unlock()
+			if got := hub.Publish(pub); got != uint64(v) {
+				t.Errorf("publish %d assigned version %d", v, got)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Churn: kill every connection a few times mid-stream, and each round
+	// replace a rotating subset of clients outright so cold connects (no
+	// cursor) mix with resumes.
+	for k := 0; k < kills; k++ {
+		time.Sleep(40 * time.Millisecond)
+		hub.DisconnectAll()
+		clientMu.Lock()
+		for i := k; i < subscribers; i += kills * 4 {
+			clients[i].Close()
+			clients[i] = newClient()
+		}
+		clientMu.Unlock()
+	}
+	<-done
+
+	// Every client must converge on the final version with bytes equal to
+	// the driver's.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	mu.Lock()
+	finalBytes := driverBytes[publishes]
+	mu.Unlock()
+	var applyErrors, connects uint64
+	clientMu.Lock()
+	defer clientMu.Unlock()
+	for i, c := range clients {
+		if err := c.WaitVersion(ctx, publishes); err != nil {
+			t.Fatalf("client %d never reached version %d: %v", i, publishes, err)
+		}
+		r := c.Replica()
+		if r.Version < publishes {
+			t.Fatalf("client %d stopped at version %d", i, r.Version)
+		}
+		if r.Version == publishes && !bytes.Equal(gobMCs(t, r.MCs), finalBytes) {
+			t.Errorf("client %d final replica diverged from the driver", i)
+		}
+		st := c.Stats()
+		applyErrors += st.ApplyErrors
+		connects += st.Connects
+	}
+	if d := divergences.Load(); d != 0 {
+		t.Errorf("%d replica versions diverged from the driver's publications", d)
+	}
+	if applyErrors != 0 {
+		t.Errorf("%d apply errors across the fleet", applyErrors)
+	}
+	if connects < subscribers+subscribers/2 {
+		t.Errorf("fleet recorded only %d connects across %d subscribers; churn did not bite", connects, subscribers)
+	}
+	hs := hub.Stats()
+	t.Logf("churn: %d connects, %d deltas, %d snapshots, %d sheds, %d resumes (cursor %d / snapshot %d)",
+		connects, hs.DeltasSent, hs.SnapshotsSent, hs.Sheds, hs.ResumeCursor+hs.ResumeSnapshot, hs.ResumeCursor, hs.ResumeSnapshot)
+}

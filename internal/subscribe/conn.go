@@ -1,0 +1,194 @@
+package subscribe
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"diststream/internal/wire"
+)
+
+// subscriber is one connected downstream replica. It owns no queue: its
+// position is the single version number sent, and every transmission is
+// planned against the hub's shared retained window at write time — so a
+// slow subscriber costs the hub one integer, not a backlog of frames.
+type subscriber struct {
+	h    *Hub
+	conn net.Conn
+	// sent is the last version this subscriber has been sent fully.
+	// Owned by the handle goroutine.
+	sent uint64
+	// notify has capacity 1: a wake while one is already pending
+	// coalesces, which is exactly right — the subscriber re-plans
+	// against the newest state whenever it runs.
+	notify chan struct{}
+	// done closes when the hub wants this subscriber gone (drain).
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// wake nudges the subscriber loop; non-blocking and coalescing.
+func (s *subscriber) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// stop asks the subscriber loop to exit (goodbye + close).
+func (s *subscriber) stop() { s.stopOnce.Do(func() { close(s.done) }) }
+
+// kick forces the subscriber loop to notice a closed connection even if
+// it is idle in its select: waking it makes the next planned write (or
+// heartbeat) fail immediately.
+func (s *subscriber) kick() { s.wake() }
+
+// handle runs one subscriber connection to completion.
+func (h *Hub) handle(conn net.Conn) {
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	// Hello: bounded read with the write timeout as a handshake budget.
+	conn.SetReadDeadline(time.Now().Add(h.cfg.WriteTimeout))
+	payload, err := wire.ReadFrame(conn, maxHelloSize)
+	if err != nil {
+		h.metrics.badHellos.Add(1)
+		return
+	}
+	hi, err := decodeHello(payload)
+	if err != nil {
+		h.metrics.badHellos.Add(1)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sent, resumed := h.resolveCursor(hi)
+	h.metrics.connects.Add(1)
+	if hi.hasCursor {
+		if resumed {
+			h.metrics.resumeCursor.Add(1)
+		} else {
+			h.metrics.resumeSnapshot.Add(1)
+		}
+	}
+
+	s := &subscriber{
+		h:      h,
+		conn:   conn,
+		sent:   sent,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.writeFrame(conn, encodeGoodbye())
+		return
+	}
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	h.metrics.active.Add(1)
+	defer func() {
+		h.mu.Lock()
+		delete(h.subs, s)
+		h.mu.Unlock()
+		h.metrics.active.Add(-1)
+	}()
+
+	var heartbeats <-chan time.Time
+	if h.cfg.HeartbeatEvery > 0 {
+		t := time.NewTicker(h.cfg.HeartbeatEvery)
+		defer t.Stop()
+		heartbeats = t.C
+	}
+
+	for {
+		if !h.pump(s) {
+			h.metrics.disconnects.Add(1)
+			return
+		}
+		select {
+		case <-s.notify:
+		case <-s.done:
+			h.writeFrame(conn, encodeGoodbye())
+			return
+		case <-heartbeats:
+			h.mu.Lock()
+			latest := uint64(0)
+			if ready := h.readyLocked(); len(ready) > 0 {
+				latest = ready[len(ready)-1].version
+			}
+			h.mu.Unlock()
+			if !h.writeFrame(conn, encodeHeartbeat(latest)) {
+				h.metrics.disconnects.Add(1)
+				return
+			}
+			h.metrics.heartbeats.Add(1)
+		}
+	}
+}
+
+// pump sends everything the subscriber is owed, re-planning after each
+// round until it is current. Returns false when the connection failed
+// (write error or timeout) and the subscriber should be dropped.
+func (h *Hub) pump(s *subscriber) bool {
+	for {
+		h.mu.Lock()
+		plan, ok := h.planLocked(s.sent)
+		h.mu.Unlock()
+		if !ok {
+			return true
+		}
+		h.metrics.lag.observe(plan.lag)
+		if plan.shed {
+			h.metrics.sheds.Add(1)
+		}
+		payloads := plan.payloads
+		if plan.full {
+			// The snapshot frame is built lazily, outside every hub lock,
+			// and shared by all subscribers shed to this version.
+			payload, err := plan.fullOf.fullSnapshotPayload(h)
+			if err != nil {
+				// Encoding failed (no codec registered); the subscriber
+				// can never be served. Drop it.
+				return false
+			}
+			payloads = [][]byte{payload}
+		}
+		for _, payload := range payloads {
+			// The egress budget is charged before the write, outside every
+			// lock; a subscriber parked here is woken only by refill or by
+			// the hub asking it to leave.
+			if h.egress != nil {
+				ok, waited := h.egress.acquire(4+len(payload), s.done)
+				if waited {
+					h.metrics.throttleWaits.Add(1)
+				}
+				if !ok {
+					return false
+				}
+			}
+			if !h.writeFrame(s.conn, payload) {
+				return false
+			}
+			if plan.full {
+				h.metrics.snapshotsSent.Add(1)
+			} else {
+				h.metrics.deltasSent.Add(1)
+			}
+		}
+		s.sent = plan.sent
+	}
+}
+
+// writeFrame writes one deadline-bounded frame; false on any failure.
+func (h *Hub) writeFrame(conn net.Conn, payload []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(h.cfg.WriteTimeout))
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		return false
+	}
+	h.metrics.bytesSent.Add(uint64(4 + len(payload)))
+	return true
+}

@@ -1,0 +1,197 @@
+package subscribe
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"diststream/internal/backoff"
+	"diststream/internal/core"
+	"diststream/internal/datagen"
+	"diststream/internal/harness"
+	"diststream/internal/serve"
+	"diststream/internal/stream"
+)
+
+// TestLocalReplicaEquivalence is satellite acceptance for the
+// replication path: for clustream (whose global updates produce real
+// deltas) and denstream (whose decay makes every diff decline, so the
+// stream degrades to full snapshots — the fallback rule exercised for
+// every version), a subscriber following a live pipeline through
+// connect → mid-stream kills → cursor resume must hold a replica that
+// is byte-identical (canonical gob over the micro-cluster list, the
+// same envelope EncodeState uses) to the driver's published snapshot at
+// every version it applies. Run under -race in CI (make subscribe-smoke).
+func TestLocalReplicaEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real pipeline")
+	}
+	for _, name := range []string{"clustream", "denstream"} {
+		t.Run(name, func(t *testing.T) { runEquivalence(t, name) })
+	}
+}
+
+func runEquivalence(t *testing.T, algoName string) {
+	harness.RegisterAllWireTypes()
+	algos, err := harness.NewAlgorithmRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := harness.LoadDataset(datagen.KDD99Sim, 8000, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := harness.NewAlgorithm(algoName, ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := harness.NewEngine(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	registry := serve.NewRegistry(6)
+	hub, err := NewHub(HubConfig{
+		Registry:       registry,
+		Algos:          algos,
+		MaxLag:         2,
+		WriteTimeout:   2 * time.Second,
+		HeartbeatEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve(ln)
+	defer hub.Close()
+
+	// driverBytes records the canonical encoding of every published
+	// version on the driver side, before fan-out.
+	var (
+		mu          sync.Mutex
+		driverBytes = map[uint64][]byte{}
+		lastVersion uint64
+	)
+	cfg := core.Config{
+		Algorithm:     algo,
+		Engine:        engine,
+		BatchInterval: 0.5,
+		OnPublish: func(pub core.Published) {
+			v := hub.Publish(pub)
+			mu.Lock()
+			driverBytes[v] = gobMCs(t, pub.MCs)
+			lastVersion = v
+			mu.Unlock()
+			// The replayed stream has no wall-clock pacing, so a short
+			// sleep keeps the publication stream slow enough for the
+			// subscriber to live through it (instead of connecting
+			// after the run is over and seeing one final snapshot).
+			time.Sleep(25 * time.Millisecond)
+		},
+	}
+	pipeline, err := core.NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The subscriber follows the live stream; two mid-stream kills force
+	// a reconnect + cursor resume while the pipeline keeps publishing
+	// (the second typically lands after enough publishes that the
+	// subscriber is behind — the lag path).
+	var (
+		replicaMu    sync.Mutex
+		replicaBytes = map[uint64][]byte{}
+		kills        sync.Once
+		kills2       sync.Once
+	)
+	client, err := Dial(ClientConfig{
+		Addr:    ln.Addr().String(),
+		Algos:   algos,
+		Backoff: backoff.Policy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		OnUpdate: func(r *Replica) {
+			enc := gobMCs(t, r.MCs)
+			replicaMu.Lock()
+			if prev, ok := replicaBytes[r.Version]; ok && !bytes.Equal(prev, enc) {
+				t.Errorf("replica version %d re-applied with different bytes", r.Version)
+			}
+			replicaBytes[r.Version] = enc
+			replicaMu.Unlock()
+			if r.Version >= 3 {
+				kills.Do(func() { go hub.DisconnectAll() })
+			}
+			if r.Version >= 8 {
+				kills2.Do(func() { go hub.DisconnectAll() })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	src, err := stream.NewRepeatSource(ds.Records, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	final := lastVersion
+	mu.Unlock()
+	if final < 10 {
+		t.Fatalf("pipeline published only %d versions; the test needs a longer stream", final)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := client.WaitVersion(ctx, final); err != nil {
+		t.Fatalf("replica never caught up to final version %d: %v", final, err)
+	}
+
+	// Every version the replica materialized must match the driver's
+	// bytes for that same version — across the initial snapshot, delta
+	// chains, kills, resumes and any shed-forced snapshot resyncs.
+	replicaMu.Lock()
+	defer replicaMu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(replicaBytes) < 3 {
+		t.Fatalf("replica applied only %d versions", len(replicaBytes))
+	}
+	for v, enc := range replicaBytes {
+		want, ok := driverBytes[v]
+		if !ok {
+			t.Errorf("replica holds version %d the driver never published", v)
+			continue
+		}
+		if !bytes.Equal(enc, want) {
+			t.Errorf("replica version %d diverged from the driver's published snapshot", v)
+		}
+	}
+	if _, ok := replicaBytes[final]; !ok {
+		t.Errorf("replica never applied the final version %d", final)
+	}
+
+	st := client.Stats()
+	hs := hub.Stats()
+	t.Logf("%s: %d versions, client %+v, hub %+v", algoName, final, st, hs)
+	if st.Connects < 3 {
+		t.Errorf("client reconnected %d times, want >= 3 (two kills)", st.Connects)
+	}
+	if st.ApplyErrors != 0 {
+		t.Errorf("client recorded %d apply errors", st.ApplyErrors)
+	}
+	if algoName == "clustream" && st.Deltas == 0 {
+		t.Error("clustream stream carried no deltas; the delta path was not exercised")
+	}
+	if algoName == "denstream" && st.Snapshots < 2 {
+		t.Error("denstream decay should force repeated full snapshots")
+	}
+}

@@ -1,0 +1,141 @@
+package subscribe
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// hubMetrics are the hub's exported counters. Everything is atomic so
+// subscriber goroutines and the publish path never contend on a lock
+// for bookkeeping.
+type hubMetrics struct {
+	active         atomic.Int64
+	connects       atomic.Uint64
+	badHellos      atomic.Uint64
+	resumeCursor   atomic.Uint64 // connects with a cursor honored via delta replay
+	resumeSnapshot atomic.Uint64 // connects with a cursor answered by full-snapshot fallback
+	sheds          atomic.Uint64 // live subscribers dropped to snapshot-resync for lag
+	disconnects    atomic.Uint64 // connections dropped on write failure/timeout
+	deltasSent     atomic.Uint64
+	snapshotsSent  atomic.Uint64
+	heartbeats     atomic.Uint64
+	bytesSent      atomic.Uint64
+	encodeErrors   atomic.Uint64
+	throttleWaits  atomic.Uint64 // model-frame writes delayed by the egress budget
+	coalesced      atomic.Uint64 // publications not retained under MinPublishInterval
+	lag            lagHistogram
+}
+
+// lagBuckets are the versions-behind histogram bounds. Lag is observed
+// at plan time — how far behind latest a subscriber was when the hub
+// prepared its next transmission.
+var lagBuckets = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128}
+
+type lagHistogram struct {
+	counts [len(lagBuckets) + 1]atomic.Uint64 // +1 = overflow
+	sum    atomic.Uint64
+	total  atomic.Uint64
+}
+
+func (h *lagHistogram) observe(lag uint64) {
+	i := 0
+	for i < len(lagBuckets) && lag > lagBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(lag)
+	h.total.Add(1)
+}
+
+// HubStats is a snapshot of the hub counters for tests and tooling.
+type HubStats struct {
+	Active         int64
+	Connects       uint64
+	BadHellos      uint64
+	ResumeCursor   uint64
+	ResumeSnapshot uint64
+	Sheds          uint64
+	Disconnects    uint64
+	DeltasSent     uint64
+	SnapshotsSent  uint64
+	Heartbeats     uint64
+	BytesSent      uint64
+	EncodeErrors   uint64
+	ThrottleWaits  uint64
+	Coalesced      uint64
+}
+
+// Stats returns the current counter values.
+func (h *Hub) Stats() HubStats {
+	m := &h.metrics
+	return HubStats{
+		Active:         m.active.Load(),
+		Connects:       m.connects.Load(),
+		BadHellos:      m.badHellos.Load(),
+		ResumeCursor:   m.resumeCursor.Load(),
+		ResumeSnapshot: m.resumeSnapshot.Load(),
+		Sheds:          m.sheds.Load(),
+		Disconnects:    m.disconnects.Load(),
+		DeltasSent:     m.deltasSent.Load(),
+		SnapshotsSent:  m.snapshotsSent.Load(),
+		Heartbeats:     m.heartbeats.Load(),
+		BytesSent:      m.bytesSent.Load(),
+		EncodeErrors:   m.encodeErrors.Load(),
+		ThrottleWaits:  m.throttleWaits.Load(),
+		Coalesced:      m.coalesced.Load(),
+	}
+}
+
+// WriteMetrics renders the hub counters in Prometheus text exposition
+// format. Hand it to serve.Config.ExtraMetrics to publish on the HTTP
+// tier's /metrics endpoint.
+func (h *Hub) WriteMetrics(w io.Writer) {
+	m := &h.metrics
+	fmt.Fprintf(w, "# HELP diststream_subscribe_active_subscribers Currently connected subscribers.\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_active_subscribers gauge\n")
+	fmt.Fprintf(w, "diststream_subscribe_active_subscribers %d\n", m.active.Load())
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_connects_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_connects_total %d\n", m.connects.Load())
+	fmt.Fprintf(w, "# HELP diststream_subscribe_resume_cursor_total Reconnects resumed from their cursor via delta replay.\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_resume_cursor_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_resume_cursor_total %d\n", m.resumeCursor.Load())
+	fmt.Fprintf(w, "# HELP diststream_subscribe_resume_snapshot_total Reconnects whose cursor fell back to a full snapshot (evicted or diverged).\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_resume_snapshot_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_resume_snapshot_total %d\n", m.resumeSnapshot.Load())
+	fmt.Fprintf(w, "# HELP diststream_subscribe_shed_total Live subscribers shed to a snapshot resync after exceeding the lag bound.\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_shed_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_shed_total %d\n", m.sheds.Load())
+	fmt.Fprintf(w, "# HELP diststream_subscribe_disconnects_total Subscribers dropped on write failure or timeout (cursor stays resumable).\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_disconnects_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_disconnects_total %d\n", m.disconnects.Load())
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_deltas_sent_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_deltas_sent_total %d\n", m.deltasSent.Load())
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_snapshots_sent_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_snapshots_sent_total %d\n", m.snapshotsSent.Load())
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_heartbeats_sent_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_heartbeats_sent_total %d\n", m.heartbeats.Load())
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_bytes_sent_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_bytes_sent_total %d\n", m.bytesSent.Load())
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_bad_hellos_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_bad_hellos_total %d\n", m.badHellos.Load())
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_encode_errors_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_encode_errors_total %d\n", m.encodeErrors.Load())
+	fmt.Fprintf(w, "# HELP diststream_subscribe_throttle_waits_total Model-frame writes delayed by the egress budget.\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_throttle_waits_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_throttle_waits_total %d\n", m.throttleWaits.Load())
+	fmt.Fprintf(w, "# HELP diststream_subscribe_coalesced_total Publications not retained for fan-out under the coalescing interval.\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_coalesced_total counter\n")
+	fmt.Fprintf(w, "diststream_subscribe_coalesced_total %d\n", m.coalesced.Load())
+	fmt.Fprintf(w, "# HELP diststream_subscribe_lag_versions How many versions behind latest subscribers were when their next transmission was planned.\n")
+	fmt.Fprintf(w, "# TYPE diststream_subscribe_lag_versions histogram\n")
+	cum := uint64(0)
+	for i, bound := range lagBuckets {
+		cum += m.lag.counts[i].Load()
+		fmt.Fprintf(w, "diststream_subscribe_lag_versions_bucket{le=\"%d\"} %d\n", bound, cum)
+	}
+	cum += m.lag.counts[len(lagBuckets)].Load()
+	fmt.Fprintf(w, "diststream_subscribe_lag_versions_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "diststream_subscribe_lag_versions_sum %d\n", m.lag.sum.Load())
+	fmt.Fprintf(w, "diststream_subscribe_lag_versions_count %d\n", m.lag.total.Load())
+}

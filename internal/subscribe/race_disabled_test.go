@@ -1,0 +1,5 @@
+//go:build !race
+
+package subscribe
+
+const raceEnabled = false

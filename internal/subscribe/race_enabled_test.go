@@ -1,0 +1,10 @@
+//go:build race
+
+package subscribe
+
+// raceEnabled reports whether the race detector is compiled in. The
+// fan-out acceptance test asserts an ingest-throughput ratio, and the
+// race runtime taxes the subscriber path (frame decode, delta apply)
+// far more than the ingest path, so the ratio is not meaningful under
+// -race.
+const raceEnabled = true

@@ -1,0 +1,151 @@
+package subscribe
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"diststream/internal/backoff"
+	"diststream/internal/core"
+)
+
+// LoadConfig configures RunSubscribers, the N-subscriber load harness
+// behind cmd/subload and the acceptance bench.
+type LoadConfig struct {
+	// Addr is the hub's TCP address. Required.
+	Addr string
+	// Subscribers is how many concurrent clients to run. Required.
+	Subscribers int
+	// Algos resolves algorithms for the replicas. Required.
+	Algos *core.AlgorithmRegistry
+	// Duration bounds the run (ignored when <= 0 and Stop is set).
+	Duration time.Duration
+	// Stop, when non-nil, ends the run early.
+	Stop <-chan struct{}
+	// WarmTimeout bounds how long to wait for every subscriber to hold
+	// a first replica before measuring. 0 means 30s.
+	WarmTimeout time.Duration
+	// Warmed, when non-nil, is closed once every subscriber holds its
+	// first replica — callers align a measured window with the fleet's
+	// steady state (cold-start snapshot delivery is not steady state).
+	Warmed chan<- struct{}
+	// Backoff paces each client's reconnects.
+	Backoff backoff.Policy
+	// Drain runs the fleet in drain mode (cursor-tracking, no local
+	// materialization) — see ClientConfig.Drain.
+	Drain bool
+}
+
+// LoadResult aggregates one RunSubscribers run.
+type LoadResult struct {
+	Subscribers int     `json:"subscribers"`
+	Seconds     float64 `json:"seconds"`
+	// Connects..ApplyErrors are sums over all clients.
+	Connects    uint64 `json:"connects"`
+	Deltas      uint64 `json:"deltas"`
+	Snapshots   uint64 `json:"snapshots"`
+	Heartbeats  uint64 `json:"heartbeats"`
+	BytesRead   uint64 `json:"bytes_read"`
+	Stale       uint64 `json:"stale"`
+	ApplyErrors uint64 `json:"apply_errors"`
+	// MinVersion and MaxVersion are the final replica versions across
+	// clients (0 = a client never received a model).
+	MinVersion uint64 `json:"min_version"`
+	MaxVersion uint64 `json:"max_version"`
+	// VersionsSpanned is the largest first→final version distance any
+	// client observed — the batch count the byte metric normalizes by.
+	VersionsSpanned uint64 `json:"versions_spanned"`
+	// BytesPerSubPerBatch is BytesRead / Subscribers / VersionsSpanned:
+	// the marginal network cost of keeping one replica current per
+	// published batch.
+	BytesPerSubPerBatch float64 `json:"bytes_per_sub_per_batch"`
+}
+
+// RunSubscribers dials cfg.Subscribers clients against the hub, waits
+// until each holds a replica (warm-up), runs for cfg.Duration (or until
+// cfg.Stop), and returns aggregate counters. The bytes metric is
+// measured from the end of warm-up so connection-time snapshots do not
+// pollute the per-batch marginal cost.
+func RunSubscribers(cfg LoadConfig) (LoadResult, error) {
+	if cfg.Subscribers <= 0 {
+		return LoadResult{}, errors.New("subscribe: load needs Subscribers > 0")
+	}
+	if cfg.WarmTimeout <= 0 {
+		cfg.WarmTimeout = 30 * time.Second
+	}
+	clients := make([]*Client, 0, cfg.Subscribers)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.Subscribers; i++ {
+		c, err := Dial(ClientConfig{Addr: cfg.Addr, Algos: cfg.Algos, Backoff: cfg.Backoff, Drain: cfg.Drain})
+		if err != nil {
+			return LoadResult{}, err
+		}
+		clients = append(clients, c)
+	}
+
+	warmCtx, cancel := context.WithTimeout(context.Background(), cfg.WarmTimeout)
+	defer cancel()
+	for _, c := range clients {
+		if err := c.WaitVersion(warmCtx, 1); err != nil {
+			return LoadResult{}, errors.New("subscribe: load warm-up timed out before every subscriber held a replica")
+		}
+	}
+
+	firstVersions := make([]uint64, len(clients))
+	baseBytes := uint64(0)
+	for i, c := range clients {
+		firstVersions[i] = c.Replica().Version
+		baseBytes += c.Stats().BytesRead
+	}
+	if cfg.Warmed != nil {
+		close(cfg.Warmed)
+	}
+
+	start := time.Now()
+	var timeout <-chan time.Time
+	if cfg.Duration > 0 {
+		t := time.NewTimer(cfg.Duration)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-timeout:
+	case <-cfg.Stop:
+	}
+
+	res := LoadResult{Subscribers: cfg.Subscribers, Seconds: time.Since(start).Seconds()}
+	for i, c := range clients {
+		s := c.Stats()
+		res.Connects += s.Connects
+		res.Deltas += s.Deltas
+		res.Snapshots += s.Snapshots
+		res.Heartbeats += s.Heartbeats
+		res.BytesRead += s.BytesRead
+		res.Stale += s.Stale
+		res.ApplyErrors += s.ApplyErrors
+		final := uint64(0)
+		if r := c.Replica(); r != nil {
+			final = r.Version
+		}
+		if i == 0 || final < res.MinVersion {
+			res.MinVersion = final
+		}
+		if final > res.MaxVersion {
+			res.MaxVersion = final
+		}
+		if span := final - firstVersions[i]; span > res.VersionsSpanned {
+			res.VersionsSpanned = span
+		}
+	}
+	if res.BytesRead >= baseBytes {
+		measured := res.BytesRead - baseBytes
+		if res.VersionsSpanned > 0 {
+			res.BytesPerSubPerBatch = float64(measured) / float64(res.Subscribers) / float64(res.VersionsSpanned)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Length-prefixed framing for byte-oriented streaming transports (the
+// subscription stream). Each frame is a 4-byte big-endian length followed
+// by that many payload bytes. The gob-based RPC transport keeps its own
+// codec framing; this is for protocols that ship pre-encoded columnar
+// payloads and want the transport layer to stay dumb.
+
+// MaxFrameSize is the default bound ReadFrame enforces on a claimed
+// frame length: 256 MiB, far above any real model snapshot but small
+// enough that a corrupt or hostile length prefix cannot drive an
+// arbitrary allocation.
+const MaxFrameSize = 256 << 20
+
+// WriteFrame writes one length-prefixed frame. It performs a single
+// Write call so a frame is never interleaved with another writer's bytes
+// unless the callers themselves race.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// AppendFrame appends the length-prefixed encoding of payload to dst and
+// returns the extended slice — for batching several frames into one
+// write.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting claimed lengths
+// above max (MaxFrameSize when max <= 0) before allocating. io.EOF is
+// returned only at a clean frame boundary; a stream that ends mid-frame
+// yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrameSize
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: frame length %d exceeds limit %d", ErrCorrupt, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{},
+		{1},
+		bytes.Repeat([]byte{0xab}, 1024),
+		[]byte("hello"),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	// The stream ends exactly at a frame boundary: clean io.EOF.
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Errorf("read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got := AppendFrame(nil, []byte("abc"))
+	if !bytes.Equal(got, buf.Bytes()) {
+		t.Errorf("AppendFrame = %x, WriteFrame wrote %x", got, buf.Bytes())
+	}
+}
+
+func TestReadFrameBoundsClaimedLength(t *testing.T) {
+	// A hostile 4 GiB-ish length prefix must be rejected before any
+	// allocation happens.
+	data := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(data), 0); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized claim = %v, want ErrCorrupt", err)
+	}
+	// A claim above an explicit small bound is rejected too.
+	frame := AppendFrame(nil, bytes.Repeat([]byte{1}, 100))
+	if _, err := ReadFrame(bytes.NewReader(frame), 10); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("claim above custom max = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	full := AppendFrame(nil, []byte("payload"))
+	// Cut inside the header.
+	if _, err := ReadFrame(bytes.NewReader(full[:2]), 0); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated header = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Cut inside the payload.
+	if _, err := ReadFrame(bytes.NewReader(full[:6]), 0); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated payload = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
