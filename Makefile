@@ -27,10 +27,16 @@ bench:
 # machine-readable JSON. Raise BENCHTIME (e.g. 2s) for stable numbers;
 # the 1x default is the CI smoke setting.
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 
+# The raw output lands in a temp file first so a benchmark failure (or
+# a package timing out) fails the target instead of being swallowed by
+# the pipe; -timeout 60m keeps the macro figure benchmarks inside the
+# per-package budget at multi-second BENCHTIME settings.
 bench-json:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run ^$$ ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -timeout 60m -run ^$$ ./... > bench-raw.txt
+	$(GO) run ./cmd/benchjson < bench-raw.txt > $(BENCH_JSON)
+	rm bench-raw.txt
 
 # sched-smoke runs the schedule-equivalence battery under the race
 # detector: the pipelined schedule must land on byte-identical model
@@ -85,10 +91,14 @@ serve-smoke:
 # fuzz-smoke runs each codec fuzzer briefly: corrupted checkpoint
 # snapshots, model blobs and wire frames must error, never panic — and
 # the wire fuzzer additionally holds the columnar codec differentially
-# equal to a gob round trip.
+# equal to a gob round trip. The vector fuzzer is differential rather
+# than codec-shaped: the blocked many-vs-many argmin kernel must agree
+# bit-for-bit with the scalar one-vs-many reference on random matrices
+# (NaN/Inf coordinates included).
 FUZZTIME ?= 10s
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzModelStateCodec$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzWireCodec$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchNearest$$' -fuzztime $(FUZZTIME) ./internal/vector

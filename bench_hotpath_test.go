@@ -12,6 +12,7 @@ package diststream_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -24,8 +25,10 @@ import (
 
 // assignBenchEnv builds a LocalExecutor with the core ops registered, a
 // clustream snapshot of numMC micro-clusters at the given dimensionality,
-// and a batch of records dealt round-robin over p partitions.
-func assignBenchEnv(b *testing.B, dim, numMC, records, p int) (*mbsp.LocalExecutor, []mbsp.Partition) {
+// and a batch of records dealt round-robin over p partitions. Records
+// come from gen (randRecord for the tabular grid fixture, embedRecordGen
+// for embedding geometry).
+func assignBenchEnv(b *testing.B, dim, numMC, records, p int, gen func(rng *rand.Rand, seq uint64) stream.Record) (*mbsp.LocalExecutor, []mbsp.Partition) {
 	b.Helper()
 	algos := core.NewAlgorithmRegistry()
 	if err := clustream.Register(algos); err != nil {
@@ -44,7 +47,7 @@ func assignBenchEnv(b *testing.B, dim, numMC, records, p int) (*mbsp.LocalExecut
 	algo := clustream.New(clustream.Config{Dim: dim, MaxMicroClusters: numMC})
 	warm := make([]stream.Record, numMC*4)
 	for i := range warm {
-		warm[i] = randRecord(rng, uint64(i), dim, numMC)
+		warm[i] = gen(rng, uint64(i))
 	}
 	mcs, err := algo.Init(warm)
 	if err != nil {
@@ -71,7 +74,7 @@ func assignBenchEnv(b *testing.B, dim, numMC, records, p int) (*mbsp.LocalExecut
 
 	items := make([]mbsp.Item, records)
 	for i := range items {
-		items[i] = randRecord(rng, uint64(len(warm)+i), dim, numMC)
+		items[i] = gen(rng, uint64(len(warm)+i))
 	}
 	parts, err := mbsp.RoundRobin(items, p)
 	if err != nil {
@@ -97,6 +100,45 @@ func randRecord(rng *rand.Rand, seq uint64, dim, numMC int) stream.Record {
 	}
 }
 
+// embedRecordGen builds a generator with the embed-preset geometry: k
+// clusters on random unit directions at norm 6, per-dim std 4/sqrt(dim)
+// so the point-to-center distance is 4 at every dimensionality. Unlike
+// randRecord's grid sites (separated by ~20 sigma per dim, so the argmin
+// early exit abandons nearly every center after a few dims), embedding
+// competitors differ by a small amount per dimension and the kernel must
+// scan deep into most rows — the regime the blocked kernel is for.
+func embedRecordGen(dim, k int) func(rng *rand.Rand, seq uint64) stream.Record {
+	crng := rand.New(rand.NewSource(99))
+	centers := make([][]float64, k)
+	for i := range centers {
+		c := make([]float64, dim)
+		var norm float64
+		for j := range c {
+			c[j] = crng.NormFloat64()
+			norm += c[j] * c[j]
+		}
+		scale := 6 / math.Sqrt(norm)
+		for j := range c {
+			c[j] *= scale
+		}
+		centers[i] = c
+	}
+	std := 4 / math.Sqrt(float64(dim))
+	return func(rng *rand.Rand, seq uint64) stream.Record {
+		site := rng.Intn(k)
+		values := make([]float64, dim)
+		for d := range values {
+			values[d] = centers[site][d] + rng.NormFloat64()*std
+		}
+		return stream.Record{
+			Seq:       seq,
+			Timestamp: vclock.Time(seq / 100),
+			Values:    values,
+			Label:     site,
+		}
+	}
+}
+
 // BenchmarkAssignOp measures the record-parallel assign stage (§V-A) end
 // to end on the local executor: nearest-micro-cluster search for every
 // record of the batch plus keyed-output construction.
@@ -107,7 +149,8 @@ func BenchmarkAssignOp(b *testing.B) {
 		records = 4096
 		p       = 4
 	)
-	exec, parts := assignBenchEnv(b, dim, numMC, records, p)
+	exec, parts := assignBenchEnv(b, dim, numMC, records, p,
+		func(rng *rand.Rand, seq uint64) stream.Record { return randRecord(rng, seq, dim, numMC) })
 	defer exec.Close()
 	ctx := context.Background()
 	b.ReportAllocs()
@@ -120,6 +163,42 @@ func BenchmarkAssignOp(b *testing.B) {
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
 }
 
+// BenchmarkAssignOpDimSweep measures the assign stage across record
+// dimensionalities with the batched (blocked many-vs-many kernel) and
+// scalar (per-record) paths — the before/after for the batched assign
+// rewrite. The kernel-level record-block-size sweep lives in
+// internal/vector's BenchmarkBatchNearestKernel; both land in
+// bench-json.
+func BenchmarkAssignOpDimSweep(b *testing.B) {
+	const (
+		numMC   = 128
+		records = 2048
+		p       = 4
+	)
+	for _, dim := range []int{2, 32, 128, 768} {
+		exec, parts := assignBenchEnv(b, dim, numMC, records, p, embedRecordGen(dim, 12))
+		for _, mode := range []struct {
+			name    string
+			batched bool
+		}{{"batched", true}, {"scalar", false}} {
+			b.Run(fmt.Sprintf("d%d/%s", dim, mode.name), func(b *testing.B) {
+				restore := core.SetBatchAssign(mode.batched)
+				defer restore()
+				ctx := context.Background()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := exec.RunTasks(ctx, "assign", core.OpAssign, parts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+			})
+		}
+		exec.Close()
+	}
+}
+
 // BenchmarkAssignShuffle measures assign followed by the driver-side
 // group-by-key shuffle — the full path from raw records to local-update
 // input partitions.
@@ -130,7 +209,8 @@ func BenchmarkAssignShuffle(b *testing.B) {
 		records = 4096
 		p       = 4
 	)
-	exec, parts := assignBenchEnv(b, dim, numMC, records, p)
+	exec, parts := assignBenchEnv(b, dim, numMC, records, p,
+		func(rng *rand.Rand, seq uint64) stream.Record { return randRecord(rng, seq, dim, numMC) })
 	defer exec.Close()
 	ctx := context.Background()
 	b.ReportAllocs()

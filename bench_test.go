@@ -84,6 +84,57 @@ func BenchmarkQualityBatchSize(b *testing.B) {
 	}
 }
 
+// BenchmarkEmbeddingQuality runs the CMM quality harness on the
+// 128-dim embedding stream — the high-dimensional regime the ROADMAP
+// opens, where the blocked assign kernel carries the distance work.
+func BenchmarkEmbeddingQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunQuality(harness.QualityConfig{
+			Datasets:   []datagen.Preset{datagen.EmbedSim128},
+			Algorithms: []string{"clustream"},
+			Records:    benchRecords,
+			Seed:       benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			cell := res.Cells[0]
+			if ordered, ok := cell.Mode(harness.ModeDistStream); ok {
+				b.ReportMetric(ordered.NormCMM, "normCMM-ordered")
+			}
+			if unordered, ok := cell.Mode(harness.ModeUnordered); ok {
+				b.ReportMetric(unordered.NormCMM, "normCMM-unordered")
+			}
+		}
+	}
+}
+
+// BenchmarkEmbeddingThroughput measures single-machine throughput on the
+// 768-dim embedding stream, the kernel-bound end of the dimension sweep.
+func BenchmarkEmbeddingThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunThroughput(harness.ThroughputConfig{
+			Datasets:    []datagen.Preset{datagen.EmbedSim768},
+			Algorithms:  []string{"clustream"},
+			BaseRecords: benchRecords,
+			Repeats:     benchRepeats,
+			Seed:        benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if ds, ok := res.Cell("large-embed768-sim", "clustream", harness.ModeDistStream); ok {
+				b.ReportMetric(ds.Throughput, "diststream-rec/s")
+			}
+			if moa, ok := res.Cell("large-embed768-sim", "clustream", harness.ModeMOA); ok {
+				b.ReportMetric(moa.Throughput, "moa-rec/s")
+			}
+		}
+	}
+}
+
 // BenchmarkFigure7Throughput regenerates Figure 7: MOA vs unordered vs
 // DistStream single-machine throughput.
 func BenchmarkFigure7Throughput(b *testing.B) {

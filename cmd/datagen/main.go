@@ -26,7 +26,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
-	preset := fs.String("preset", "kdd99", "dataset preset: kdd99, covtype, or kdd98")
+	preset := fs.String("preset", "kdd99", "dataset preset: kdd99, covtype, kdd98, embed128, embed384, or embed768")
 	records := fs.Int("records", 0, "record count (0 = paper scale)")
 	rate := fs.Float64("rate", 1000, "records per virtual second")
 	seed := fs.Int64("seed", 42, "generation seed")
@@ -42,6 +42,12 @@ func run(args []string) error {
 		p = datagen.CovTypeSim
 	case "kdd98":
 		p = datagen.KDD98Sim
+	case "embed128":
+		p = datagen.EmbedSim128
+	case "embed384":
+		p = datagen.EmbedSim384
+	case "embed768":
+		p = datagen.EmbedSim768
 	default:
 		return fmt.Errorf("unknown preset %q", *preset)
 	}

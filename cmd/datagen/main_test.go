@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diststream/internal/stream"
+)
+
+// TestRunPresets smokes every preset name through the CLI at a small
+// record count and checks the CSV round-trips with the right shape.
+func TestRunPresets(t *testing.T) {
+	dims := map[string]int{
+		"kdd99": 54, "covtype": 54, "kdd98": 315,
+		"embed128": 128, "embed384": 384, "embed768": 768,
+	}
+	for name, dim := range dims {
+		out := filepath.Join(t.TempDir(), name+".csv")
+		if err := run([]string{"-preset", name, "-records", "200", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := stream.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: read csv: %v", name, err)
+		}
+		if len(recs) != 200 {
+			t.Fatalf("%s: %d records, want 200", name, len(recs))
+		}
+		if got := len(recs[0].Values); got != dim {
+			t.Fatalf("%s: dim %d, want %d", name, got, dim)
+		}
+	}
+}
+
+func TestRunUnknownPreset(t *testing.T) {
+	err := run([]string{"-preset", "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Fatalf("err = %v, want unknown preset", err)
+	}
+}

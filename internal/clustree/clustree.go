@@ -644,6 +644,22 @@ func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
 	return s.MCs[bestIdx].ID(), math.Sqrt(bestD) <= s.Boundaries[bestIdx], true
 }
 
+// NearestAll implements core.BatchNearester by running the beam descent
+// per record. The descent path is data-dependent (each record prunes a
+// different subtree), so there is no block of records sharing one
+// centers matrix to tile — batching the leaf kernels would change which
+// leaves the (approximate) beam visits and break bit-identity with
+// Nearest. Adopting the capability still pays: the assign op unboxes and
+// classifies the partition in one call instead of interface-dispatching
+// per record.
+func (s *Snapshot) NearestAll(recs []stream.Record, ids []uint64, absorb, found []bool) ([]uint64, []bool, []bool) {
+	ids, absorb, found = core.GrowNearestOut(len(recs), ids, absorb, found)
+	for i := range recs {
+		ids[i], absorb[i], found[i] = s.Nearest(recs[i])
+	}
+	return ids, absorb, found
+}
+
 // Get implements core.Snapshot.
 func (s *Snapshot) Get(id uint64) core.MicroCluster {
 	i, ok := s.ByID[id]

@@ -103,11 +103,19 @@ func taskEnv(ctx *mbsp.TaskContext) (Snapshot, TaskConfig, error) {
 // (boxing a pointer into `any` does not allocate), and each item reuses
 // the input's existing record box instead of re-boxing the copy. The
 // shuffle accepts both the value and pointer forms.
+//
+// Snapshots implementing BatchNearester classify the whole partition in
+// one call (see batch.go) — bit-identical results, but the flat-index
+// snapshots get the blocked many-vs-many kernel's cache reuse; others
+// (the D-Stream grid) take the per-record loop below.
 func makeAssignOp() mbsp.OpFunc {
 	return func(ctx *mbsp.TaskContext, in mbsp.Partition) (mbsp.Partition, error) {
 		snap, cfg, err := taskEnv(ctx)
 		if err != nil {
 			return nil, err
+		}
+		if bn, ok := snap.(BatchNearester); ok && batchAssign.Load() {
+			return assignBatched(bn, cfg, in)
 		}
 		out := make(mbsp.Partition, len(in))
 		keyed := make([]mbsp.KeyedItem, len(in))

@@ -374,3 +374,89 @@ func TestSmallTailWeights(t *testing.T) {
 		t.Errorf("truncated heads = %v", w)
 	}
 }
+
+func TestEmbedPresets(t *testing.T) {
+	for _, p := range []Preset{EmbedSim128, EmbedSim384, EmbedSim768} {
+		recs, err := GeneratePreset(p, 4000, 1000, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		sum, err := Summarize(p.String(), recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Dim != p.Dim() {
+			t.Errorf("%v: dim = %d, want %d", p, sum.Dim, p.Dim())
+		}
+		if sum.Clusters < 10 || sum.Clusters > 12 {
+			t.Errorf("%v: clusters = %d, want ~12", p, sum.Clusters)
+		}
+		if sum.Top3Share[0] < 0.15 || sum.Top3Share[0] > 0.50 {
+			t.Errorf("%v: top cluster share = %v", p, sum.Top3Share[0])
+		}
+		// The std scaling keeps the norm geometry constant across d:
+		// centers at norm 6, points ~4 from their center, so record
+		// norms concentrate near sqrt(36+16) ~ 7.2 at every dimension.
+		var meanNorm float64
+		n := 0
+		for _, r := range recs {
+			if r.Label < 0 {
+				continue
+			}
+			meanNorm += r.Values.Norm()
+			n++
+		}
+		meanNorm /= float64(n)
+		if meanNorm < 6 || meanNorm > 9 {
+			t.Errorf("%v: mean record norm %v, want ~7.2", p, meanNorm)
+		}
+	}
+}
+
+func TestEmbedSeparation(t *testing.T) {
+	// Early in the stream (before drift accumulates) every labeled record
+	// must sit nearer its own initial center than any other — all-dim
+	// directional separation survives d=768.
+	spec, err := NewSpec(EmbedSim768, 20000, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := 0
+	checked := 0
+	for _, r := range recs[:1000] {
+		if r.Label < 0 {
+			continue
+		}
+		checked++
+		best, bestD := -1, math.Inf(1)
+		for c := range spec.Clusters {
+			if d := vector.SquaredDistance(r.Values, spec.Clusters[c].Center); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best != r.Label {
+			miss++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no labeled records")
+	}
+	if frac := float64(miss) / float64(checked); frac > 0.05 {
+		t.Errorf("nearest-center mismatch fraction %v, want <= 0.05", frac)
+	}
+}
+
+func TestHighDim(t *testing.T) {
+	for p, want := range map[Preset]bool{
+		KDD99Sim: false, CovTypeSim: false,
+		KDD98Sim: true, EmbedSim128: true, EmbedSim384: true, EmbedSim768: true,
+	} {
+		if p.HighDim() != want {
+			t.Errorf("%v.HighDim() = %v, want %v", p, p.HighDim(), want)
+		}
+	}
+}

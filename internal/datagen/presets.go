@@ -2,16 +2,20 @@ package datagen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"diststream/internal/stream"
 	"diststream/internal/vector"
 )
 
-// Preset identifies one of the three paper-dataset substitutes.
+// Preset identifies one of the paper-dataset substitutes or the
+// high-dimensional embedding-stream workloads.
 type Preset int
 
-// The three presets mirror Table I of the paper.
+// The first three presets mirror Table I of the paper; the embed presets
+// open the high-dimensional regime the ROADMAP calls for (d = 128–768,
+// where the flat kernels and norm-expansion tradeoffs get stressed).
 const (
 	// KDD99Sim mirrors KDD-99: 494,021 records, 54 features, 23 clusters,
 	// top-3 share 57/22/20, bursty attack-wave dynamics.
@@ -22,6 +26,14 @@ const (
 	// KDD98Sim mirrors KDD-98: 95,412 records, 315 features, 5 clusters,
 	// top-3 share 95/1.5/1.4, stable distribution.
 	KDD98Sim
+	// EmbedSim128 models a stream of 128-dim embedding vectors: 12
+	// clusters on drifting unit directions, all dimensions informative.
+	EmbedSim128
+	// EmbedSim384 is the 384-dim embedding stream (sentence-encoder
+	// scale).
+	EmbedSim384
+	// EmbedSim768 is the 768-dim embedding stream (BERT-base scale).
+	EmbedSim768
 )
 
 // String returns the dataset name used in reports.
@@ -33,6 +45,12 @@ func (p Preset) String() string {
 		return "covtype-sim"
 	case KDD98Sim:
 		return "kdd98-sim"
+	case EmbedSim128:
+		return "embed128-sim"
+	case EmbedSim384:
+		return "embed384-sim"
+	case EmbedSim768:
+		return "embed768-sim"
 	default:
 		return fmt.Sprintf("preset(%d)", int(p))
 	}
@@ -47,6 +65,12 @@ func (p Preset) FullRecords() int {
 		return 581012
 	case KDD98Sim:
 		return 95412
+	case EmbedSim128:
+		return 200000
+	case EmbedSim384:
+		return 100000
+	case EmbedSim768:
+		return 50000
 	default:
 		return 0
 	}
@@ -61,6 +85,8 @@ func (p Preset) NumClusters() int {
 		return 7
 	case KDD98Sim:
 		return 5
+	case EmbedSim128, EmbedSim384, EmbedSim768:
+		return 12
 	default:
 		return 0
 	}
@@ -73,9 +99,26 @@ func (p Preset) Dim() int {
 		return 54
 	case KDD98Sim:
 		return 315
+	case EmbedSim128:
+		return 128
+	case EmbedSim384:
+		return 384
+	case EmbedSim768:
+		return 768
 	default:
 		return 0
 	}
+}
+
+// HighDim reports whether the preset is one of the embedding workloads,
+// whose per-record cost is dominated by d and which the harness
+// therefore streams at a reduced rate (like KDD98Sim).
+func (p Preset) HighDim() bool {
+	switch p {
+	case KDD98Sim, EmbedSim128, EmbedSim384, EmbedSim768:
+		return true
+	}
+	return false
 }
 
 // NewSpec builds the spec for a preset at the given record count (pass
@@ -93,6 +136,8 @@ func NewSpec(p Preset, records int, rate float64, seed int64) (Spec, error) {
 		return covtypeSpec(rng, records, rate, seed), nil
 	case KDD98Sim:
 		return kdd98Spec(rng, records, rate, seed), nil
+	case EmbedSim128, EmbedSim384, EmbedSim768:
+		return embedSpec(p, rng, records, rate, seed), nil
 	default:
 		return Spec{}, fmt.Errorf("datagen: unknown preset %d", int(p))
 	}
@@ -204,6 +249,68 @@ func kdd98Spec(rng *rand.Rand, records int, rate float64, seed int64) Spec {
 		Seed:      seed + 3,
 		Normalize: true,
 	}
+}
+
+// embedSpec: 12 clusters of synthetic embedding vectors in d = 128, 384
+// or 768 dimensions. Unlike the tabular presets, every dimension is
+// informative: each center is a random direction scaled to a fixed norm
+// (random high-dimensional directions are near-orthogonal, so pairwise
+// center distances concentrate at span·√2 — the geometry of encoder
+// embeddings, where classes separate by direction rather than by a few
+// features). Per-dimension std is 4/√d so the expected point-to-center
+// distance stays 4 at every d — the workload gets harder with d only
+// through kernel cost, not through vanishing separation. Clusters drift
+// along their own random unit directions (Gradual velocity) with smooth
+// weight rotation — "drifting cluster directions", the regime where a
+// lagging model misses the moving semantics of the stream.
+//
+// Normalize is off: z-scoring per feature would erase the directional
+// norm structure that makes this an embedding workload (and costs a
+// second O(n·d) pass).
+func embedSpec(p Preset, rng *rand.Rand, records int, rate float64, seed int64) Spec {
+	const k = 12
+	dim := p.Dim()
+	centers := embedDirections(rng, k, dim, 6)
+	clusters := make([]ClusterSpec, k)
+	weights := smallTailWeights(k, []float64{0.30, 0.18, 0.12})
+	std := 4.0 / math.Sqrt(float64(dim))
+	for i := range clusters {
+		clusters[i] = ClusterSpec{Center: centers[i], Std: std, BaseWeight: weights[i]}
+	}
+	velocity := embedDirections(rng, k, dim, 3)
+	return Spec{
+		Name:      p.String(),
+		Records:   records,
+		Dim:       dim,
+		Clusters:  clusters,
+		Rate:      rate,
+		NoiseFrac: 0.01,
+		Drift:     Gradual{Velocity: velocity, WeightShift: 0.5},
+		Seed:      seed + 4 + int64(p-EmbedSim128),
+		Normalize: false,
+	}
+}
+
+// embedDirections draws k random directions in d dimensions, each scaled
+// to norm span.
+func embedDirections(rng *rand.Rand, k, d int, span float64) []vector.Vector {
+	out := make([]vector.Vector, k)
+	for i := range out {
+		c := vector.New(d)
+		var norm float64
+		for j := range c {
+			c[j] = rng.NormFloat64()
+			norm += c[j] * c[j]
+		}
+		if norm > 0 {
+			scale := span / math.Sqrt(norm)
+			for j := range c {
+				c[j] *= scale
+			}
+		}
+		out[i] = c
+	}
+	return out
 }
 
 // smallTailWeights builds a weight vector of length k whose first

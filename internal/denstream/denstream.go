@@ -460,6 +460,28 @@ func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
 	return mc.Id, mc.ProspectiveRadius(rec, s.Lambda) <= s.Epsilon, true
 }
 
+// NearestAll implements core.BatchNearester: the blocked kernel picks
+// each record's nearest micro-cluster, then the same per-record
+// prospective-radius test as Nearest decides absorption. Bit-identical
+// to the per-record path.
+func (s *Snapshot) NearestAll(recs []stream.Record, ids []uint64, absorb, found []bool) ([]uint64, []bool, []bool) {
+	ids, absorb, found = core.GrowNearestOut(len(recs), ids, absorb, found)
+	nr := core.GetNearestRows()
+	nr.Rows, nr.Dists = s.Index.NearestAll(recs, nr.Rows, nr.Dists)
+	for i, row := range nr.Rows {
+		if row < 0 {
+			ids[i], absorb[i], found[i] = 0, false, false
+			continue
+		}
+		mc := s.MCs[row].(*MC)
+		ids[i] = mc.Id
+		absorb[i] = mc.ProspectiveRadius(recs[i], s.Lambda) <= s.Epsilon
+		found[i] = true
+	}
+	nr.Release()
+	return ids, absorb, found
+}
+
 // Get implements core.Snapshot in O(1) via the id → row map.
 func (s *Snapshot) Get(id uint64) core.MicroCluster {
 	if i, ok := s.Index.IndexOf(id); ok {

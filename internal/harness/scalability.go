@@ -80,8 +80,8 @@ func (c ScalabilityConfig) rateFor(p datagen.Preset) float64 {
 }
 
 func (c ScalabilityConfig) batchFor(p datagen.Preset) float64 {
-	if p == datagen.KDD98Sim {
-		return 2 * c.BatchSeconds // paper: 20s for the slower stream
+	if p.HighDim() {
+		return 2 * c.BatchSeconds // paper: 20s for the slower streams
 	}
 	return c.BatchSeconds
 }

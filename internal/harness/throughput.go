@@ -60,10 +60,11 @@ func (c *ThroughputConfig) withDefaults() ThroughputConfig {
 	return out
 }
 
-// rateFor matches the paper's per-dataset stress rates: the
-// high-dimensional kdd98-sim streams at a tenth of the others.
+// rateFor matches the paper's per-dataset stress rates: high-dimensional
+// streams (kdd98-sim, the embed presets) stream at a tenth of the
+// others.
 func (c ThroughputConfig) rateFor(p datagen.Preset) float64 {
-	if p == datagen.KDD98Sim {
+	if p.HighDim() {
 		return c.Rate / 10
 	}
 	return c.Rate

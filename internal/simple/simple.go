@@ -307,6 +307,26 @@ func (s *Snapshot) Nearest(rec stream.Record) (uint64, bool, bool) {
 	return s.Index.IDs[best], math.Sqrt(bestD) <= s.Radius, true
 }
 
+// NearestAll implements core.BatchNearester: the blocked kernel plus the
+// same global-radius test as Nearest. Bit-identical to the per-record
+// path.
+func (s *Snapshot) NearestAll(recs []stream.Record, ids []uint64, absorb, found []bool) ([]uint64, []bool, []bool) {
+	ids, absorb, found = core.GrowNearestOut(len(recs), ids, absorb, found)
+	nr := core.GetNearestRows()
+	nr.Rows, nr.Dists = s.Index.NearestAll(recs, nr.Rows, nr.Dists)
+	for i, row := range nr.Rows {
+		if row < 0 {
+			ids[i], absorb[i], found[i] = 0, false, false
+			continue
+		}
+		ids[i] = s.Index.IDs[row]
+		absorb[i] = math.Sqrt(nr.Dists[i]) <= s.Radius
+		found[i] = true
+	}
+	nr.Release()
+	return ids, absorb, found
+}
+
 // Get implements core.Snapshot in O(1) via the id → row map.
 func (s *Snapshot) Get(id uint64) core.MicroCluster {
 	if i, ok := s.Index.IndexOf(id); ok {

@@ -1,0 +1,339 @@
+package vector
+
+// Blocked many-vs-many kernels: classify a whole block of records
+// against a whole matrix of centers in one call.
+//
+// The one-vs-many kernels (ArgminBelow, SquaredDistancesTo) stream the
+// entire centers matrix through cache once per record. That is fine
+// while the matrix fits L1/L2 (d = 2–54, a few hundred rows), but a
+// high-dimensional snapshot (d = 128–768) is hundreds of KB to a few
+// MB: per-record streaming re-reads it from L2/L3 for every record. The
+// batch kernels tile records x centers so each centers tile is loaded
+// once per record tile and stays cache-resident while every record of
+// the tile scans it — the classic mini-batching cache-locality lever
+// for stream learners (arXiv:2112.09834) applied to the assign stage.
+//
+// Two kernels, two contracts:
+//
+//   - BatchArgminBelow is the DECISION path: exact direct-form
+//     accumulation, bit-identical to ArgminBelow per record (same
+//     single-accumulator index-order sums, same running-best early
+//     exit, same NaN/Inf and first-row tie-break semantics). Tiling
+//     only reorders which (record, row) pair is visited when; each
+//     row's distance arithmetic and each record's ascending-row-order
+//     comparison sequence are unchanged.
+//   - BatchSquaredDistancesTo fills the full distance matrix and may
+//     use the norm expansion above NormExpansionMinDim dimensions; it
+//     is approximate there (see the cancellation analysis below) and
+//     must not feed absorb decisions.
+
+// Tiling parameters. A tile of rows is sized so one centers tile plus
+// one records tile together stay within an L2-ish budget
+// (2 x tileBudgetBytes = 128 KiB), with the row count clamped to
+// [minTileRows, maxTileRows]:
+//
+//   - at d <= 128 the budget allows the full maxTileRows (64), which
+//     the sweep measures as at-or-near best from d=2 through d=128;
+//   - at d = 768 the budget yields 10 rows, floored at minTileRows
+//     (16 rows = 96 KiB per tile) — the measured optimum: 16- and
+//     64-row tiles tie at ~13.8k rec/s vs 11.0k for 4-row tiles and
+//     6.6k for the per-record scan (256 centers, 256 records);
+//   - the cap of maxTileRows bounds bookkeeping overhead at tiny d
+//     (beyond ~64 rows the whole matrix fits cache anyway and larger
+//     tiles measure flat to slightly worse).
+//
+// The BenchmarkBatchNearestKernel record-block sweep (d ∈ {2, 32, 128,
+// 768} x tile rows ∈ {4..256}) is the measurement behind these
+// constants; see DESIGN.md "Batched assign kernel" for the table.
+const (
+	tileBudgetBytes = 64 << 10
+	minTileRows     = 16
+	maxTileRows     = 64
+)
+
+// tileRows returns the tile height (row count) for the given row width.
+func tileRows(cols int) int {
+	if cols <= 0 {
+		return maxTileRows
+	}
+	r := tileBudgetBytes / (8 * cols)
+	if r < minTileRows {
+		return minTileRows
+	}
+	if r > maxTileRows {
+		return maxTileRows
+	}
+	return r
+}
+
+// BatchArgminBelow finds, for every row x of xs, the row of m closest to
+// x in squared Euclidean distance. idxs[i] and dists[i] receive exactly
+// what ArgminBelow(xs.Row(i), m) returns: the winning row index (or -1
+// when no row compares below +Inf) and the winner's exact squared
+// distance (or +Inf). Both slices are grown when their capacity is too
+// short and returned, so callers can reuse scratch across calls.
+//
+// The result is bit-identical to the per-record scalar scan: each
+// (record, row) distance is the direct form Σ(x_j-c_j)² accumulated in
+// index order with a single accumulator (Go never reassociates
+// floating-point arithmetic), rows are compared in ascending order under
+// strict <, the running-best early exit only abandons rows whose partial
+// sum already reached the record's running best (remaining terms are
+// ≥ 0 or NaN, which fails both the abandon test and the final
+// comparison), and the winning row is always summed to completion. The
+// tiling reorders only which pair is computed when — never the
+// arithmetic within a pair, nor the ascending row order seen by any one
+// record — so index, distance and tie-break match ArgminBelow exactly.
+// FuzzBatchNearest enforces this differentially, NaN/±Inf/-0 included.
+func BatchArgminBelow(idxs []int, dists []float64, xs, m Matrix) ([]int, []float64) {
+	if cap(idxs) < xs.Rows {
+		idxs = make([]int, xs.Rows)
+	}
+	idxs = idxs[:xs.Rows]
+	if cap(dists) < xs.Rows {
+		dists = make([]float64, xs.Rows)
+	}
+	dists = dists[:xs.Rows]
+	t := tileRows(m.Cols)
+	batchArgminTiled(idxs, dists, xs, m, t, t)
+	return idxs, dists
+}
+
+// batchArgminTiled is BatchArgminBelow with explicit record-tile (rt)
+// and centers-tile (ct) heights; the benchmark sweeps them.
+//
+// Within a tile, each record scans the tile's centers four rows at a
+// time: the four rows share each x[j] load and carry four INDEPENDENT
+// accumulator chains, so the floating-point adds of four pairs overlap
+// in the pipeline instead of serializing on one accumulator's latency —
+// the ILP lever the one-vs-many kernel cannot use, because bit-identity
+// pins each single pair to one sequential accumulator. Each pair's own
+// accumulation stays exactly that sequential index-order chain; only
+// WHICH pairs are in flight together changes.
+//
+// Early exit in the four-row group is conservative: the group is
+// abandoned only when all four partial sums have reached the record's
+// running best (checked every 4 dims, like the one-vs-many kernel). A
+// row the scalar scan would have abandoned earlier may be summed to
+// completion here — wasted work, never a different decision: a full
+// exact sum fails the final strict-< comparison exactly when the scalar
+// scan's abandonment predicted it would. NaN partial sums fail the
+// abandon test (NaN >= x is false), so a NaN row keeps the group alive
+// and falls through to the (failing) final comparison, as in the scalar
+// scan. Winners are compared in ascending row order — groups ascend,
+// and the four comparisons after the group run in row order against the
+// possibly-just-updated best — preserving the first-row tie-break.
+func batchArgminTiled(idxs []int, dists []float64, xs, m Matrix, rt, ct int) {
+	for i := range idxs {
+		idxs[i] = -1
+		dists[i] = inf
+	}
+	if xs.Rows == 0 || m.Rows == 0 {
+		return
+	}
+	xcols, cols := xs.Cols, m.Cols
+	for r0 := 0; r0 < xs.Rows; r0 += rt {
+		r1 := min(r0+rt, xs.Rows)
+		for c0 := 0; c0 < m.Rows; c0 += ct {
+			c1 := min(c0+ct, m.Rows)
+			for r := r0; r < r1; r++ {
+				x := xs.Data[r*xcols : r*xcols+xcols]
+				best, bestD := idxs[r], dists[r]
+				i := c0
+				for ; i+4 <= c1; i += 4 {
+					row0 := m.Data[i*cols : i*cols+cols]
+					row0 = row0[:len(x)] // hoist the bounds check; panics on dim mismatch like SquaredDistance
+					row1 := m.Data[(i+1)*cols : (i+1)*cols+cols][:len(x)]
+					row2 := m.Data[(i+2)*cols : (i+2)*cols+cols][:len(x)]
+					row3 := m.Data[(i+3)*cols : (i+3)*cols+cols][:len(x)]
+					var s0, s1, s2, s3 float64
+					j := 0
+					for ; j+4 <= len(x); j += 4 {
+						x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+						d := x0 - row0[j]
+						s0 += d * d
+						d = x1 - row0[j+1]
+						s0 += d * d
+						d = x2 - row0[j+2]
+						s0 += d * d
+						d = x3 - row0[j+3]
+						s0 += d * d
+						d = x0 - row1[j]
+						s1 += d * d
+						d = x1 - row1[j+1]
+						s1 += d * d
+						d = x2 - row1[j+2]
+						s1 += d * d
+						d = x3 - row1[j+3]
+						s1 += d * d
+						d = x0 - row2[j]
+						s2 += d * d
+						d = x1 - row2[j+1]
+						s2 += d * d
+						d = x2 - row2[j+2]
+						s2 += d * d
+						d = x3 - row2[j+3]
+						s2 += d * d
+						d = x0 - row3[j]
+						s3 += d * d
+						d = x1 - row3[j+1]
+						s3 += d * d
+						d = x2 - row3[j+2]
+						s3 += d * d
+						d = x3 - row3[j+3]
+						s3 += d * d
+						if s0 >= bestD && s1 >= bestD && s2 >= bestD && s3 >= bestD {
+							// No row of the group can win anymore; NaN sums
+							// fail the test and keep the group alive.
+							break
+						}
+					}
+					if j+4 > len(x) {
+						for ; j < len(x); j++ {
+							xv := x[j]
+							d := xv - row0[j]
+							s0 += d * d
+							d = xv - row1[j]
+							s1 += d * d
+							d = xv - row2[j]
+							s2 += d * d
+							d = xv - row3[j]
+							s3 += d * d
+						}
+					} else {
+						continue // group abandoned mid-scan: partial sums, no comparison
+					}
+					if s0 < bestD {
+						best, bestD = i, s0
+					}
+					if s1 < bestD {
+						best, bestD = i+1, s1
+					}
+					if s2 < bestD {
+						best, bestD = i+2, s2
+					}
+					if s3 < bestD {
+						best, bestD = i+3, s3
+					}
+				}
+				// Tail rows of the tile: the one-vs-many body verbatim.
+				for ; i < c1; i++ {
+					row := m.Data[i*cols : i*cols+cols]
+					row = row[:len(x)]
+					var sum float64
+					j := 0
+					for ; j+4 <= len(x); j += 4 {
+						d0 := x[j] - row[j]
+						sum += d0 * d0
+						d1 := x[j+1] - row[j+1]
+						sum += d1 * d1
+						d2 := x[j+2] - row[j+2]
+						sum += d2 * d2
+						d3 := x[j+3] - row[j+3]
+						sum += d3 * d3
+						if sum >= bestD {
+							break
+						}
+					}
+					if j+4 > len(x) {
+						for ; j < len(x); j++ {
+							d := x[j] - row[j]
+							sum += d * d
+						}
+					}
+					if sum < bestD {
+						best, bestD = i, sum
+					}
+				}
+				idxs[r], dists[r] = best, bestD
+			}
+		}
+	}
+}
+
+// NormExpansionMinDim is the dimensionality at or above which
+// BatchSquaredDistancesTo switches from the exact direct form to the
+// norm expansion |x-c|² = |x|² - 2·x·c + |c|².
+//
+// The tradeoff is measured, not assumed (BenchmarkBatchDistanceForm
+// sweeps both forms across dimensions): per row the direct form costs d
+// subtractions, d multiplies and d adds, while the expansion costs d
+// multiplies and d adds plus O(1) — a ~3:2 flop advantage that only
+// overcomes the expansion's extra norm loads and writes once the inner
+// loop is long enough. On the reference container the crossover sits
+// between d=16 and d=32; below it the direct form is both faster AND
+// exact, so the constant is the conservative end of the measured range.
+//
+// Accuracy bound (why the expansion never feeds decisions): each of the
+// three terms is computed to relative accuracy O(d·ε) of its own
+// magnitude, so the absolute error in the combination is
+// O(d·ε·max(|x|², |c|²)) and the RELATIVE error of the result is
+//
+//	O(d·ε) · max(|x|², |c|²) / |x-c|²
+//
+// which is unbounded as |x-c| → 0 with |x| ≈ |c| large — catastrophic
+// cancellation. At d=768 with unit-scale embeddings and |x-c| ~ 1e-3·|x|
+// the relative error reaches ~1e-9 and grows quadratically as the pair
+// gets closer; TestNormExpansionErrorHighDim quantifies both the
+// well-separated regime (relative error < NormExpansionRelError) and
+// the cancellation blow-up.
+const NormExpansionMinDim = 32
+
+// NormExpansionRelError bounds the relative error of the norm-expansion
+// form for WELL-SEPARATED pairs, defined as |x-c|² ≥ max(|x|², |c|²)/4
+// (distance comparable to the operand scale). It is validated at d=768
+// by TestNormExpansionErrorHighDim. Inside that separation the expansion
+// is safe for pruning and diagnostics; closer pairs lose relative
+// accuracy proportionally to max(|x|²,|c|²)/|x-c|².
+const NormExpansionRelError = 1e-10
+
+// BatchSquaredDistancesTo writes the squared Euclidean distance from
+// every row of xs to every row of m into dst (record-major:
+// dst[i*m.Rows+k] is |xs.Row(i) - m.Row(k)|²), allocating when dst is
+// too short, and returns dst. norms must be m.RowNorms.
+//
+// At m.Cols >= NormExpansionMinDim it uses the norm expansion — one
+// inner product per pair instead of subtract-square-accumulate — and is
+// then approximate (see NormExpansionMinDim); below the threshold it
+// uses the exact direct form, which measures faster there. Both forms
+// run over the same records x centers tiling as BatchArgminBelow.
+func BatchSquaredDistancesTo(dst []float64, xs, m Matrix, norms []float64) []float64 {
+	n := xs.Rows * m.Rows
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	t := tileRows(m.Cols)
+	expand := m.Cols >= NormExpansionMinDim
+	for r0 := 0; r0 < xs.Rows; r0 += t {
+		r1 := min(r0+t, xs.Rows)
+		for c0 := 0; c0 < m.Rows; c0 += t {
+			c1 := min(c0+t, m.Rows)
+			for r := r0; r < r1; r++ {
+				x := xs.Row(r)
+				out := dst[r*m.Rows : (r+1)*m.Rows]
+				if expand {
+					xx := dot(x, x)
+					for i := c0; i < c1; i++ {
+						out[i] = xx - 2*dot(x, m.Row(i)) + norms[i]
+					}
+					continue
+				}
+				for i := c0; i < c1; i++ {
+					row := m.Data[i*m.Cols : i*m.Cols+m.Cols]
+					row = row[:len(x)]
+					var sum float64
+					for j := range x {
+						d := x[j] - row[j]
+						sum += d * d
+					}
+					out[i] = sum
+				}
+			}
+		}
+	}
+	return dst
+}
